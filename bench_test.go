@@ -1,0 +1,141 @@
+// Package iswitch's root benchmark harness: one testing.B benchmark per
+// table and figure in the paper's evaluation, each regenerating its
+// experiment through the packet-level simulation (and, for the training
+// curves, real RL training). Run:
+//
+//	go test -bench=. -benchmem
+//
+// Custom metrics expose the headline numbers (e.g. speedup-vs-PS) so a
+// benchmark run doubles as a regression check on the reproduction.
+package iswitch
+
+import (
+	"strconv"
+	"strings"
+	"testing"
+
+	"iswitch/internal/experiments"
+	"iswitch/internal/perfmodel"
+)
+
+// run executes an experiment once per benchmark iteration, logging the
+// regenerated table/figure on the first iteration.
+func run(b *testing.B, f func() experiments.Result) experiments.Result {
+	b.Helper()
+	var res experiments.Result
+	for i := 0; i < b.N; i++ {
+		res = f()
+	}
+	b.Logf("\n%s", res.String())
+	return res
+}
+
+func BenchmarkTable1WorkloadStudy(b *testing.B) { run(b, experiments.Table1) }
+
+func BenchmarkTable2ControlMessages(b *testing.B) { run(b, experiments.Table2) }
+
+func BenchmarkFigure4Breakdown(b *testing.B) {
+	res := run(b, experiments.Figure4)
+	lo, hi := parseRange(res.Text)
+	b.ReportMetric(lo, "agg-share-min-%")
+	b.ReportMetric(hi, "agg-share-max-%")
+}
+
+func BenchmarkFigure5PacketFormats(b *testing.B) { run(b, experiments.Figure5) }
+
+func BenchmarkFigure7Accelerator(b *testing.B) { run(b, experiments.Figure7) }
+
+func BenchmarkFigure8OnTheFly(b *testing.B) { run(b, experiments.Figure8) }
+
+func BenchmarkTable3Speedups(b *testing.B) {
+	res := run(b, experiments.Table3)
+	if v, ok := speedupFor(res.Text, "Sync  iSW", 0); ok {
+		b.ReportMetric(v, "sync-iSW-DQN-speedup")
+	}
+	if v, ok := speedupFor(res.Text, "Async iSW", 0); ok {
+		b.ReportMetric(v, "async-iSW-DQN-speedup")
+	}
+}
+
+func BenchmarkFigure12PerIteration(b *testing.B) { run(b, experiments.Figure12) }
+
+func BenchmarkFigure13SyncCurves(b *testing.B) {
+	run(b, func() experiments.Result {
+		return experiments.Figure13(experiments.QuickCurveOpts())
+	})
+}
+
+func BenchmarkTable4Sync(b *testing.B) { run(b, experiments.Table4) }
+
+func BenchmarkTable5Async(b *testing.B) { run(b, experiments.Table5) }
+
+func BenchmarkFigure14AsyncCurves(b *testing.B) {
+	run(b, func() experiments.Result {
+		return experiments.Figure14(experiments.QuickCurveOpts())
+	})
+}
+
+func BenchmarkFigure15Scalability(b *testing.B) { run(b, experiments.Figure15) }
+
+func BenchmarkAblationStaleness(b *testing.B) { run(b, experiments.AblationStaleness) }
+
+func BenchmarkAblationH(b *testing.B) { run(b, experiments.AblationH) }
+
+func BenchmarkAblationHierarchical(b *testing.B) { run(b, experiments.AblationHierarchical) }
+
+func BenchmarkAblationMTU(b *testing.B) { run(b, experiments.AblationMTU) }
+
+func BenchmarkAblationFP16(b *testing.B) { run(b, experiments.AblationFP16) }
+
+// BenchmarkAggregationRoundPerWorkload times one full synchronous
+// in-switch aggregation round (simulated) per paper workload — the
+// microbenchmark behind every table row.
+func BenchmarkAggregationRoundPerWorkload(b *testing.B) {
+	for _, w := range perfmodel.Workloads() {
+		b.Run(w.Name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				benchSyncRound(w)
+			}
+		})
+	}
+}
+
+// parseRange extracts the measured "x% – y%" from the Figure 4 summary
+// line (the first two percentages; the line also quotes the paper's).
+func parseRange(text string) (lo, hi float64) {
+	for _, line := range strings.Split(text, "\n") {
+		if !strings.Contains(line, "aggregation share:") {
+			continue
+		}
+		for _, f := range strings.Fields(line) {
+			if !strings.HasSuffix(f, "%") {
+				continue
+			}
+			v, err := strconv.ParseFloat(strings.TrimSuffix(f, "%"), 64)
+			if err != nil {
+				continue
+			}
+			if lo == 0 {
+				lo = v
+			} else {
+				hi = v
+				return lo, hi
+			}
+		}
+	}
+	return lo, hi
+}
+
+// speedupFor pulls the idx-th speedup value from a Table 3 row.
+func speedupFor(text, rowPrefix string, idx int) (float64, bool) {
+	for _, line := range strings.Split(text, "\n") {
+		if !strings.HasPrefix(line, rowPrefix) {
+			continue
+		}
+		fs := strings.Fields(line)
+		vals := fs[len(fs)-4:]
+		v, err := strconv.ParseFloat(vals[idx], 64)
+		return v, err == nil
+	}
+	return 0, false
+}

@@ -1,0 +1,71 @@
+// Command iswitch-bench regenerates the paper's tables and figures.
+//
+// Usage:
+//
+//	iswitch-bench                 # every cheap experiment
+//	iswitch-bench -exp table4     # one experiment
+//	iswitch-bench -all            # everything, including functional
+//	                              # training curves (minutes)
+//	iswitch-bench -all -quick     # everything, shortened training
+//	iswitch-bench -list           # list experiment ids
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"iswitch/internal/experiments"
+)
+
+func main() {
+	var (
+		exp   = flag.String("exp", "", "experiment id to run (empty: all cheap ones)")
+		all   = flag.Bool("all", false, "include expensive functional-training experiments")
+		quick = flag.Bool("quick", false, "shorten functional training runs")
+		list  = flag.Bool("list", false, "list experiment ids and exit")
+	)
+	flag.Parse()
+
+	opts := experiments.DefaultCurveOpts()
+	if *quick {
+		opts = experiments.QuickCurveOpts()
+	}
+	specs := experiments.Specs(opts)
+
+	if *list {
+		for _, s := range specs {
+			tag := ""
+			if s.Expensive {
+				tag = "  (expensive: functional training)"
+			}
+			fmt.Printf("%-22s %s%s\n", s.ID, s.Title, tag)
+		}
+		return
+	}
+
+	run := func(s experiments.Spec) {
+		start := time.Now()
+		res := s.Run()
+		fmt.Println(res.String())
+		fmt.Printf("(generated in %v)\n\n", time.Since(start).Round(time.Millisecond))
+	}
+
+	if *exp != "" {
+		s, ok := experiments.ByID(*exp, opts)
+		if !ok {
+			fmt.Fprintf(os.Stderr, "unknown experiment %q; try -list\n", *exp)
+			os.Exit(1)
+		}
+		run(s)
+		return
+	}
+	for _, s := range specs {
+		if s.Expensive && !*all {
+			fmt.Printf("=== %s: %s === (skipped; run with -all)\n\n", s.ID, s.Title)
+			continue
+		}
+		run(s)
+	}
+}

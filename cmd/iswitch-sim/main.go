@@ -1,0 +1,166 @@
+// Command iswitch-sim runs one distributed-training simulation with a
+// chosen workload, aggregation strategy, topology, and mode, printing
+// per-iteration timing and phase breakdown. It is the exploration tool
+// behind the canned experiments of cmd/iswitch-bench.
+//
+// Examples:
+//
+//	iswitch-sim -workload DQN -strategy isw
+//	iswitch-sim -workload PPO -strategy ar -workers 9 -topology tree
+//	iswitch-sim -workload DDPG -strategy isw -mode async -updates 100 -staleness 3
+//	iswitch-sim -workload A2C -strategy isw -topology 3tier -aggs 2 -tors 2 -hosts 3
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+
+	"iswitch/internal/core"
+	"iswitch/internal/netsim"
+	"iswitch/internal/perfmodel"
+	"iswitch/internal/protocol"
+	"iswitch/internal/rl"
+	"iswitch/internal/sim"
+	"iswitch/internal/trace"
+)
+
+func main() {
+	var (
+		workload = flag.String("workload", "DQN", "DQN | A2C | PPO | DDPG")
+		strategy = flag.String("strategy", "isw", "ps | ar | isw")
+		topology = flag.String("topology", "star", "star | tree | 3tier (3tier: isw only)")
+		workers  = flag.Int("workers", 4, "worker count (star/tree)")
+		perRack  = flag.Int("per-rack", 3, "workers per rack (tree)")
+		aggs     = flag.Int("aggs", 2, "aggregation switches (3tier)")
+		tors     = flag.Int("tors", 2, "ToRs per AGG (3tier)")
+		hosts    = flag.Int("hosts", 3, "workers per ToR (3tier)")
+		mode     = flag.String("mode", "sync", "sync | async (async: ps or isw)")
+		iters    = flag.Int("iters", 3, "sync iterations to simulate")
+		updates  = flag.Int64("updates", 50, "async weight updates to simulate")
+		stale    = flag.Int64("staleness", 3, "async staleness bound S")
+		doTrace  = flag.Int("trace", 0, "print the first N packet events of worker 0's NIC (sync isw/star only)")
+	)
+	flag.Parse()
+
+	w, err := perfmodel.WorkloadByName(*workload)
+	if err != nil {
+		log.Fatalf("iswitch-sim: %v", err)
+	}
+	k := sim.NewKernel()
+	edge := netsim.TenGbE()
+	uplink := netsim.FortyGbE()
+
+	n := *workers
+	if *topology == "3tier" {
+		n = *aggs * *tors * *hosts
+	}
+	agents := make([]rl.Agent, n)
+	for i := range agents {
+		agents[i] = core.NewSyntheticAgent(w.Floats())
+	}
+
+	switch *mode {
+	case "sync":
+		services := make([]core.Service, n)
+		var attach func(i int) core.Service
+		switch {
+		case *strategy == "ps" && *topology == "star":
+			c := core.NewPSCluster(k, n, w.Floats(), edge, core.PSConfigFor(w))
+			attach = c.Client
+		case *strategy == "ps" && *topology == "tree":
+			c := core.NewPSClusterTree(k, n, *perRack, w.Floats(), edge, uplink, core.PSConfigFor(w))
+			attach = c.Client
+		case *strategy == "ar" && *topology == "star":
+			c := core.NewARCluster(k, n, w.Floats(), edge, core.ARConfigFor(w))
+			attach = c.Client
+		case *strategy == "ar" && *topology == "tree":
+			c := core.NewARClusterTree(k, n, *perRack, w.Floats(), edge, uplink, core.ARConfigFor(w))
+			attach = c.Client
+		case *strategy == "isw" && *topology == "star":
+			c := core.NewISWStar(k, n, w.Floats(), edge, core.ISWConfigFor(w))
+			if *doTrace > 0 {
+				rec := trace.New(*doTrace)
+				c.Workers()[0].Port().Trace = func(at sim.Time, kind string, pkt *protocol.Packet) {
+					detail := "control " + pkt.Action.String()
+					if pkt.IsData() {
+						detail = fmt.Sprintf("data seg=%d (%d floats)", pkt.Seg, len(pkt.Data))
+					}
+					rec.Record(at, "worker0/nic", kind, detail)
+				}
+				defer func() {
+					fmt.Println("\npacket trace (worker 0 NIC):")
+					fmt.Print(rec.String())
+				}()
+			}
+			attach = c.Client
+		case *strategy == "isw" && *topology == "tree":
+			c := core.NewISWTreeN(k, n, *perRack, w.Floats(), edge, uplink, core.ISWConfigFor(w))
+			attach = c.Client
+		case *strategy == "isw" && *topology == "3tier":
+			e, a, cl := netsim.DefaultThreeTierLinks()
+			c := core.NewISWThreeTier(k, *aggs, *tors, *hosts, w.Floats(), e, a, cl, core.ISWConfigFor(w))
+			attach = c.Client
+		default:
+			fmt.Fprintf(os.Stderr, "unsupported combination: %s over %s\n", *strategy, *topology)
+			os.Exit(1)
+		}
+		for i := range services {
+			services[i] = attach(i)
+		}
+		stats := core.RunSync(k, agents, services, core.SyncConfig{
+			Iterations: *iters, LocalCompute: w.LocalCompute, WeightUpdate: w.WeightUpdate})
+		fmt.Printf("%s | sync %s over %s | %d workers | %d iterations\n",
+			w.Name, *strategy, *topology, n, *iters)
+		fmt.Printf("  per-iteration:    %v\n", stats.MeanIter().Round(1000))
+		fmt.Printf("    local compute:  %v\n", w.LocalCompute)
+		fmt.Printf("    aggregation:    %v (%.1f%% of iteration)\n", stats.MeanAgg().Round(1000),
+			100*float64(stats.MeanAgg())/float64(stats.MeanIter()))
+		fmt.Printf("    weight update:  %v\n", w.WeightUpdate)
+		fmt.Printf("  total virtual:    %v\n", stats.Total.Round(1000))
+		fmt.Printf("  paper reference:  PS %v  AR %v  iSW %v per iteration\n",
+			w.PaperSyncPerIterPS, w.PaperSyncPerIterAR, w.PaperSyncPerIterISW)
+
+	case "async":
+		cfg := core.AsyncConfig{Updates: *updates, StalenessBound: *stale,
+			LocalCompute: w.LocalCompute, WeightUpdate: w.WeightUpdate}
+		var stats *core.AsyncStats
+		switch *strategy {
+		case "isw":
+			var c *core.ISWCluster
+			switch *topology {
+			case "star":
+				c = core.NewISWStar(k, n, w.Floats(), edge, core.ISWConfigFor(w))
+			case "tree":
+				c = core.NewISWTreeN(k, n, *perRack, w.Floats(), edge, uplink, core.ISWConfigFor(w))
+			case "3tier":
+				e, a, cl := netsim.DefaultThreeTierLinks()
+				c = core.NewISWThreeTier(k, *aggs, *tors, *hosts, w.Floats(), e, a, cl, core.ISWConfigFor(w))
+			}
+			stats = core.RunAsyncISW(k, agents, c, cfg)
+		case "ps":
+			var c *core.PSCluster
+			if *topology == "tree" {
+				c = core.NewAsyncPSClusterTree(k, n, *perRack, w.Floats(), edge, uplink, core.PSConfigFor(w))
+			} else {
+				c = core.NewAsyncPSCluster(k, n, w.Floats(), edge, core.PSConfigFor(w))
+			}
+			stats = core.RunAsyncPS(k, agents, core.NewSyntheticAgent(w.Floats()), c, cfg)
+		default:
+			fmt.Fprintln(os.Stderr, "async supports strategies: ps, isw")
+			os.Exit(1)
+		}
+		fmt.Printf("%s | async %s over %s | %d workers | %d updates | S=%d\n",
+			w.Name, *strategy, *topology, n, *updates, *stale)
+		fmt.Printf("  per-update interval: %v\n", stats.MeanIter().Round(1000))
+		fmt.Printf("  committed/discarded: %d/%d\n", stats.Committed, stats.Discarded)
+		fmt.Printf("  mean staleness:      %.2f (bound %d)\n", stats.MeanStaleness(), *stale)
+		fmt.Printf("  total virtual:       %v\n", stats.Total.Round(1000))
+		fmt.Printf("  paper reference:     async PS %v  async iSW %v per iteration\n",
+			w.PaperAsyncPerIterPS, w.PaperAsyncPerIterISW)
+	default:
+		fmt.Fprintln(os.Stderr, "mode must be sync or async")
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,89 @@
+// Command iswitch-worker is a distributed RL training worker that
+// aggregates gradients through an iswitchd process over real UDP.
+//
+// Start one iswitchd and W workers with the same -workload and
+// -model-seed; each worker computes local gradients on its own
+// environment and the switch sums them — synchronous distributed
+// training with in-switch aggregation, over genuine sockets.
+//
+// Usage:
+//
+//	iswitchd -listen 127.0.0.1:9990 &
+//	iswitch-worker -switch 127.0.0.1:9990 -workload A2C -iters 2000 -exp-seed 1 &
+//	iswitch-worker -switch 127.0.0.1:9990 -workload A2C -iters 2000 -exp-seed 2
+package main
+
+import (
+	"flag"
+	"log"
+	"time"
+
+	"iswitch/internal/rl"
+	"iswitch/internal/transport"
+)
+
+func main() {
+	var (
+		swAddr    = flag.String("switch", "127.0.0.1:9990", "iswitchd UDP address")
+		workload  = flag.String("workload", "A2C", "DQN | A2C | PPO | DDPG")
+		iters     = flag.Int("iters", 2000, "training iterations")
+		modelSeed = flag.Int64("model-seed", 42, "shared initial-weights seed (same on every worker)")
+		expSeed   = flag.Int64("exp-seed", 1, "per-worker exploration seed")
+		workers   = flag.Int("workers", 1, "total workers in the job (the aggregation threshold H)")
+		settle    = flag.Duration("settle", 2*time.Second, "wait after Join for peers to join")
+		report    = flag.Int("report", 200, "iterations between progress lines")
+	)
+	flag.Parse()
+
+	agent, err := rl.NewWorkloadAgent(*workload, *modelSeed, *expSeed)
+	if err != nil {
+		log.Fatalf("iswitch-worker: %v", err)
+	}
+	client, err := transport.Dial(*swAddr, agent.GradLen())
+	if err != nil {
+		log.Fatalf("iswitch-worker: %v", err)
+	}
+	defer client.Close()
+	if err := client.Join(); err != nil {
+		log.Fatalf("iswitch-worker: %v", err)
+	}
+	log.Printf("iswitch-worker: joined %s (%s, %d params); waiting %v for peers",
+		*swAddr, agent.Name(), agent.GradLen(), *settle)
+	time.Sleep(*settle)
+
+	grad := make([]float32, agent.GradLen())
+	var rewards []float64
+	start := time.Now()
+	for it := 1; it <= *iters; it++ {
+		agent.ComputeGradient(grad)
+		sum, err := client.Aggregate(grad)
+		if err != nil {
+			log.Fatalf("iswitch-worker: iteration %d: %v", it, err)
+		}
+		// The switch sums H = -workers gradients; the worker divides when
+		// applying (Algorithm 1's w ← w − γ·g_sum/H).
+		agent.ApplyAggregated(sum, *workers)
+		rewards = append(rewards, agent.DrainEpisodes()...)
+		if it%*report == 0 {
+			log.Printf("iter %6d | episodes %5d | avg reward (last 20) %8.2f | %.1f iter/s",
+				it, len(rewards), last20(rewards), float64(it)/time.Since(start).Seconds())
+		}
+	}
+	log.Printf("done: %d iterations, %d episodes, final avg reward %.2f",
+		*iters, len(rewards), last20(rewards))
+}
+
+func last20(xs []float64) float64 {
+	lo := len(xs) - 20
+	if lo < 0 {
+		lo = 0
+	}
+	if len(xs) == 0 {
+		return 0
+	}
+	var t float64
+	for _, x := range xs[lo:] {
+		t += x
+	}
+	return t / float64(len(xs)-lo)
+}

@@ -1,0 +1,43 @@
+// Command iswitchd is the software emulation of the iSwitch in-switch
+// aggregator: a UDP server that sums tagged gradient packets on the fly
+// and broadcasts completed aggregates back to the joined workers — the
+// role the NetFPGA data plane plays in the paper's hardware testbed.
+//
+// Usage:
+//
+//	iswitchd -listen 127.0.0.1:9990
+//
+// Pair with cmd/iswitch-worker processes.
+package main
+
+import (
+	"flag"
+	"log"
+	"os"
+	"os/signal"
+
+	"iswitch/internal/transport"
+)
+
+func main() {
+	listen := flag.String("listen", "127.0.0.1:9990", "UDP address to bind")
+	flag.Parse()
+
+	sw, err := transport.ListenSwitch(*listen)
+	if err != nil {
+		log.Fatalf("iswitchd: %v", err)
+	}
+	log.Printf("iswitchd: aggregating on %s", sw.Addr())
+
+	go func() {
+		ch := make(chan os.Signal, 1)
+		signal.Notify(ch, os.Interrupt)
+		<-ch
+		log.Printf("iswitchd: members=%d data-in=%d broadcasts=%d; shutting down",
+			sw.Members(), sw.DataIn, sw.Broadcasts)
+		sw.Close()
+	}()
+	if err := sw.Serve(); err != nil {
+		log.Fatalf("iswitchd: %v", err)
+	}
+}

@@ -1,0 +1,85 @@
+// Lossy-network training: synchronous distributed training surviving
+// injected packet loss through the iSwitch recovery protocol
+// (paper §3.3): a worker whose broadcast stalls sends a Help control
+// message; the switch relays it; everyone retransmits the affected
+// segment; the switch's contributor bitmap keeps the retransmissions
+// idempotent so the aggregated sums stay bit-exact.
+//
+//	go run ./examples/lossy
+package main
+
+import (
+	"fmt"
+	"time"
+
+	"iswitch/internal/core"
+	"iswitch/internal/netsim"
+	"iswitch/internal/perfmodel"
+	"iswitch/internal/rl"
+	"iswitch/internal/sim"
+)
+
+func main() {
+	const workers = 4
+	const iterations = 2500
+	const lossRate = 0.005 // 0.5% loss on worker 0's uplink and downlink
+
+	agents := make([]rl.Agent, workers)
+	for i := range agents {
+		a, err := rl.NewWorkloadAgent(rl.WorkloadA2C, 42, int64(100+i))
+		if err != nil {
+			panic(err)
+		}
+		agents[i] = a
+	}
+
+	k := sim.NewKernel()
+	cfg := core.DefaultISWConfig()
+	// Arm worker-side recovery. The timeout must sit comfortably above
+	// one iteration's compute+aggregation time: a worker whose peers are
+	// merely still computing must not mistake silence for loss (the
+	// dedup bitmap keeps premature Helps harmless, but they flood the
+	// fabric with pointless retransmissions).
+	cfg.RecoveryTimeout = 40 * time.Millisecond
+	cluster := core.NewISWStar(k, workers, agents[0].GradLen(), netsim.TenGbE(), cfg)
+	cluster.StarSwitch.SetDedup(true) // idempotent retransmissions
+
+	// Worker 0 suffers loss in both directions.
+	cluster.Workers()[0].Port().SetLoss(lossRate, 17)
+	cluster.StarSwitch.Switch().Ports()[0].SetLoss(lossRate, 23)
+
+	services := make([]core.Service, workers)
+	for i := range services {
+		services[i] = cluster.Client(i)
+	}
+	w, _ := perfmodel.WorkloadByName("A2C")
+	fmt.Printf("training A2C over a lossy fabric (%.1f%% loss on worker 0's links)...\n", lossRate*100)
+	stats := core.RunSync(k, agents, services, core.SyncConfig{
+		Iterations:   iterations,
+		LocalCompute: w.LocalCompute,
+		WeightUpdate: w.WeightUpdate,
+	})
+
+	rewards := stats.AllRewards()
+	var early, late float64
+	kth := len(rewards) / 5
+	for _, r := range rewards[:kth] {
+		early += r.Reward
+	}
+	for _, r := range rewards[len(rewards)-kth:] {
+		late += r.Reward
+	}
+	fmt.Printf("\ncompleted all %d iterations in %v of virtual time\n", iterations, stats.Total.Round(1e6))
+	fmt.Printf("reward: first fifth %.1f → last fifth %.1f (still learning through loss)\n",
+		early/float64(kth), late/float64(kth))
+
+	dropped := cluster.Workers()[0].Port().Dropped + cluster.StarSwitch.Switch().Ports()[0].Dropped
+	acc := cluster.StarSwitch.Accelerator().Stats()
+	fmt.Printf("\nrecovery machinery:\n")
+	fmt.Printf("  packets dropped by the fabric:    %d\n", dropped)
+	fmt.Printf("  Help requests relayed:            %d\n", cluster.StarSwitch.HelpRelayed)
+	fmt.Printf("  duplicate retransmits absorbed:   %d (contributor bitmap)\n", acc.DupDropped)
+	fmt.Printf("  per-iteration time:               %v (vs lossless ≈ %v)\n",
+		stats.MeanIter().Round(1e4), (w.LocalCompute + w.WeightUpdate + 4*time.Millisecond).Round(1e4))
+	fmt.Println("\nevery replica applied identical sums despite the loss — recovery is exact.")
+}

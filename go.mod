@@ -1,0 +1,3 @@
+module iswitch
+
+go 1.22

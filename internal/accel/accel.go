@@ -1,0 +1,295 @@
+// Package accel models the iSwitch in-switch aggregation accelerator
+// (paper §3.3, Figure 7).
+//
+// The hardware ingests tagged data packets as 256-bit bus bursts: a
+// separator splits header bursts from payload bursts, a Seg decoder
+// extracts the segment index, a per-segment counter tracks how many
+// worker contributions have been summed, and eight parallel 32-bit
+// floating-point adders accumulate each payload burst into a BRAM
+// buffer addressed by (Seg, burst offset). When a segment's counter
+// reaches the aggregation threshold H, the output module emits one data
+// packet carrying the fully aggregated segment, zeroes the buffer, and
+// resets the counter.
+//
+// This package reproduces both the function (the exact float32 sums, in
+// packet-arrival order, as a hardware adder pipeline would produce) and
+// the timing (cycles consumed per packet at the published 200 MHz clock
+// and 256-bit bus width).
+package accel
+
+import (
+	"fmt"
+	"sort"
+	"time"
+)
+
+// Config describes the accelerator datapath. The defaults mirror the
+// paper's NetFPGA-SUME implementation.
+type Config struct {
+	// BusWidthBits is the internal AXI4-Stream bus width; one burst of
+	// this many bits is processed per clock cycle.
+	BusWidthBits int
+	// ClockHz is the accelerator clock frequency.
+	ClockHz float64
+	// PipelineDepth is the fill latency of the separator → decoder →
+	// adder → buffer pipeline, in cycles, charged once per packet.
+	PipelineDepth int
+	// Threshold is the initial aggregation threshold H: how many
+	// contributions a segment needs before it is emitted. The control
+	// plane overwrites it via SetH; by default H equals the number of
+	// workers (child nodes).
+	Threshold uint32
+}
+
+// DefaultConfig returns the paper's hardware parameters: 256-bit bus,
+// 200 MHz clock, eight float32 adders (256/32).
+func DefaultConfig() Config {
+	return Config{BusWidthBits: 256, ClockHz: 200e6, PipelineDepth: 8, Threshold: 1}
+}
+
+// AddersPerCycle returns how many float32 lanes one burst carries.
+func (c Config) AddersPerCycle() int { return c.BusWidthBits / 32 }
+
+// segState is one segment's accumulation buffer and counter. seen is
+// the optional contributor bitmap (hardware analog: one bit per member
+// port) that makes retransmissions idempotent.
+type segState struct {
+	buf   []float32
+	count uint32
+	seen  map[string]struct{}
+}
+
+// Accelerator is the functional + timing model of the in-switch
+// aggregation unit. It is single-threaded by construction: the embedding
+// switch feeds it one packet at a time, exactly as the input arbiter
+// serializes bursts in hardware.
+type Accelerator struct {
+	cfg   Config
+	h     uint32
+	segs  map[uint64]*segState
+	dedup bool
+
+	stats Stats
+}
+
+// Stats counts accelerator activity for experiments and tests.
+type Stats struct {
+	PacketsIn   uint64 // tagged data packets ingested
+	PacketsOut  uint64 // fully aggregated segments emitted
+	Flushes     uint64 // partial segments force-broadcast (FBcast)
+	Resets      uint64 // Reset control actions applied
+	BurstsAdded uint64 // payload bursts pushed through the adders
+	Cycles      uint64 // total cycles consumed
+	DupDropped  uint64 // duplicate contributions ignored (dedup mode)
+}
+
+// New creates an accelerator with the given configuration.
+func New(cfg Config) *Accelerator {
+	if cfg.BusWidthBits <= 0 || cfg.BusWidthBits%32 != 0 {
+		panic(fmt.Sprintf("accel: bus width %d must be a positive multiple of 32", cfg.BusWidthBits))
+	}
+	if cfg.ClockHz <= 0 {
+		panic("accel: clock frequency must be positive")
+	}
+	if cfg.Threshold == 0 {
+		cfg.Threshold = 1
+	}
+	return &Accelerator{cfg: cfg, h: cfg.Threshold, segs: make(map[uint64]*segState)}
+}
+
+// Threshold returns the current aggregation threshold H.
+func (a *Accelerator) Threshold() uint32 { return a.h }
+
+// SetThreshold applies a SetH control action.
+func (a *Accelerator) SetThreshold(h uint32) error {
+	if h == 0 {
+		return fmt.Errorf("accel: aggregation threshold must be >= 1")
+	}
+	a.h = h
+	return nil
+}
+
+// Stats returns a snapshot of activity counters.
+func (a *Accelerator) Stats() Stats { return a.stats }
+
+// Reset applies a Reset control action: clear all buffers and counters.
+func (a *Accelerator) Reset() {
+	a.segs = make(map[uint64]*segState)
+	a.stats.Resets++
+}
+
+// Pending reports how many segments hold partial (uncommitted) sums.
+func (a *Accelerator) Pending() int { return len(a.segs) }
+
+// SetDedup enables (or disables) the contributor bitmap: with dedup on,
+// a second contribution from the same source to an in-progress segment
+// is ignored, making loss-recovery retransmissions idempotent.
+// Synchronous jobs enable it; asynchronous jobs keep it off, where a
+// fast worker legitimately contributes multiple gradients per aggregate
+// ("faster workers contribute more", paper §4.1).
+func (a *Accelerator) SetDedup(on bool) { a.dedup = on }
+
+// Dedup reports whether the contributor bitmap is active.
+func (a *Accelerator) Dedup() bool { return a.dedup }
+
+// Ingest accumulates one data packet's payload into the segment buffer
+// identified by seg, in arrival order. If this contribution is the H-th
+// for the segment, the fully aggregated payload is returned (done=true),
+// the buffer is zeroed, and the counter reset — the "on-the-fly"
+// behaviour of Figure 8b. latency is the datapath time consumed.
+//
+// The returned slice is freshly allocated and safe to retain.
+func (a *Accelerator) Ingest(seg uint64, data []float32) (sum []float32, done bool, latency time.Duration) {
+	return a.IngestFrom(seg, "", data)
+}
+
+// IngestFrom is Ingest with a contributor identity for dedup mode. An
+// empty contributor is never deduplicated.
+func (a *Accelerator) IngestFrom(seg uint64, contributor string, data []float32) (sum []float32, done bool, latency time.Duration) {
+	a.stats.PacketsIn++
+	st := a.segs[seg]
+	if st == nil {
+		st = &segState{buf: make([]float32, len(data))}
+		a.segs[seg] = st
+	}
+	if a.dedup && contributor != "" {
+		if st.seen == nil {
+			st.seen = make(map[string]struct{})
+		}
+		if _, dup := st.seen[contributor]; dup {
+			a.stats.DupDropped++
+			return nil, false, a.packetLatency(len(data))
+		}
+		st.seen[contributor] = struct{}{}
+	}
+	if len(st.buf) != len(data) {
+		// A malformed or inconsistent segment length; hardware would
+		// flag this via the control plane. Grow to the larger size so
+		// no data is silently dropped.
+		if len(data) > len(st.buf) {
+			grown := make([]float32, len(data))
+			copy(grown, st.buf)
+			st.buf = grown
+		}
+	}
+	for i, v := range data {
+		st.buf[i] += v
+	}
+	st.count++
+	latency = a.packetLatency(len(data))
+
+	if st.count >= a.h {
+		out := st.buf
+		delete(a.segs, seg)
+		a.stats.PacketsOut++
+		return out, true, latency
+	}
+	return nil, false, latency
+}
+
+// Flush applies an FBcast control action to one segment: return the
+// partially aggregated payload (with how many contributions it holds)
+// and clear the segment. ok is false if the segment holds nothing.
+func (a *Accelerator) Flush(seg uint64) (sum []float32, count uint32, ok bool) {
+	st := a.segs[seg]
+	if st == nil {
+		return nil, 0, false
+	}
+	delete(a.segs, seg)
+	a.stats.Flushes++
+	return st.buf, st.count, true
+}
+
+// DrainSatisfied emits every pending segment whose counter already
+// meets the (possibly just lowered) threshold H — how the control plane
+// unblocks rounds that were waiting on a worker that left the job.
+// Results are ordered by ascending segment.
+func (a *Accelerator) DrainSatisfied() (segs []uint64, sums [][]float32) {
+	for _, s := range a.PendingSegs() {
+		st := a.segs[s]
+		if st.count >= a.h {
+			segs = append(segs, s)
+			sums = append(sums, st.buf)
+			delete(a.segs, s)
+			a.stats.PacketsOut++
+		}
+	}
+	return segs, sums
+}
+
+// PendingSegs lists the segments holding partial sums, ascending.
+func (a *Accelerator) PendingSegs() []uint64 {
+	segs := make([]uint64, 0, len(a.segs))
+	for s := range a.segs {
+		segs = append(segs, s)
+	}
+	sort.Slice(segs, func(i, j int) bool { return segs[i] < segs[j] })
+	return segs
+}
+
+// FlushAll force-broadcasts every partial segment, in ascending segment
+// order, returning the segment indices flushed.
+func (a *Accelerator) FlushAll() []uint64 {
+	segs := make([]uint64, 0, len(a.segs))
+	for s := range a.segs {
+		segs = append(segs, s)
+	}
+	sort.Slice(segs, func(i, j int) bool { return segs[i] < segs[j] })
+	for _, s := range segs {
+		delete(a.segs, s)
+		a.stats.Flushes++
+	}
+	return segs
+}
+
+// packetLatency models the datapath cost of one packet: pipeline fill
+// plus one cycle per bus burst of header and payload.
+func (a *Accelerator) packetLatency(nFloats int) time.Duration {
+	burstBytes := a.cfg.BusWidthBits / 8
+	payloadBytes := 4 * nFloats
+	headerBytes := 14 + 20 + 8 + 8 // ETH + IP + UDP + Seg
+	bursts := ceilDiv(headerBytes, burstBytes) + ceilDiv(payloadBytes, burstBytes)
+	cycles := a.cfg.PipelineDepth + bursts
+	a.stats.BurstsAdded += uint64(ceilDiv(payloadBytes, burstBytes))
+	a.stats.Cycles += uint64(cycles)
+	return a.CyclesToDuration(cycles)
+}
+
+// PacketLatency returns the datapath latency for a packet carrying
+// nFloats float32 elements, without mutating state. Exported for the
+// timing model and scalability experiments.
+func (a *Accelerator) PacketLatency(nFloats int) time.Duration {
+	burstBytes := a.cfg.BusWidthBits / 8
+	bursts := ceilDiv(14+20+8+8, burstBytes) + ceilDiv(4*nFloats, burstBytes)
+	return a.CyclesToDuration(a.cfg.PipelineDepth + bursts)
+}
+
+// CyclesToDuration converts accelerator cycles to wall time.
+func (a *Accelerator) CyclesToDuration(cycles int) time.Duration {
+	return time.Duration(float64(cycles) / a.cfg.ClockHz * float64(time.Second))
+}
+
+func ceilDiv(a, b int) int { return (a + b - 1) / b }
+
+// SeenBy reports the contributors recorded for a pending segment
+// (dedup mode); nil when the segment has no state. Debugging aid.
+func (a *Accelerator) SeenBy(seg uint64) []string {
+	st := a.segs[seg]
+	if st == nil {
+		return nil
+	}
+	out := make([]string, 0, len(st.seen))
+	for k := range st.seen {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// CountOf reports a pending segment's contribution count.
+func (a *Accelerator) CountOf(seg uint64) uint32 {
+	if st := a.segs[seg]; st != nil {
+		return st.count
+	}
+	return 0
+}

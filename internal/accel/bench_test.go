@@ -1,0 +1,59 @@
+package accel
+
+import (
+	"testing"
+
+	"iswitch/internal/protocol"
+)
+
+// BenchmarkIngestFullPacket measures accumulating one full-MTU gradient
+// packet (366 float32 lanes) — the accelerator's inner loop.
+func BenchmarkIngestFullPacket(b *testing.B) {
+	a := New(Config{BusWidthBits: 256, ClockHz: 200e6, PipelineDepth: 8, Threshold: 1 << 30})
+	data := make([]float32, protocol.FloatsPerPacket)
+	for i := range data {
+		data[i] = float32(i)
+	}
+	b.SetBytes(int64(4 * len(data)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		a.Ingest(uint64(i%1024), data)
+	}
+}
+
+// BenchmarkIngestEmitCycle measures a full aggregate-and-emit cycle at
+// H=4 (four contributions then an emission).
+func BenchmarkIngestEmitCycle(b *testing.B) {
+	cfg := DefaultConfig()
+	cfg.Threshold = 4
+	a := New(cfg)
+	data := make([]float32, protocol.FloatsPerPacket)
+	b.SetBytes(int64(4 * 4 * len(data)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for w := 0; w < 4; w++ {
+			a.Ingest(0, data)
+		}
+	}
+}
+
+// BenchmarkWholeVectorSum measures the deferred PS-style summation for
+// comparison with on-the-fly (Figure 8's software side).
+func BenchmarkWholeVectorSum(b *testing.B) {
+	const n, workers = 100_000, 4
+	vecs := make([][]float32, workers)
+	for i := range vecs {
+		vecs[i] = make([]float32, n)
+	}
+	b.SetBytes(int64(4 * n * workers))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		wv := NewWholeVector(n, workers)
+		for _, v := range vecs {
+			_ = wv.Add(v)
+		}
+		if _, err := wv.Sum(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,70 @@
+package accel
+
+import (
+	"fmt"
+	"time"
+)
+
+// WholeVectorAggregator is the conventional aggregation baseline of
+// Figure 8a: each worker's entire gradient vector is buffered, and
+// summation starts only after every vector has fully arrived. Parameter
+// servers (and the AllReduce step reductions) behave this way, which is
+// what the on-the-fly accelerator is measured against in the Figure 8
+// ablation.
+type WholeVectorAggregator struct {
+	n        int
+	expected int
+	vectors  [][]float32
+}
+
+// NewWholeVector creates an aggregator for `expected` vectors of n
+// elements each.
+func NewWholeVector(n, expected int) *WholeVectorAggregator {
+	if expected < 1 {
+		panic("accel: whole-vector aggregator needs expected >= 1")
+	}
+	return &WholeVectorAggregator{n: n, expected: expected}
+}
+
+// Add buffers one complete gradient vector.
+func (w *WholeVectorAggregator) Add(vec []float32) error {
+	if len(vec) != w.n {
+		return fmt.Errorf("accel: vector length %d, want %d", len(vec), w.n)
+	}
+	if len(w.vectors) == w.expected {
+		return fmt.Errorf("accel: already holds %d vectors", w.expected)
+	}
+	w.vectors = append(w.vectors, vec)
+	return nil
+}
+
+// Ready reports whether all expected vectors have arrived.
+func (w *WholeVectorAggregator) Ready() bool { return len(w.vectors) == w.expected }
+
+// Sum performs the deferred summation in arrival order and resets the
+// aggregator for the next round.
+func (w *WholeVectorAggregator) Sum() ([]float32, error) {
+	if !w.Ready() {
+		return nil, fmt.Errorf("accel: only %d of %d vectors arrived", len(w.vectors), w.expected)
+	}
+	out := make([]float32, w.n)
+	for _, vec := range w.vectors {
+		for i, v := range vec {
+			out[i] += v
+		}
+	}
+	w.vectors = w.vectors[:0]
+	return out, nil
+}
+
+// SumLatency models the deferred-summation time for a software
+// aggregator adding `expected` vectors of n elements at addsPerSecond
+// element-additions per second. Used by the parameter-server timing
+// model and the Figure 8 ablation.
+func SumLatency(n, expected int, addsPerSecond float64) time.Duration {
+	if addsPerSecond <= 0 {
+		panic("accel: addsPerSecond must be positive")
+	}
+	ops := float64(n) * float64(expected)
+	return time.Duration(ops / addsPerSecond * float64(time.Second))
+}

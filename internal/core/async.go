@@ -1,0 +1,264 @@
+package core
+
+import (
+	"fmt"
+
+	"iswitch/internal/netsim"
+	"iswitch/internal/protocol"
+	"iswitch/internal/rl"
+	"iswitch/internal/sim"
+)
+
+// Asynchronous distributed training, two designs:
+//
+//   - Async PS (Figure 3): a central parameter server holds the
+//     authoritative weights; each worker loops pull → compute → push,
+//     and the server applies each accepted (non-stale) gradient.
+//   - Async iSwitch (Algorithm 1): fully decentralized. Each worker
+//     runs a Local-Gradient-Computing thread and a Local-Weight-Update
+//     thread; the switch aggregates any H gradient vectors on the fly
+//     and broadcasts the sum, which every LWU applies identically — so
+//     the decentralized weight replicas never diverge.
+
+// AsyncConfig parameterizes an asynchronous run.
+type AsyncConfig struct {
+	// Updates is the target number of weight updates ("Number of
+	// Iterations" in Table 5: weight updates at the PS, or LWU updates
+	// for iSwitch).
+	Updates int64
+	// StalenessBound is Algorithm 1's S: a local gradient computed
+	// against weights more than S updates old is discarded.
+	StalenessBound int64
+	// LocalCompute and WeightUpdate as in SyncConfig.
+	LocalCompute sim.Time
+	WeightUpdate sim.Time
+}
+
+// AsyncStats extends RunStats with staleness accounting.
+type AsyncStats struct {
+	RunStats
+	// Committed and Discarded count gradients that passed / failed the
+	// staleness check.
+	Committed, Discarded int64
+	// StalenessSum accumulates the staleness of committed gradients;
+	// StalenessSum/Committed is the run's average staleness.
+	StalenessSum int64
+}
+
+// MeanStaleness returns the average staleness of committed gradients.
+func (s *AsyncStats) MeanStaleness() float64 {
+	if s.Committed == 0 {
+		return 0
+	}
+	return float64(s.StalenessSum) / float64(s.Committed)
+}
+
+// RunAsyncISW trains agents with the asynchronous iSwitch pipeline
+// (Algorithm 1) on an iSwitch cluster. agents[i] runs on cluster
+// worker i.
+func RunAsyncISW(k *sim.Kernel, agents []rl.Agent, cluster *ISWCluster, cfg AsyncConfig) *AsyncStats {
+	n := len(agents)
+	if n != len(cluster.Workers()) {
+		panic("core: agents/cluster size mismatch")
+	}
+	stats := &AsyncStats{}
+	for range agents {
+		stats.Workers = append(stats.Workers, &WorkerStats{})
+	}
+	start := sim.NewBarrier(k, 2*n) // every LGC and LWU thread
+	stop := false
+
+	for i := range agents {
+		agent, ws := agents[i], stats.Workers[i]
+		client := cluster.Client(i).(*iswClient)
+		// Shared per-worker state: ts (LWU's update counter) in
+		// Algorithm 1's shared/global memory.
+		var ts int64
+
+		// LWU thread: wait for g_sum, update the local replica.
+		k.Spawn(fmt.Sprintf("async-lwu-%d", i), func(p *sim.Proc) {
+			client.Setup(p)
+			start.Wait(p)
+			prev := p.Now()
+			for ts < cfg.Updates {
+				sum := client.CollectAggregate(p)
+				rec := IterRecord{Start: prev, ComputeEnd: prev, AggEnd: p.Now()}
+				p.Sleep(cfg.WeightUpdate)
+				agent.ApplyAggregated(sum, client.H())
+				ts++
+				rec.UpdateEnd = p.Now()
+				prev = rec.UpdateEnd
+				ws.Iters = append(ws.Iters, rec)
+				if rec.UpdateEnd > stats.Total {
+					stats.Total = rec.UpdateEnd
+				}
+			}
+			stop = true
+		})
+
+		// LGC thread: compute, staleness-check, nonblocking send.
+		k.Spawn(fmt.Sprintf("async-lgc-%d", i), func(p *sim.Proc) {
+			start.Wait(p)
+			grad := make([]float32, agent.GradLen())
+			for !stop && ts < cfg.Updates {
+				tw := ts // copy iteration index (and implicitly weights)
+				agent.ComputeGradient(grad)
+				p.Sleep(cfg.LocalCompute)
+				for _, r := range agent.DrainEpisodes() {
+					ws.Rewards = append(ws.Rewards, RewardPoint{Time: p.Now(), Reward: r})
+				}
+				staleness := ts - tw
+				if staleness <= cfg.StalenessBound {
+					stats.Committed++
+					stats.StalenessSum += staleness
+					client.SendGradient(grad) // nonblocking: NIC queues it
+				} else {
+					stats.Discarded++
+				}
+			}
+		})
+	}
+	k.Run()
+	stats.Updates = cfg.Updates
+	return stats
+}
+
+// pullRequest is the async-PS application message a worker sends to
+// fetch the current weights. It reuses the control-packet framing with
+// the Help action ("request data") — PS traffic crosses only plain
+// switches, so the iSwitch data plane never interprets it.
+func pullRequest(src, dst protocol.Addr) *protocol.Packet {
+	return protocol.NewControl(src, dst, protocol.ActionHelp, nil)
+}
+
+// RunAsyncPS trains agents with the asynchronous parameter-server
+// baseline. masterAgent supplies the server's authoritative weights and
+// optimizer; it must be constructed with the same model seed as the
+// workers (its environment is never stepped).
+func RunAsyncPS(k *sim.Kernel, agents []rl.Agent, masterAgent rl.Agent, cluster *PSCluster, cfg AsyncConfig) *AsyncStats {
+	nWorkers := len(agents)
+	stats := &AsyncStats{}
+	for i := 0; i <= nWorkers; i++ { // last entry holds server updates
+		stats.Workers = append(stats.Workers, &WorkerStats{})
+	}
+	serverStats := stats.Workers[nWorkers]
+	stop := false
+
+	// The synchronous server spawned by NewPSCluster must be replaced;
+	// build async clusters with NewAsyncPSCluster instead.
+	server, workers := cluster.Server, cluster.workers
+	nFloats := cluster.n
+
+	// Pull requests are served by a dedicated reply thread so weight
+	// reads never block the push/update path (real parameter servers
+	// serve reads concurrently; only writes serialize).
+	pulls := sim.NewChan[protocol.Addr](k, "ps-pulls")
+	var version int64
+	lastSent := make(map[protocol.Addr]int64)
+
+	k.Spawn("async-ps-pull-server", func(p *sim.Proc) {
+		params := make([]float32, masterAgent.GradLen())
+		for {
+			src := pulls.Recv(p)
+			p.Sleep(cluster.cfg.PerMessage)
+			masterAgent.ReadParams(params)
+			lastSent[src] = version
+			for _, out := range protocol.Segment(server.Addr, src, params) {
+				server.Send(out)
+			}
+		}
+	})
+
+	k.Spawn("async-ps-server", func(p *sim.Proc) {
+		asm := make(map[protocol.Addr]*protocol.Assembler)
+		prev := p.Now()
+		for version < cfg.Updates {
+			pkt := server.Recv(p)
+			switch {
+			case pkt.IsControl() && pkt.Action == protocol.ActionHelp:
+				pulls.Send(pkt.Src)
+			case pkt.IsData():
+				a := asm[pkt.Src]
+				if a == nil {
+					a = protocol.NewAssembler(nFloats)
+					asm[pkt.Src] = a
+				}
+				if err := a.Add(pkt); err != nil {
+					continue
+				}
+				if !a.Complete() {
+					continue
+				}
+				// Push: apply if within the staleness bound.
+				p.Sleep(cluster.cfg.PerMessage)
+				staleness := version - lastSent[pkt.Src]
+				if staleness <= cfg.StalenessBound {
+					stats.Committed++
+					stats.StalenessSum += staleness
+					p.Sleep(cfg.WeightUpdate + cluster.cfg.AsyncUpdateExtra)
+					masterAgent.ApplyAggregated(a.Vector(), 1)
+					version++
+					now := p.Now()
+					serverStats.Iters = append(serverStats.Iters, IterRecord{
+						Start: prev, ComputeEnd: prev, AggEnd: now, UpdateEnd: now,
+					})
+					prev = now
+					if now > stats.Total {
+						stats.Total = now
+					}
+				} else {
+					stats.Discarded++
+				}
+				a.Reset()
+			}
+		}
+		stop = true
+	})
+
+	for i := range agents {
+		agent, ws, host := agents[i], stats.Workers[i], workers[i]
+		k.Spawn(fmt.Sprintf("async-ps-worker-%d", i), func(p *sim.Proc) {
+			weights := protocol.NewAssembler(nFloats)
+			grad := make([]float32, agent.GradLen())
+			for !stop {
+				// Pull the latest weights.
+				p.Sleep(cluster.cfg.WorkerBase)
+				host.Send(pullRequest(host.Addr, server.Addr))
+				weights.Reset()
+				for !weights.Complete() {
+					pkt, ok := host.RecvTimeout(p, 200*cfg.LocalCompute+sim.Time(1e9))
+					if !ok {
+						return // server stopped mid-reply
+					}
+					if pkt.IsData() {
+						if err := weights.Add(pkt); err != nil {
+							continue
+						}
+					}
+				}
+				agent.WriteParams(weights.Vector())
+				// Local gradient computing.
+				agent.ComputeGradient(grad)
+				p.Sleep(cfg.LocalCompute)
+				for _, r := range agent.DrainEpisodes() {
+					ws.Rewards = append(ws.Rewards, RewardPoint{Time: p.Now(), Reward: r})
+				}
+				// Push.
+				for _, pkt := range protocol.Segment(host.Addr, server.Addr, grad) {
+					host.Send(pkt)
+				}
+			}
+		})
+	}
+	k.Run()
+	stats.Updates = cfg.Updates
+	return stats
+}
+
+// NewAsyncPSCluster builds a PS cluster without spawning the
+// synchronous server (RunAsyncPS provides its own).
+func NewAsyncPSCluster(k *sim.Kernel, nWorkers, modelFloats int, link netsim.LinkConfig, cfg PSConfig) *PSCluster {
+	star := netsim.BuildStar(k, nWorkers, link)
+	server := star.AttachHost(k, PSServerAddr(), link)
+	return &PSCluster{Star: star, Server: server, workers: star.Hosts[:nWorkers], n: modelFloats, cfg: cfg}
+}

@@ -1,0 +1,189 @@
+// Package core implements the paper's contribution: distributed RL
+// training with gradient aggregation performed by a centralized
+// parameter server (PS), decentralized Ring-AllReduce (AR), or the
+// in-switch accelerator (iSwitch) — in both synchronous (global
+// barrier) and asynchronous (three-stage pipeline with a staleness
+// bound, Algorithm 1) forms.
+//
+// Everything runs inside the deterministic discrete-event simulation:
+// workers are sim processes attached to netsim hosts, gradients travel
+// as real iSwitch-protocol packets over simulated 10GbE, and the
+// switches either just forward (PS, AR) or aggregate in the data plane
+// (iSwitch). Per-iteration times are read off the virtual clock.
+package core
+
+import (
+	"time"
+
+	"iswitch/internal/sim"
+)
+
+// Service is one worker's handle to a gradient-aggregation strategy.
+type Service interface {
+	// Setup performs any per-worker handshake (e.g. the iSwitch Join)
+	// before training starts.
+	Setup(p *sim.Proc)
+	// Aggregate contributes grad and blocks in virtual time until the
+	// element-wise sum of H contributions is available. The returned
+	// slice is owned by the caller.
+	Aggregate(p *sim.Proc, grad []float32) []float32
+	// H is the number of gradient vectors per aggregate (the paper's
+	// aggregation threshold; by default the worker count).
+	H() int
+}
+
+// RewardPoint is one completed episode: when it finished (virtual time)
+// and its total reward.
+type RewardPoint struct {
+	Time   time.Duration
+	Reward float64
+}
+
+// IterRecord captures one training iteration's phase boundaries on the
+// virtual clock.
+type IterRecord struct {
+	Start      time.Duration
+	ComputeEnd time.Duration
+	AggEnd     time.Duration
+	UpdateEnd  time.Duration
+}
+
+// Compute returns the local-gradient-computing phase duration.
+func (r IterRecord) Compute() time.Duration { return r.ComputeEnd - r.Start }
+
+// Agg returns the gradient-aggregation phase duration.
+func (r IterRecord) Agg() time.Duration { return r.AggEnd - r.ComputeEnd }
+
+// Update returns the weight-update phase duration.
+func (r IterRecord) Update() time.Duration { return r.UpdateEnd - r.AggEnd }
+
+// Total returns the full iteration duration.
+func (r IterRecord) Total() time.Duration { return r.UpdateEnd - r.Start }
+
+// WorkerStats is one worker's record of a run.
+type WorkerStats struct {
+	Iters   []IterRecord
+	Rewards []RewardPoint
+}
+
+// MeanIter returns the mean per-iteration time.
+func (w *WorkerStats) MeanIter() time.Duration { return meanOf(w.Iters, IterRecord.Total) }
+
+// MeanAgg returns the mean aggregation time per iteration.
+func (w *WorkerStats) MeanAgg() time.Duration { return meanOf(w.Iters, IterRecord.Agg) }
+
+// MeanCompute returns the mean local-compute time per iteration.
+func (w *WorkerStats) MeanCompute() time.Duration { return meanOf(w.Iters, IterRecord.Compute) }
+
+// MeanUpdate returns the mean weight-update time per iteration.
+func (w *WorkerStats) MeanUpdate() time.Duration { return meanOf(w.Iters, IterRecord.Update) }
+
+func meanOf(iters []IterRecord, f func(IterRecord) time.Duration) time.Duration {
+	if len(iters) == 0 {
+		return 0
+	}
+	var sum time.Duration
+	for _, it := range iters {
+		sum += f(it)
+	}
+	return sum / time.Duration(len(iters))
+}
+
+// RunStats aggregates a whole run.
+type RunStats struct {
+	Workers []*WorkerStats
+	// Total is the virtual time the run took (slowest worker).
+	Total time.Duration
+	// Updates is the number of weight updates performed (asynchronous
+	// runs; equals Iterations for synchronous runs).
+	Updates int64
+}
+
+// MeanIter averages per-iteration time across workers.
+func (s *RunStats) MeanIter() time.Duration {
+	var sum time.Duration
+	n := 0
+	for _, w := range s.Workers {
+		if len(w.Iters) > 0 {
+			sum += w.MeanIter()
+			n++
+		}
+	}
+	if n == 0 {
+		return 0
+	}
+	return sum / time.Duration(n)
+}
+
+// MeanAgg averages aggregation time across workers.
+func (s *RunStats) MeanAgg() time.Duration {
+	var sum time.Duration
+	n := 0
+	for _, w := range s.Workers {
+		if len(w.Iters) > 0 {
+			sum += w.MeanAgg()
+			n++
+		}
+	}
+	if n == 0 {
+		return 0
+	}
+	return sum / time.Duration(n)
+}
+
+// AllRewards merges every worker's reward points, ordered by time.
+func (s *RunStats) AllRewards() []RewardPoint {
+	var all []RewardPoint
+	for _, w := range s.Workers {
+		all = append(all, w.Rewards...)
+	}
+	// Insertion sort by time: reward streams are nearly sorted already.
+	for i := 1; i < len(all); i++ {
+		for j := i; j > 0 && all[j].Time < all[j-1].Time; j-- {
+			all[j], all[j-1] = all[j-1], all[j]
+		}
+	}
+	return all
+}
+
+// SyntheticAgent is an rl.Agent stand-in for timing-only simulations:
+// it carries a gradient of the paper's exact model size (e.g. DQN's
+// 6.41 MB) without doing neural-network math, so the DES measures pure
+// communication/aggregation behaviour at full scale.
+type SyntheticAgent struct {
+	n      int
+	filled bool
+}
+
+// NewSyntheticAgent creates a timing agent with an n-float gradient.
+func NewSyntheticAgent(n int) *SyntheticAgent { return &SyntheticAgent{n: n} }
+
+// Name implements rl.Agent.
+func (s *SyntheticAgent) Name() string { return "synthetic" }
+
+// GradLen implements rl.Agent.
+func (s *SyntheticAgent) GradLen() int { return s.n }
+
+// ComputeGradient implements rl.Agent: a constant payload (filled once;
+// the trainer reuses the buffer).
+func (s *SyntheticAgent) ComputeGradient(dst []float32) {
+	if s.filled {
+		return
+	}
+	for i := range dst {
+		dst[i] = 1e-3
+	}
+	s.filled = true
+}
+
+// ApplyAggregated implements rl.Agent (no-op).
+func (s *SyntheticAgent) ApplyAggregated([]float32, int) {}
+
+// ReadParams implements rl.Agent (no-op).
+func (s *SyntheticAgent) ReadParams([]float32) {}
+
+// WriteParams implements rl.Agent (no-op).
+func (s *SyntheticAgent) WriteParams([]float32) {}
+
+// DrainEpisodes implements rl.Agent.
+func (s *SyntheticAgent) DrainEpisodes() []float64 { return nil }

@@ -1,0 +1,271 @@
+package core
+
+import (
+	"fmt"
+
+	"iswitch/internal/netsim"
+	"iswitch/internal/perfmodel"
+	"iswitch/internal/protocol"
+	"iswitch/internal/sim"
+	"iswitch/internal/switchnet"
+)
+
+// iSwitch aggregation (Figure 1c): workers send their gradient packets
+// to the programmable switch, whose data-plane accelerator sums each
+// segment on the fly and broadcasts the completed aggregate back —
+// two network hops, on-the-fly packet-granular aggregation, and a
+// dedicated link per worker.
+
+// ISWConfig carries the (small) client-side cost of the iSwitch path.
+type ISWConfig struct {
+	// WorkerBase is charged per aggregation round per worker.
+	WorkerBase sim.Time
+	// FloatsPerPacket overrides the gradient payload per packet
+	// (0 selects the MTU-filling protocol default). Exposed for the
+	// packet-size ablation.
+	FloatsPerPacket int
+	// RecoveryTimeout, when nonzero, arms worker-side loss recovery
+	// during synchronous aggregation: a worker whose broadcast stalls
+	// for this long sends Help for its missing segments and retransmits
+	// its own contributions; peers answer relayed Helps by
+	// retransmitting theirs. Requires the switch's dedup bitmap so
+	// retransmissions stay idempotent (paper §3.3 loss handling).
+	//
+	// Choose it comfortably above one iteration's compute+aggregation
+	// time: with a too-small timeout, a worker whose peers are merely
+	// still computing mistakes the silence for loss and floods the
+	// fabric with Help/retransmission traffic (harmless to correctness
+	// — the bitmap absorbs duplicates — but costly to throughput).
+	RecoveryTimeout sim.Time
+}
+
+// DefaultISWConfig mirrors the raw-UDP client implementation.
+func DefaultISWConfig() ISWConfig {
+	return ISWConfig{WorkerBase: perfmodel.ISWWorkerBase}
+}
+
+// perPacket resolves the payload size in use.
+func (c ISWConfig) perPacket() int {
+	if c.FloatsPerPacket > 0 {
+		return c.FloatsPerPacket
+	}
+	return protocol.FloatsPerPacket
+}
+
+// ISWCluster is a cluster whose switches run the iSwitch extension:
+// either a star (single switch) or the rack-scale ToR/root hierarchy.
+type ISWCluster struct {
+	workers []*netsim.Host
+	// target[i] is the switch address worker i contributes to (its ToR
+	// in a hierarchy, the single switch in a star).
+	target []protocol.Addr
+	n      int
+	h      int
+	cfg    ISWConfig
+
+	// Exposed for experiments/tests.
+	StarSwitch *switchnet.ISwitch
+	Tree       *switchnet.TreeCluster
+	ThreeTier  *switchnet.ThreeTierCluster
+}
+
+// NewISWStar builds nWorkers workers under one iSwitch.
+func NewISWStar(k *sim.Kernel, nWorkers, modelFloats int, link netsim.LinkConfig, cfg ISWConfig) *ISWCluster {
+	sc := switchnet.BuildStar(k, nWorkers, link)
+	c := &ISWCluster{
+		workers: sc.Workers, n: modelFloats, h: nWorkers, cfg: cfg,
+		StarSwitch: sc.IS,
+	}
+	for range sc.Workers {
+		c.target = append(c.target, sc.IS.Addr())
+	}
+	return c
+}
+
+// NewISWTree builds the rack-scale hierarchy (§3.4): nRacks racks of
+// perRack workers, ToR switches aggregating locally (H = perRack) and a
+// root switch aggregating across racks (H = nRacks).
+func NewISWTree(k *sim.Kernel, nRacks, perRack, modelFloats int, edge, uplink netsim.LinkConfig, cfg ISWConfig) *ISWCluster {
+	tc := switchnet.BuildTree(k, nRacks, perRack, edge, uplink)
+	c := &ISWCluster{
+		workers: tc.Workers, n: modelFloats, h: nRacks * perRack, cfg: cfg,
+		Tree: tc,
+	}
+	for i := range tc.Workers {
+		c.target = append(c.target, tc.ToROf(i).Addr())
+	}
+	return c
+}
+
+// Workers exposes the worker hosts.
+func (c *ISWCluster) Workers() []*netsim.Host { return c.workers }
+
+// Client returns worker i's aggregation handle.
+func (c *ISWCluster) Client(i int) Service {
+	return &iswClient{cluster: c, host: c.workers[i], sw: c.target[i]}
+}
+
+// roundShift places the recovery-mode round tag in the Seg field's high
+// 16 bits, leaving 48 bits of segment index. Tagging keeps switch state
+// of adjacent rounds disjoint so retransmitted segments can never mix
+// iterations; rounds wrap mod 2^16 (any stale switch partial from 65536
+// rounds ago would be a lost-cause leak, not a correctness hazard,
+// because its contributors' dedup entries still block completion).
+const (
+	roundShift = 48
+	segMask    = (uint64(1) << roundShift) - 1
+)
+
+type iswClient struct {
+	cluster *ISWCluster
+	host    *netsim.Host
+	sw      protocol.Addr
+	asm     *protocol.Assembler
+
+	// Recovery-mode state: the current round number and the gradients
+	// of the current and previous rounds, retained so relayed Help
+	// requests for either round can be answered.
+	round    uint64
+	curGrad  []float32
+	prevGrad []float32
+}
+
+// roundTag returns the Seg-field tag for the current round (0 when
+// recovery mode is off, preserving plain segment numbering for the
+// asynchronous pipeline where worker rounds do not align).
+func (ic *iswClient) roundTag() uint64 {
+	if ic.cluster.cfg.RecoveryTimeout <= 0 {
+		return 0
+	}
+	return (ic.round % (1 << 16)) << roundShift
+}
+
+// Setup implements Service: Join the training job and wait for the Ack
+// (Table 2), retrying on timeout when loss recovery is armed.
+func (ic *iswClient) Setup(p *sim.Proc) {
+	join := func() {
+		ic.host.Send(protocol.NewControl(ic.host.Addr, ic.sw, protocol.ActionJoin,
+			protocol.JoinValue(uint64(ic.cluster.n))))
+	}
+	join()
+	for {
+		var pkt *protocol.Packet
+		if to := ic.cluster.cfg.RecoveryTimeout; to > 0 {
+			var ok bool
+			pkt, ok = ic.host.RecvTimeout(p, to)
+			if !ok {
+				join() // Join or its Ack was lost; retry (idempotent)
+				continue
+			}
+		} else {
+			pkt = ic.host.Recv(p)
+		}
+		if pkt.IsControl() && pkt.Action == protocol.ActionAck {
+			if len(pkt.Value) != 1 || pkt.Value[0] != 1 {
+				panic(fmt.Sprintf("core: worker %v join rejected", ic.host.Addr))
+			}
+			return
+		}
+	}
+}
+
+// H implements Service.
+func (ic *iswClient) H() int { return ic.cluster.h }
+
+// Aggregate implements Service: stream the gradient as tagged data
+// packets and reassemble the broadcast aggregate.
+func (ic *iswClient) Aggregate(p *sim.Proc, grad []float32) []float32 {
+	p.Sleep(ic.cluster.cfg.WorkerBase)
+	ic.SendGradient(grad)
+	return ic.CollectAggregate(p)
+}
+
+// SendGradient is the non-blocking upload half of Aggregate — the
+// asynchronous pipeline's LGC thread uses it alone (Algorithm 1's
+// "nonblocking send g_w to switch").
+func (ic *iswClient) SendGradient(grad []float32) {
+	if ic.cluster.cfg.RecoveryTimeout > 0 {
+		ic.round++
+		ic.prevGrad = ic.curGrad
+		ic.curGrad = append(ic.curGrad[:0:0], grad...) // copy: caller reuses grad
+	}
+	tag := ic.roundTag()
+	for _, pkt := range protocol.SegmentWith(ic.host.Addr, ic.sw, grad, ic.cluster.cfg.perPacket()) {
+		pkt.Seg |= tag
+		ic.host.Send(pkt)
+	}
+}
+
+// retransmit resends this worker's contribution for one (possibly
+// round-tagged) segment, if the matching round's gradient is retained.
+func (ic *iswClient) retransmit(taggedSeg uint64) {
+	var grad []float32
+	switch taggedSeg >> roundShift {
+	case (ic.round) % (1 << 16):
+		grad = ic.curGrad
+	case (ic.round - 1) % (1 << 16):
+		grad = ic.prevGrad
+	default:
+		return // too old to serve
+	}
+	if grad == nil {
+		return
+	}
+	seg := taggedSeg & segMask
+	lo, hi := protocol.SegmentRangeWith(ic.cluster.n, seg, ic.cluster.cfg.perPacket())
+	if lo >= hi {
+		return
+	}
+	ic.host.Send(protocol.NewData(ic.host.Addr, ic.sw, taggedSeg, grad[lo:hi]))
+}
+
+// CollectAggregate is the blocking download half of Aggregate — the
+// asynchronous pipeline's LWU thread uses it alone (Algorithm 1's "wait
+// until g_sum received").
+func (ic *iswClient) CollectAggregate(p *sim.Proc) []float32 {
+	if ic.asm == nil {
+		ic.asm = protocol.NewAssemblerWith(ic.cluster.n, ic.cluster.cfg.perPacket())
+	} else {
+		ic.asm.Reset()
+	}
+	tag := ic.roundTag()
+	for !ic.asm.Complete() {
+		var pkt *protocol.Packet
+		if to := ic.cluster.cfg.RecoveryTimeout; to > 0 {
+			var ok bool
+			pkt, ok = ic.host.RecvTimeout(p, to)
+			if !ok {
+				// Stalled: request recovery for every missing segment
+				// and retransmit our own contributions (the switch's
+				// dedup bitmap drops any that were not actually lost).
+				for _, seg := range ic.asm.Missing() {
+					ic.host.Send(protocol.NewControl(ic.host.Addr, ic.sw,
+						protocol.ActionHelp, protocol.HelpValue(seg|tag)))
+					ic.retransmit(seg | tag)
+				}
+				continue
+			}
+		} else {
+			pkt = ic.host.Recv(p)
+		}
+		switch {
+		case pkt.IsData():
+			if pkt.Seg>>roundShift != tag>>roundShift {
+				continue // stale re-broadcast from a completed round
+			}
+			if tag != 0 {
+				cp := *pkt
+				cp.Seg = pkt.Seg & segMask
+				pkt = &cp
+			}
+			if err := ic.asm.Add(pkt); err != nil {
+				continue
+			}
+		case pkt.IsControl() && pkt.Action == protocol.ActionHelp:
+			if seg, err := protocol.ParseHelp(pkt.Value); err == nil {
+				ic.retransmit(seg)
+			}
+		}
+	}
+	return append([]float32(nil), ic.asm.Vector()...)
+}

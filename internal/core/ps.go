@@ -1,0 +1,177 @@
+package core
+
+import (
+	"iswitch/internal/accel"
+	"iswitch/internal/netsim"
+	"iswitch/internal/perfmodel"
+	"iswitch/internal/protocol"
+	"iswitch/internal/sim"
+)
+
+// Parameter-server aggregation (Figure 1a): every worker ships its full
+// gradient to one central server host behind the switch; the server
+// sums them and ships the result back to every worker. Four network
+// hops per round, and the server's single link serializes N gradient
+// vectors in each direction — the central bottleneck the paper
+// measures.
+//
+// The reference PS design updates weights at the server and returns
+// them; returning the summed gradient instead is byte-identical on the
+// wire (weights and gradients have the same size) and mathematically
+// equivalent since every worker applies the same deterministic
+// optimizer step. Keeping the optimizer at the workers lets the PS,
+// AR, and iSwitch strategies share one Agent implementation.
+
+// PSConfig carries the software-stack costs of the PS reference design.
+type PSConfig struct {
+	// PerMessage is charged by the server for each whole-gradient
+	// message it receives or sends.
+	PerMessage sim.Time
+	// WorkerBase is charged by each worker per aggregation round.
+	WorkerBase sim.Time
+	// SumRate is the server's float32 element-additions per second.
+	SumRate float64
+	// CopyRate is the server's tensor-staging throughput in bytes/sec,
+	// charged on every whole-gradient message in either direction.
+	CopyRate float64
+	// Tensors is the framework-level tensor messages per gradient
+	// (DDPG's dual model ships two); PerMessage is paid per tensor.
+	Tensors int
+	// AsyncUpdateExtra is the additional server time per accepted update
+	// in the asynchronous variant (perfmodel.Workload.AsyncPSUpdateCost).
+	AsyncUpdateExtra sim.Time
+}
+
+// DefaultPSConfig mirrors the measured reference implementation.
+func DefaultPSConfig() PSConfig {
+	return PSConfig{
+		PerMessage: perfmodel.PSPerMessage,
+		WorkerBase: perfmodel.PSWorkerBase,
+		SumRate:    perfmodel.PSSumRate,
+		CopyRate:   perfmodel.PSCopyRate,
+		Tensors:    1,
+	}
+}
+
+// PSConfigFor adapts the default PS config to a paper workload.
+func PSConfigFor(w perfmodel.Workload) PSConfig {
+	cfg := DefaultPSConfig()
+	cfg.Tensors = w.Tensors()
+	cfg.AsyncUpdateExtra = w.AsyncPSUpdateCost
+	return cfg
+}
+
+// msgCost is the server's software cost for one whole-gradient message.
+func (c PSConfig) msgCost(floats int) sim.Time {
+	t := c.Tensors
+	if t < 1 {
+		t = 1
+	}
+	return sim.Time(t)*c.PerMessage + sim.Time(float64(floats*4)/c.CopyRate*1e9)
+}
+
+// PSCluster is a star network with an extra parameter-server host.
+type PSCluster struct {
+	Star    *netsim.Star
+	Server  *netsim.Host
+	workers []*netsim.Host
+	n       int
+	cfg     PSConfig
+}
+
+// PSServerAddr is the parameter server's address.
+func PSServerAddr() protocol.Addr { return protocol.AddrFrom(10, 0, 0, 10, 9990) }
+
+// NewPSCluster builds nWorkers workers plus a server on one plain
+// (non-programmable) switch. modelFloats is the gradient length.
+func NewPSCluster(k *sim.Kernel, nWorkers, modelFloats int, link netsim.LinkConfig, cfg PSConfig) *PSCluster {
+	star := netsim.BuildStar(k, nWorkers, link)
+	server := star.AttachHost(k, PSServerAddr(), link)
+	c := &PSCluster{Star: star, Server: server, workers: star.Hosts[:nWorkers], n: modelFloats, cfg: cfg}
+	c.startServer(k)
+	return c
+}
+
+// startServer spawns the synchronous aggregation server process.
+func (c *PSCluster) startServer(k *sim.Kernel) {
+	k.Spawn("ps-server", func(p *sim.Proc) {
+		asm := make(map[protocol.Addr]*protocol.Assembler)
+		for {
+			// Gather one full gradient vector from each worker.
+			var round []protocol.Addr
+			sum := make([]float32, c.n)
+			for len(round) < len(c.workers) {
+				pkt := c.Server.Recv(p)
+				if !pkt.IsData() {
+					continue
+				}
+				a := asm[pkt.Src]
+				if a == nil {
+					a = protocol.NewAssembler(c.n)
+					asm[pkt.Src] = a
+				}
+				if err := a.Add(pkt); err != nil {
+					continue
+				}
+				if a.Complete() {
+					p.Sleep(c.cfg.msgCost(c.n)) // framework receive cost
+					for i, v := range a.Vector() {
+						sum[i] += v
+					}
+					a.Reset()
+					round = append(round, pkt.Src)
+				}
+			}
+			// Deferred whole-vector summation happened above per arrival
+			// order; charge the vectorized add cost once per round.
+			p.Sleep(accel.SumLatency(c.n, len(round), c.cfg.SumRate))
+			// Reply to each worker of the round; the server NIC
+			// serializes these N vectors back-to-back.
+			for _, dst := range round {
+				p.Sleep(c.cfg.msgCost(c.n))
+				for _, pkt := range protocol.Segment(c.Server.Addr, dst, sum) {
+					c.Server.Send(pkt)
+				}
+			}
+		}
+	})
+}
+
+// Client returns worker i's aggregation handle.
+func (c *PSCluster) Client(i int) Service {
+	return &psClient{cluster: c, host: c.workers[i]}
+}
+
+type psClient struct {
+	cluster *PSCluster
+	host    *netsim.Host
+	asm     *protocol.Assembler
+}
+
+// Setup implements Service (the PS design has no handshake).
+func (pc *psClient) Setup(*sim.Proc) {}
+
+// H implements Service.
+func (pc *psClient) H() int { return len(pc.cluster.workers) }
+
+// Aggregate implements Service.
+func (pc *psClient) Aggregate(p *sim.Proc, grad []float32) []float32 {
+	p.Sleep(pc.cluster.cfg.WorkerBase)
+	for _, pkt := range protocol.Segment(pc.host.Addr, pc.cluster.Server.Addr, grad) {
+		pc.host.Send(pkt)
+	}
+	if pc.asm == nil {
+		pc.asm = protocol.NewAssembler(pc.cluster.n)
+	} else {
+		pc.asm.Reset()
+	}
+	for !pc.asm.Complete() {
+		pkt := pc.host.Recv(p)
+		if pkt.IsData() {
+			if err := pc.asm.Add(pkt); err != nil {
+				continue
+			}
+		}
+	}
+	return append([]float32(nil), pc.asm.Vector()...)
+}

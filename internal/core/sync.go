@@ -1,0 +1,67 @@
+package core
+
+import (
+	"fmt"
+
+	"iswitch/internal/rl"
+	"iswitch/internal/sim"
+)
+
+// SyncConfig parameterizes a synchronous distributed training run.
+type SyncConfig struct {
+	// Iterations is the number of training iterations to run.
+	Iterations int
+	// LocalCompute is the virtual time charged per iteration for local
+	// gradient computing (perfmodel calibration).
+	LocalCompute sim.Time
+	// WeightUpdate is the virtual time charged per optimizer step.
+	WeightUpdate sim.Time
+}
+
+// RunSync trains agents synchronously: every iteration each worker
+// computes a local gradient, blocks on the aggregation service, and
+// applies the averaged gradient — the global barrier is implicit in
+// the aggregation itself (a worker cannot receive the sum before every
+// worker contributed). agents[i] pairs with services[i].
+func RunSync(k *sim.Kernel, agents []rl.Agent, services []Service, cfg SyncConfig) *RunStats {
+	if len(agents) != len(services) || len(agents) == 0 {
+		panic("core: agents/services mismatch")
+	}
+	stats := &RunStats{Updates: int64(cfg.Iterations)}
+	for range agents {
+		stats.Workers = append(stats.Workers, &WorkerStats{})
+	}
+	start := sim.NewBarrier(k, len(agents))
+
+	for i := range agents {
+		agent, svc, ws := agents[i], services[i], stats.Workers[i]
+		k.Spawn(fmt.Sprintf("sync-worker-%d", i), func(p *sim.Proc) {
+			svc.Setup(p)
+			start.Wait(p) // all workers begin iteration 0 together
+			grad := make([]float32, agent.GradLen())
+			for it := 0; it < cfg.Iterations; it++ {
+				rec := IterRecord{Start: p.Now()}
+				agent.ComputeGradient(grad)
+				p.Sleep(cfg.LocalCompute)
+				rec.ComputeEnd = p.Now()
+
+				sum := svc.Aggregate(p, grad)
+				rec.AggEnd = p.Now()
+
+				p.Sleep(cfg.WeightUpdate)
+				agent.ApplyAggregated(sum, svc.H())
+				rec.UpdateEnd = p.Now()
+
+				ws.Iters = append(ws.Iters, rec)
+				for _, r := range agent.DrainEpisodes() {
+					ws.Rewards = append(ws.Rewards, RewardPoint{Time: p.Now(), Reward: r})
+				}
+				if rec.UpdateEnd > stats.Total {
+					stats.Total = rec.UpdateEnd
+				}
+			}
+		})
+	}
+	k.Run()
+	return stats
+}

@@ -1,0 +1,74 @@
+package core
+
+import (
+	"iswitch/internal/netsim"
+	"iswitch/internal/perfmodel"
+	"iswitch/internal/sim"
+	"iswitch/internal/switchnet"
+)
+
+// Rack-scale (two-level) variants of the three strategies for the
+// scalability experiments (Figure 15). Workers sit in racks of up to
+// perRack nodes under plain or iSwitch-enabled ToR switches; the PS
+// server hangs off the root switch; the AllReduce ring crosses rack
+// boundaries (paying the extra root hops the paper's hop-count analysis
+// predicts).
+
+// NewISWTreeN is NewISWTree for a worker count that may not fill its
+// last rack.
+func NewISWTreeN(k *sim.Kernel, totalWorkers, perRack, modelFloats int, edge, uplink netsim.LinkConfig, cfg ISWConfig) *ISWCluster {
+	tc := switchnet.BuildTreeN(k, totalWorkers, perRack, edge, uplink)
+	c := &ISWCluster{
+		workers: tc.Workers, n: modelFloats, h: len(tc.Workers), cfg: cfg,
+		Tree: tc,
+	}
+	for i := range tc.Workers {
+		c.target = append(c.target, tc.ToROf(i).Addr())
+	}
+	return c
+}
+
+// NewPSClusterTree builds a PS cluster over a two-level topology with
+// the server attached to the root switch.
+func NewPSClusterTree(k *sim.Kernel, totalWorkers, perRack, modelFloats int, edge, uplink netsim.LinkConfig, cfg PSConfig) *PSCluster {
+	tr := netsim.BuildRacksN(k, totalWorkers, perRack, edge, uplink)
+	server := tr.AttachRootHost(k, PSServerAddr(), uplink)
+	c := &PSCluster{Server: server, workers: tr.Hosts, n: modelFloats, cfg: cfg}
+	c.startServer(k)
+	return c
+}
+
+// NewAsyncPSClusterTree is NewPSClusterTree without the synchronous
+// server (RunAsyncPS provides its own).
+func NewAsyncPSClusterTree(k *sim.Kernel, totalWorkers, perRack, modelFloats int, edge, uplink netsim.LinkConfig, cfg PSConfig) *PSCluster {
+	tr := netsim.BuildRacksN(k, totalWorkers, perRack, edge, uplink)
+	server := tr.AttachRootHost(k, PSServerAddr(), uplink)
+	return &PSCluster{Server: server, workers: tr.Hosts, n: modelFloats, cfg: cfg}
+}
+
+// NewARClusterTree builds an AllReduce cluster over a two-level
+// topology; the ring follows worker index order, so rack boundaries
+// add root-switch crossings.
+func NewARClusterTree(k *sim.Kernel, totalWorkers, perRack, modelFloats int, edge, uplink netsim.LinkConfig, cfg ARConfig) *ARCluster {
+	tr := netsim.BuildRacksN(k, totalWorkers, perRack, edge, uplink)
+	return &ARCluster{workers: tr.Hosts, n: modelFloats, cfg: cfg}
+}
+
+// NewISWThreeTier builds an iSwitch cluster over the full three-tier
+// ToR→AGG→Core fabric of Figure 10.
+func NewISWThreeTier(k *sim.Kernel, nAGGs, torsPerAGG, hostsPerToR, modelFloats int, edge, aggLink, coreLink netsim.LinkConfig, cfg ISWConfig) *ISWCluster {
+	tc := switchnet.BuildThreeTier(k, nAGGs, torsPerAGG, hostsPerToR, edge, aggLink, coreLink)
+	c := &ISWCluster{
+		workers: tc.Workers, n: modelFloats, h: len(tc.Workers), cfg: cfg,
+		ThreeTier: tc,
+	}
+	for i := range tc.Workers {
+		c.target = append(c.target, tc.ToROf3(i).Addr())
+	}
+	return c
+}
+
+// ISWConfigFor adapts the default iSwitch config to a workload (kept
+// for symmetry with PSConfigFor/ARConfigFor; the raw-UDP client path
+// has no per-workload software costs).
+func ISWConfigFor(perfmodel.Workload) ISWConfig { return DefaultISWConfig() }

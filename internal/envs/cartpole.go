@@ -1,0 +1,91 @@
+package envs
+
+import (
+	"math"
+	"math/rand"
+)
+
+// CartPole is the classic pole-balancing control problem (Barto, Sutton
+// & Anderson 1983) with the standard Gym parameterization: push a cart
+// left or right to keep the pole upright. Reward is +1 per step; the
+// episode ends when the pole falls, the cart leaves the track, or the
+// step cap is reached.
+type CartPole struct {
+	rng   *rand.Rand
+	x     float64 // cart position
+	xDot  float64
+	theta float64 // pole angle
+	tDot  float64
+	steps int
+
+	// MaxSteps caps the episode (default 500).
+	MaxSteps int
+}
+
+const (
+	cpGravity      = 9.8
+	cpMassCart     = 1.0
+	cpMassPole     = 0.1
+	cpLength       = 0.5 // half pole length
+	cpForce        = 10.0
+	cpTau          = 0.02
+	cpThetaLimit   = 12 * math.Pi / 180
+	cpXLimit       = 2.4
+	cpDefaultSteps = 500
+)
+
+// NewCartPole creates a seeded CartPole.
+func NewCartPole(seed int64) *CartPole {
+	return &CartPole{rng: rand.New(rand.NewSource(seed)), MaxSteps: cpDefaultSteps}
+}
+
+// Name implements Env.
+func (c *CartPole) Name() string { return "CartPole" }
+
+// ObsDim implements Env.
+func (c *CartPole) ObsDim() int { return 4 }
+
+// NumActions implements Discrete (push left, push right).
+func (c *CartPole) NumActions() int { return 2 }
+
+// Reset implements Env.
+func (c *CartPole) Reset() []float32 {
+	c.x = uniform(c.rng, -0.05, 0.05)
+	c.xDot = uniform(c.rng, -0.05, 0.05)
+	c.theta = uniform(c.rng, -0.05, 0.05)
+	c.tDot = uniform(c.rng, -0.05, 0.05)
+	c.steps = 0
+	return c.obs()
+}
+
+func (c *CartPole) obs() []float32 {
+	return []float32{float32(c.x), float32(c.xDot), float32(c.theta), float32(c.tDot)}
+}
+
+// Step implements Discrete.
+func (c *CartPole) Step(a int) ([]float32, float64, bool) {
+	force := cpForce
+	if a == 0 {
+		force = -cpForce
+	}
+	cosT := math.Cos(c.theta)
+	sinT := math.Sin(c.theta)
+	totalMass := cpMassCart + cpMassPole
+	poleMassLength := cpMassPole * cpLength
+
+	temp := (force + poleMassLength*c.tDot*c.tDot*sinT) / totalMass
+	thetaAcc := (cpGravity*sinT - cosT*temp) /
+		(cpLength * (4.0/3.0 - cpMassPole*cosT*cosT/totalMass))
+	xAcc := temp - poleMassLength*thetaAcc*cosT/totalMass
+
+	c.x += cpTau * c.xDot
+	c.xDot += cpTau * xAcc
+	c.theta += cpTau * c.tDot
+	c.tDot += cpTau * thetaAcc
+	c.steps++
+
+	done := c.x < -cpXLimit || c.x > cpXLimit ||
+		c.theta < -cpThetaLimit || c.theta > cpThetaLimit ||
+		c.steps >= c.MaxSteps
+	return c.obs(), 1.0, done
+}

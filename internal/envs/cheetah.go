@@ -1,0 +1,81 @@
+package envs
+
+import (
+	"math"
+	"math/rand"
+)
+
+// PlanarCheetah is a two-actuator planar locomotion task — the stand-in
+// for the paper's MuJoCo HalfCheetah (DDPG workload). Two "legs"
+// oscillate at fixed phases; applying torque in phase with a leg's
+// swing accelerates the body forward, out-of-phase torque brakes it.
+// Reward is forward velocity minus a quadratic control cost, so the
+// agent must learn a coordinated gait rather than a constant action.
+type PlanarCheetah struct {
+	rng    *rand.Rand
+	phase1 float64
+	phase2 float64
+	vel    float64
+	steps  int
+
+	// MaxSteps is the fixed episode length (default 200).
+	MaxSteps int
+}
+
+const (
+	chOmega1   = 0.35 // leg 1 phase rate (rad/step)
+	chOmega2   = 0.55 // leg 2 phase rate
+	chFriction = 0.90
+	chGain     = 0.35
+	chCtrlCost = 0.05
+	chMaxVel   = 4.0
+)
+
+// NewPlanarCheetah creates a seeded PlanarCheetah.
+func NewPlanarCheetah(seed int64) *PlanarCheetah {
+	return &PlanarCheetah{rng: rand.New(rand.NewSource(seed)), MaxSteps: 200}
+}
+
+// Name implements Env.
+func (c *PlanarCheetah) Name() string { return "PlanarCheetah" }
+
+// ObsDim implements Env: sin/cos of each leg phase plus body velocity.
+func (c *PlanarCheetah) ObsDim() int { return 5 }
+
+// ActionDim implements Continuous: one torque per leg.
+func (c *PlanarCheetah) ActionDim() int { return 2 }
+
+// Bound implements Continuous.
+func (c *PlanarCheetah) Bound() float32 { return 1 }
+
+// Reset implements Env.
+func (c *PlanarCheetah) Reset() []float32 {
+	c.phase1 = uniform(c.rng, -math.Pi, math.Pi)
+	c.phase2 = uniform(c.rng, -math.Pi, math.Pi)
+	c.vel = 0
+	c.steps = 0
+	return c.obs()
+}
+
+func (c *PlanarCheetah) obs() []float32 {
+	return []float32{
+		float32(math.Sin(c.phase1)), float32(math.Cos(c.phase1)),
+		float32(math.Sin(c.phase2)), float32(math.Cos(c.phase2)),
+		float32(c.vel / chMaxVel),
+	}
+}
+
+// Step implements Continuous.
+func (c *PlanarCheetah) Step(a []float32) ([]float32, float64, bool) {
+	t1 := float64(clamp32(a[0], -1, 1))
+	t2 := float64(clamp32(a[1], -1, 1))
+
+	thrust := t1*math.Sin(c.phase1) + t2*math.Sin(c.phase2)
+	c.vel = clampf(chFriction*c.vel+chGain*thrust, -chMaxVel, chMaxVel)
+	c.phase1 += chOmega1
+	c.phase2 += chOmega2
+	c.steps++
+
+	reward := c.vel - chCtrlCost*(t1*t1+t2*t2)
+	return c.obs(), reward, c.steps >= c.MaxSteps
+}

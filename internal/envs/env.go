@@ -1,0 +1,71 @@
+// Package envs provides the reinforcement-learning environments the
+// training workloads interact with.
+//
+// The paper trains on Atari (DQN on Pong, A2C on Qbert) and MuJoCo
+// (PPO on Hopper, DDPG on HalfCheetah). Neither suite is available to a
+// pure-Go offline build, so this package supplies classic-control
+// stand-ins with the same interface contract and the same role in each
+// algorithm's evaluation: CartPole and GridPong for the discrete-action
+// algorithms, Pendulum and PlanarCheetah for the continuous-control
+// ones. DESIGN.md records the substitution; the timing layer separately
+// carries the paper's exact model sizes, so network behaviour is
+// unaffected by the swap.
+package envs
+
+import "math/rand"
+
+// Env is the common environment surface.
+type Env interface {
+	// Name identifies the environment.
+	Name() string
+	// ObsDim is the observation vector length.
+	ObsDim() int
+	// Reset starts a new episode and returns the initial observation.
+	Reset() []float32
+}
+
+// Discrete is an environment with a finite action set.
+type Discrete interface {
+	Env
+	// NumActions is the size of the action set.
+	NumActions() int
+	// Step applies action a. done reports episode termination.
+	Step(a int) (obs []float32, reward float64, done bool)
+}
+
+// Continuous is an environment with a box action space in
+// [-Bound, +Bound]^ActionDim.
+type Continuous interface {
+	Env
+	// ActionDim is the action vector length.
+	ActionDim() int
+	// Bound is the symmetric per-dimension action limit.
+	Bound() float32
+	// Step applies action a (clamped to bounds by the env).
+	Step(a []float32) (obs []float32, reward float64, done bool)
+}
+
+func clampf(x, lo, hi float64) float64 {
+	if x < lo {
+		return lo
+	}
+	if x > hi {
+		return hi
+	}
+	return x
+}
+
+func clamp32(x, lo, hi float32) float32 {
+	if x < lo {
+		return lo
+	}
+	if x > hi {
+		return hi
+	}
+	return x
+}
+
+// uniform returns a sample in [lo, hi).
+func uniform(rng *rand.Rand, lo, hi float64) float64 {
+	return lo + rng.Float64()*(hi-lo)
+}

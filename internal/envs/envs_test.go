@@ -1,0 +1,232 @@
+package envs
+
+import (
+	"math"
+	"testing"
+)
+
+// contractDiscrete exercises the generic Env contract for discrete envs.
+func contractDiscrete(t *testing.T, e Discrete) {
+	t.Helper()
+	obs := e.Reset()
+	if len(obs) != e.ObsDim() {
+		t.Fatalf("%s: reset obs len %d, want %d", e.Name(), len(obs), e.ObsDim())
+	}
+	if e.NumActions() < 2 {
+		t.Fatalf("%s: %d actions", e.Name(), e.NumActions())
+	}
+	steps := 0
+	for a, done := 0, false; !done && steps < 100000; steps++ {
+		var o []float32
+		o, _, done = e.Step(a % e.NumActions())
+		if len(o) != e.ObsDim() {
+			t.Fatalf("%s: step obs len %d", e.Name(), len(o))
+		}
+		for _, x := range o {
+			if math.IsNaN(float64(x)) || math.IsInf(float64(x), 0) {
+				t.Fatalf("%s: non-finite obs %v", e.Name(), o)
+			}
+		}
+		a++
+	}
+	if steps >= 100000 {
+		t.Fatalf("%s: episode never terminated", e.Name())
+	}
+}
+
+func contractContinuous(t *testing.T, e Continuous) {
+	t.Helper()
+	obs := e.Reset()
+	if len(obs) != e.ObsDim() {
+		t.Fatalf("%s: reset obs len %d, want %d", e.Name(), len(obs), e.ObsDim())
+	}
+	if e.ActionDim() < 1 || e.Bound() <= 0 {
+		t.Fatalf("%s: bad action space", e.Name())
+	}
+	a := make([]float32, e.ActionDim())
+	steps := 0
+	for done := false; !done && steps < 100000; steps++ {
+		for i := range a {
+			a[i] = e.Bound() * float32(1-2*(steps%2))
+		}
+		var o []float32
+		o, _, done = e.Step(a)
+		for _, x := range o {
+			if math.IsNaN(float64(x)) || math.IsInf(float64(x), 0) {
+				t.Fatalf("%s: non-finite obs %v", e.Name(), o)
+			}
+		}
+	}
+	if steps >= 100000 {
+		t.Fatalf("%s: episode never terminated", e.Name())
+	}
+}
+
+func TestCartPoleContract(t *testing.T)      { contractDiscrete(t, NewCartPole(1)) }
+func TestGridPongContract(t *testing.T)      { contractDiscrete(t, NewGridPong(1)) }
+func TestPendulumContract(t *testing.T)      { contractContinuous(t, NewPendulum(1)) }
+func TestPlanarCheetahContract(t *testing.T) { contractContinuous(t, NewPlanarCheetah(1)) }
+
+func TestCartPoleFallsWithoutControl(t *testing.T) {
+	e := NewCartPole(3)
+	e.Reset()
+	steps := 0
+	for done := false; !done; steps++ {
+		_, _, done = e.Step(1) // constant push must destabilize
+	}
+	if steps >= e.MaxSteps {
+		t.Fatalf("constant action survived %d steps", steps)
+	}
+}
+
+func TestCartPoleRewardIsPerStep(t *testing.T) {
+	e := NewCartPole(4)
+	e.Reset()
+	_, r, _ := e.Step(0)
+	if r != 1 {
+		t.Fatalf("reward = %v, want 1", r)
+	}
+}
+
+func TestGridPongMissEndsEpisode(t *testing.T) {
+	e := NewGridPong(5)
+	e.Reset()
+	// Always move left: eventually the paddle misses.
+	total := 0.0
+	done := false
+	for steps := 0; !done && steps < e.MaxSteps+1; steps++ {
+		var r float64
+		_, r, done = e.Step(0)
+		total += r
+	}
+	if !done {
+		t.Fatal("episode did not end")
+	}
+	if total > float64(e.MaxRallies) {
+		t.Fatalf("score %v exceeds rally cap", total)
+	}
+}
+
+func TestGridPongPerfectPaddleScores(t *testing.T) {
+	e := NewGridPong(6)
+	obs := e.Reset()
+	total := 0.0
+	done := false
+	for steps := 0; !done && steps < e.MaxSteps+1; steps++ {
+		// Follow the ball: obs[0] is ball x, obs[4] paddle x (both scaled).
+		a := 1
+		if obs[0] < obs[4] {
+			a = 0
+		} else if obs[0] > obs[4] {
+			a = 2
+		}
+		var r float64
+		obs, r, done = e.Step(a)
+		total += r
+	}
+	if total < float64(e.MaxRallies) {
+		t.Fatalf("ball-following paddle scored %v, want %d", total, e.MaxRallies)
+	}
+}
+
+func TestPendulumRewardNonPositive(t *testing.T) {
+	e := NewPendulum(7)
+	e.Reset()
+	for i := 0; i < e.MaxSteps; i++ {
+		_, r, _ := e.Step([]float32{0})
+		if r > 0 {
+			t.Fatalf("reward %v > 0", r)
+		}
+	}
+}
+
+func TestPendulumEpisodeLength(t *testing.T) {
+	e := NewPendulum(8)
+	e.Reset()
+	steps := 0
+	for done := false; !done; steps++ {
+		_, _, done = e.Step([]float32{1})
+	}
+	if steps != e.MaxSteps {
+		t.Fatalf("episode length %d, want %d", steps, e.MaxSteps)
+	}
+}
+
+func TestPendulumTorqueClamped(t *testing.T) {
+	a := NewPendulum(9)
+	b := NewPendulum(9)
+	a.Reset()
+	b.Reset()
+	for i := 0; i < 10; i++ {
+		oa, ra, _ := a.Step([]float32{100}) // must behave as +2
+		ob, rb, _ := b.Step([]float32{pdMaxTorque})
+		if ra != rb {
+			t.Fatalf("step %d: rewards differ %v vs %v", i, ra, rb)
+		}
+		for j := range oa {
+			if oa[j] != ob[j] {
+				t.Fatalf("step %d: obs differ", i)
+			}
+		}
+	}
+}
+
+func TestCheetahInPhaseTorqueMovesForward(t *testing.T) {
+	e := NewPlanarCheetah(10)
+	obs := e.Reset()
+	total := 0.0
+	for i := 0; i < e.MaxSteps; i++ {
+		// Push each leg in the direction of its swing (obs carries
+		// sin(phase) directly) — the intended gait.
+		a := []float32{sign(obs[0]), sign(obs[2])}
+		var r float64
+		obs, r, _ = e.Step(a)
+		total += r
+	}
+	if total < 100 {
+		t.Fatalf("gait policy return %v, want strong forward progress", total)
+	}
+	// A zero policy must do strictly worse.
+	e2 := NewPlanarCheetah(10)
+	e2.Reset()
+	zero := 0.0
+	for i := 0; i < e2.MaxSteps; i++ {
+		_, r, _ := e2.Step([]float32{0, 0})
+		zero += r
+	}
+	if zero >= total {
+		t.Fatalf("zero policy (%v) beat gait policy (%v)", zero, total)
+	}
+}
+
+func TestEnvsDeterministicGivenSeed(t *testing.T) {
+	a, b := NewCartPole(11), NewCartPole(11)
+	oa, ob := a.Reset(), b.Reset()
+	for i := range oa {
+		if oa[i] != ob[i] {
+			t.Fatal("same-seed resets differ")
+		}
+	}
+	for i := 0; i < 50; i++ {
+		xa, ra, da := a.Step(i % 2)
+		xb, rb, db := b.Step(i % 2)
+		if ra != rb || da != db {
+			t.Fatal("same-seed trajectories diverge")
+		}
+		for j := range xa {
+			if xa[j] != xb[j] {
+				t.Fatal("same-seed observations diverge")
+			}
+		}
+		if da {
+			break
+		}
+	}
+}
+
+func sign(x float32) float32 {
+	if x >= 0 {
+		return 1
+	}
+	return -1
+}

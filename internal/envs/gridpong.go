@@ -1,0 +1,119 @@
+package envs
+
+import "math/rand"
+
+// GridPong is a small deterministic Pong on a W×H grid — the stand-in
+// for the paper's Atari Pong/Qbert workloads. A ball bounces around the
+// grid; the agent slides a paddle along the bottom edge. Returning the
+// ball earns +1; missing it costs −1 and ends the episode. Episodes
+// also end after MaxSteps or MaxRallies returns, so reward is bounded
+// like an Atari game score.
+type GridPong struct {
+	rng    *rand.Rand
+	w, h   int
+	ballX  int
+	ballY  int
+	velX   int
+	velY   int
+	paddle int
+	steps  int
+	rally  int
+
+	// MaxSteps caps episode length; MaxRallies caps the score.
+	MaxSteps, MaxRallies int
+	// PaddleWidth is the paddle extent in cells.
+	PaddleWidth int
+}
+
+// NewGridPong creates a seeded GridPong on a 12×12 grid.
+func NewGridPong(seed int64) *GridPong {
+	return &GridPong{
+		rng: rand.New(rand.NewSource(seed)), w: 12, h: 12,
+		MaxSteps: 400, MaxRallies: 10, PaddleWidth: 3,
+	}
+}
+
+// Name implements Env.
+func (g *GridPong) Name() string { return "GridPong" }
+
+// ObsDim implements Env: ball x/y, velocity x/y, paddle x.
+func (g *GridPong) ObsDim() int { return 5 }
+
+// NumActions implements Discrete: left, stay, right.
+func (g *GridPong) NumActions() int { return 3 }
+
+// Reset implements Env.
+func (g *GridPong) Reset() []float32 {
+	g.ballX = g.rng.Intn(g.w)
+	g.ballY = g.h / 2
+	g.velX = 1 - 2*g.rng.Intn(2)
+	g.velY = 1
+	g.paddle = g.w / 2
+	g.steps = 0
+	g.rally = 0
+	return g.obs()
+}
+
+func (g *GridPong) obs() []float32 {
+	return []float32{
+		float32(g.ballX)/float32(g.w-1)*2 - 1,
+		float32(g.ballY)/float32(g.h-1)*2 - 1,
+		float32(g.velX),
+		float32(g.velY),
+		float32(g.paddle)/float32(g.w-1)*2 - 1,
+	}
+}
+
+// Step implements Discrete.
+func (g *GridPong) Step(a int) ([]float32, float64, bool) {
+	switch a {
+	case 0:
+		if g.paddle > 0 {
+			g.paddle--
+		}
+	case 2:
+		if g.paddle < g.w-1 {
+			g.paddle++
+		}
+	}
+	g.ballX += g.velX
+	g.ballY += g.velY
+	if g.ballX <= 0 || g.ballX >= g.w-1 {
+		g.velX = -g.velX
+		g.ballX = clampInt(g.ballX, 0, g.w-1)
+	}
+	if g.ballY <= 0 {
+		g.velY = -g.velY
+		g.ballY = 0
+	}
+	g.steps++
+
+	var reward float64
+	done := false
+	if g.ballY >= g.h-1 {
+		half := g.PaddleWidth / 2
+		if g.ballX >= g.paddle-half && g.ballX <= g.paddle+half {
+			reward = 1
+			g.rally++
+			g.velY = -1
+			g.ballY = g.h - 2
+		} else {
+			reward = -1
+			done = true
+		}
+	}
+	if g.steps >= g.MaxSteps || g.rally >= g.MaxRallies {
+		done = true
+	}
+	return g.obs(), reward, done
+}
+
+func clampInt(x, lo, hi int) int {
+	if x < lo {
+		return lo
+	}
+	if x > hi {
+		return hi
+	}
+	return x
+}

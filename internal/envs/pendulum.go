@@ -1,0 +1,97 @@
+package envs
+
+import (
+	"math"
+	"math/rand"
+)
+
+// Pendulum is the classic underactuated swing-up problem with the Gym
+// parameterization — the stand-in for the paper's MuJoCo Hopper (PPO
+// workload). The agent applies a bounded torque to swing a pendulum
+// upright and hold it there; reward penalizes angle error, angular
+// velocity, and control effort, so it is always ≤ 0.
+type Pendulum struct {
+	rng   *rand.Rand
+	theta float64
+	tDot  float64
+	steps int
+
+	// MaxSteps is the fixed episode length (default 200).
+	MaxSteps int
+	// SwingUp, when true, starts episodes at a uniform random angle
+	// (the full Gym problem). The default false starts near upright, a
+	// stabilization task like the paper's Hopper: the policy must learn
+	// active balancing but not the exploration-heavy energy pumping.
+	SwingUp bool
+}
+
+const (
+	pdMaxTorque = 2.0
+	pdMaxSpeed  = 8.0
+	pdDT        = 0.05
+	pdG         = 10.0
+	pdM         = 1.0
+	pdL         = 1.0
+)
+
+// NewPendulum creates a seeded Pendulum.
+func NewPendulum(seed int64) *Pendulum {
+	return &Pendulum{rng: rand.New(rand.NewSource(seed)), MaxSteps: 200}
+}
+
+// Name implements Env.
+func (p *Pendulum) Name() string { return "Pendulum" }
+
+// ObsDim implements Env: cosθ, sinθ, θ̇.
+func (p *Pendulum) ObsDim() int { return 3 }
+
+// ActionDim implements Continuous.
+func (p *Pendulum) ActionDim() int { return 1 }
+
+// Bound implements Continuous.
+func (p *Pendulum) Bound() float32 { return pdMaxTorque }
+
+// Reset implements Env.
+func (p *Pendulum) Reset() []float32 {
+	if p.SwingUp {
+		p.theta = uniform(p.rng, -math.Pi, math.Pi)
+		p.tDot = uniform(p.rng, -1, 1)
+	} else {
+		p.theta = uniform(p.rng, -0.8, 0.8)
+		p.tDot = uniform(p.rng, -0.5, 0.5)
+	}
+	p.steps = 0
+	return p.obs()
+}
+
+func (p *Pendulum) obs() []float32 {
+	return []float32{
+		float32(math.Cos(p.theta)),
+		float32(math.Sin(p.theta)),
+		float32(p.tDot / pdMaxSpeed),
+	}
+}
+
+// Step implements Continuous.
+func (p *Pendulum) Step(a []float32) ([]float32, float64, bool) {
+	u := clampf(float64(a[0]), -pdMaxTorque, pdMaxTorque)
+	angle := angleNorm(p.theta)
+	cost := angle*angle + 0.1*p.tDot*p.tDot + 0.001*u*u
+
+	p.tDot += (-3*pdG/(2*pdL)*math.Sin(p.theta+math.Pi) +
+		3.0/(pdM*pdL*pdL)*u) * pdDT
+	p.tDot = clampf(p.tDot, -pdMaxSpeed, pdMaxSpeed)
+	p.theta += p.tDot * pdDT
+	p.steps++
+
+	return p.obs(), -cost, p.steps >= p.MaxSteps
+}
+
+// angleNorm wraps an angle into [−π, π).
+func angleNorm(x float64) float64 {
+	x = math.Mod(x+math.Pi, 2*math.Pi)
+	if x < 0 {
+		x += 2 * math.Pi
+	}
+	return x - math.Pi
+}

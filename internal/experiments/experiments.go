@@ -1,0 +1,145 @@
+// Package experiments regenerates every table and figure of the
+// paper's evaluation (§5–6). Each generator returns a Result whose text
+// has the same rows/series the paper reports, produced by running the
+// packet-level simulation (timing), the real RL stack (convergence), or
+// both. DESIGN.md §4 maps each experiment to the modules involved.
+package experiments
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"iswitch/internal/core"
+	"iswitch/internal/netsim"
+	"iswitch/internal/perfmodel"
+	"iswitch/internal/rl"
+	"iswitch/internal/sim"
+)
+
+// Result is one regenerated table or figure.
+type Result struct {
+	// ID is the experiment identifier (e.g. "table4", "figure12").
+	ID string
+	// Title matches the paper's caption.
+	Title string
+	// Text is the formatted reproduction output.
+	Text string
+}
+
+// String renders the result with a header.
+func (r Result) String() string {
+	return fmt.Sprintf("=== %s: %s ===\n%s", strings.ToUpper(r.ID), r.Title, r.Text)
+}
+
+// Strategy names used across experiments.
+const (
+	StratPS  = "PS"
+	StratAR  = "AR"
+	StratISW = "iSW"
+)
+
+// SyncStrategies lists the synchronous comparison set in paper order.
+func SyncStrategies() []string { return []string{StratPS, StratAR, StratISW} }
+
+// ms formats a duration in milliseconds.
+func ms(d time.Duration) string { return fmt.Sprintf("%.2f", float64(d)/1e6) }
+
+// hours converts an iteration count × per-iteration time to hours.
+func hours(iters int64, perIter time.Duration) float64 {
+	return float64(iters) * perIter.Seconds() / 3600
+}
+
+// simSync runs a synchronous timing simulation: nWorkers synthetic
+// agents carrying workload w's exact model size, under the given
+// strategy, measuring per-iteration time. perRack <= 0 selects the flat
+// single-switch testbed; otherwise the two-level rack topology.
+func simSync(w perfmodel.Workload, strategy string, nWorkers, perRack, iters int) *core.RunStats {
+	k := sim.NewKernel()
+	edge := netsim.TenGbE()
+	uplink := netsim.FortyGbE()
+	agents := make([]rl.Agent, nWorkers)
+	services := make([]core.Service, nWorkers)
+
+	newAgent := func() rl.Agent { return core.NewSyntheticAgent(w.Floats()) }
+	switch {
+	case strategy == StratPS && perRack <= 0:
+		c := core.NewPSCluster(k, nWorkers, w.Floats(), edge, core.PSConfigFor(w))
+		for i := range agents {
+			agents[i], services[i] = newAgent(), c.Client(i)
+		}
+	case strategy == StratPS:
+		c := core.NewPSClusterTree(k, nWorkers, perRack, w.Floats(), edge, uplink, core.PSConfigFor(w))
+		for i := range agents {
+			agents[i], services[i] = newAgent(), c.Client(i)
+		}
+	case strategy == StratAR && perRack <= 0:
+		c := core.NewARCluster(k, nWorkers, w.Floats(), edge, core.ARConfigFor(w))
+		for i := range agents {
+			agents[i], services[i] = newAgent(), c.Client(i)
+		}
+	case strategy == StratAR:
+		c := core.NewARClusterTree(k, nWorkers, perRack, w.Floats(), edge, uplink, core.ARConfigFor(w))
+		for i := range agents {
+			agents[i], services[i] = newAgent(), c.Client(i)
+		}
+	case strategy == StratISW && perRack <= 0:
+		c := core.NewISWStar(k, nWorkers, w.Floats(), edge, core.ISWConfigFor(w))
+		for i := range agents {
+			agents[i], services[i] = newAgent(), c.Client(i)
+		}
+	case strategy == StratISW:
+		c := core.NewISWTreeN(k, nWorkers, perRack, w.Floats(), edge, uplink, core.ISWConfigFor(w))
+		for i := range agents {
+			agents[i], services[i] = newAgent(), c.Client(i)
+		}
+	default:
+		panic("experiments: unknown strategy " + strategy)
+	}
+	return core.RunSync(k, agents, services, core.SyncConfig{
+		Iterations:   iters,
+		LocalCompute: w.LocalCompute,
+		WeightUpdate: w.WeightUpdate,
+	})
+}
+
+// simAsync runs an asynchronous timing simulation and returns the
+// stats; strategy is PS or iSW. updates is the number of weight
+// updates to simulate.
+func simAsync(w perfmodel.Workload, strategy string, nWorkers, perRack int, updates int64, staleness int64) *core.AsyncStats {
+	k := sim.NewKernel()
+	edge := netsim.TenGbE()
+	uplink := netsim.FortyGbE()
+	cfg := core.AsyncConfig{
+		Updates: updates, StalenessBound: staleness,
+		LocalCompute: w.LocalCompute, WeightUpdate: w.WeightUpdate,
+	}
+	agents := make([]rl.Agent, nWorkers)
+	for i := range agents {
+		agents[i] = core.NewSyntheticAgent(w.Floats())
+	}
+	switch strategy {
+	case StratPS:
+		var c *core.PSCluster
+		if perRack <= 0 {
+			c = core.NewAsyncPSCluster(k, nWorkers, w.Floats(), edge, core.PSConfigFor(w))
+		} else {
+			c = core.NewAsyncPSClusterTree(k, nWorkers, perRack, w.Floats(), edge, uplink, core.PSConfigFor(w))
+		}
+		return core.RunAsyncPS(k, agents, core.NewSyntheticAgent(w.Floats()), c, cfg)
+	case StratISW:
+		var c *core.ISWCluster
+		if perRack <= 0 {
+			c = core.NewISWStar(k, nWorkers, w.Floats(), edge, core.ISWConfigFor(w))
+		} else {
+			c = core.NewISWTreeN(k, nWorkers, perRack, w.Floats(), edge, uplink, core.ISWConfigFor(w))
+		}
+		return core.RunAsyncISW(k, agents, c, cfg)
+	}
+	panic("experiments: unknown async strategy " + strategy)
+}
+
+// asyncPerIter extracts the per-iteration (inter-update) time from an
+// async run: the PS server's update interval, or the mean across
+// workers' LWU threads for iSwitch.
+func asyncPerIter(s *core.AsyncStats) time.Duration { return s.MeanIter() }

@@ -1,0 +1,280 @@
+package experiments
+
+import (
+	"regexp"
+	"strconv"
+	"strings"
+	"testing"
+)
+
+func TestTable1ContainsPaperNumbers(t *testing.T) {
+	text := Table1().Text
+	for _, want := range []string{"6.41 MB", "3.31 MB", "40.02 KB", "157.52 KB",
+		"200.00M", "2.00M", "0.15M", "2.50M"} {
+		if !strings.Contains(text, want) {
+			t.Errorf("table1 missing %q:\n%s", want, text)
+		}
+	}
+}
+
+func TestTable2ListsAllActions(t *testing.T) {
+	text := Table2().Text
+	for _, a := range []string{"Join", "Leave", "Reset", "SetH", "FBcast", "Help", "Halt", "Ack"} {
+		if !strings.Contains(text, a) {
+			t.Errorf("table2 missing %s", a)
+		}
+	}
+}
+
+func TestFigure5ShowsFormats(t *testing.T) {
+	text := Figure5().Text
+	if !strings.Contains(text, "Seg[8]") || !strings.Contains(text, "Action[1]") {
+		t.Fatalf("figure5 malformed:\n%s", text)
+	}
+	if !strings.Contains(text, "366 float32") {
+		t.Fatalf("figure5 missing packet capacity:\n%s", text)
+	}
+}
+
+func TestFigure7DatapathNumbers(t *testing.T) {
+	text := Figure7().Text
+	if !strings.Contains(text, "256 bits/cycle (8 float32 adders") {
+		t.Fatalf("figure7 wrong datapath:\n%s", text)
+	}
+	if !strings.Contains(text, "200 MHz") {
+		t.Fatalf("figure7 wrong clock:\n%s", text)
+	}
+}
+
+func TestFigure4AggregationDominates(t *testing.T) {
+	text := Figure4().Text
+	re := regexp.MustCompile(`aggregation share: ([0-9.]+)% – ([0-9.]+)%`)
+	m := re.FindStringSubmatch(text)
+	if m == nil {
+		t.Fatalf("figure4 missing share summary:\n%s", text)
+	}
+	lo, _ := strconv.ParseFloat(m[1], 64)
+	hi, _ := strconv.ParseFloat(m[2], 64)
+	// The paper reports 49.9–83.2%; require the same regime.
+	if lo < 30 || hi > 95 || hi < 60 {
+		t.Fatalf("aggregation share %v–%v%% out of the paper's regime", lo, hi)
+	}
+}
+
+func TestFigure8OnTheFlyWins(t *testing.T) {
+	text := Figure8().Text
+	if !strings.Contains(text, "x") {
+		t.Fatalf("figure8 missing saving column:\n%s", text)
+	}
+	// Every row's saving factor must exceed 1 (on-the-fly is faster).
+	re := regexp.MustCompile(`([0-9.]+)x`)
+	for _, m := range re.FindAllStringSubmatch(text, -1) {
+		f, _ := strconv.ParseFloat(m[1], 64)
+		if f <= 1 {
+			t.Fatalf("on-the-fly saving %v <= 1:\n%s", f, text)
+		}
+	}
+}
+
+// Table 3 is the headline claim: verify the directions.
+func TestTable3SpeedupDirections(t *testing.T) {
+	text := Table3().Text
+	lines := strings.Split(text, "\n")
+	get := func(prefix string) []float64 {
+		for _, l := range lines {
+			if strings.HasPrefix(l, prefix) {
+				fs := strings.Fields(l)
+				var out []float64
+				for _, f := range fs[len(fs)-4:] {
+					v, err := strconv.ParseFloat(f, 64)
+					if err != nil {
+						t.Fatalf("bad speedup %q in %q", f, l)
+					}
+					out = append(out, v)
+				}
+				return out
+			}
+		}
+		t.Fatalf("row %q missing:\n%s", prefix, text)
+		return nil
+	}
+	syncAR := get("Sync  AR")
+	syncISW := get("Sync  iSW")
+	asyncISW := get("Async iSW")
+
+	// iSwitch beats the PS baseline everywhere, by a healthy factor on
+	// the big models.
+	for i, v := range syncISW {
+		if v <= 1.2 {
+			t.Errorf("sync iSW speedup[%d] = %v, want > 1.2", i, v)
+		}
+	}
+	if syncISW[0] < 2.5 { // DQN
+		t.Errorf("sync iSW DQN speedup %v, paper 3.66", syncISW[0])
+	}
+	// AllReduce helps the large models (DQN, A2C)...
+	if syncAR[0] <= 1 || syncAR[1] <= 1 {
+		t.Errorf("sync AR should beat PS on large models: %v", syncAR)
+	}
+	// ...but not the small ones (PPO, DDPG) — the crossover.
+	if syncAR[2] >= 1 || syncAR[3] >= 1 {
+		t.Errorf("sync AR should lose to PS on small models: %v", syncAR)
+	}
+	// Async iSwitch wins end-to-end on every benchmark.
+	for i, v := range asyncISW {
+		if v <= 1 {
+			t.Errorf("async iSW speedup[%d] = %v, want > 1", i, v)
+		}
+	}
+}
+
+func TestFigure12NormalizedAgainstPS(t *testing.T) {
+	text := Figure12().Text
+	if !strings.Contains(text, "PS   norm 1.00") {
+		t.Fatalf("figure12 PS not normalized to 1:\n%s", text)
+	}
+	for _, bench := range []string{"DQN", "A2C", "PPO", "DDPG"} {
+		if !strings.Contains(text, bench+":") {
+			t.Fatalf("figure12 missing %s", bench)
+		}
+	}
+}
+
+func TestTable5StalenessDirection(t *testing.T) {
+	rows := asyncRows()
+	for _, r := range rows {
+		if r.Staleness[StratISW] > r.Staleness[StratPS]+0.5 {
+			t.Errorf("%s: iSW staleness %v should not exceed PS %v",
+				r.Workload.Name, r.Staleness[StratISW], r.Staleness[StratPS])
+		}
+	}
+}
+
+func TestFigure15Shapes(t *testing.T) {
+	text := Figure15().Text
+	// Parse the last column (12 nodes) of each strategy row per section.
+	re := regexp.MustCompile(`(?m)^\s+(PS|AR|iSW)\s+([0-9. ]+)$`)
+	section := 0
+	for _, m := range re.FindAllStringSubmatch(text, -1) {
+		fields := strings.Fields(m[2])
+		last, _ := strconv.ParseFloat(fields[len(fields)-1], 64)
+		first, _ := strconv.ParseFloat(fields[0], 64)
+		if first != 1.00 {
+			t.Errorf("section %d %s: 4-node speedup %v != 1", section, m[1], first)
+		}
+		if m[1] == "iSW" && last < 1.8 {
+			t.Errorf("iSW 12-node speedup %v too low (near-linear expected):\n%s", last, text)
+		}
+		if m[1] == "AR" && last > 2.5 {
+			t.Errorf("AR 12-node speedup %v should degrade:\n%s", last, text)
+		}
+	}
+	if !strings.Contains(text, "Ideal") {
+		t.Fatalf("figure15 missing ideal line")
+	}
+}
+
+func TestAblationStaleness(t *testing.T) {
+	text := AblationStaleness().Text
+	if !strings.Contains(text, "S=3 is the paper's setting") {
+		t.Fatalf("staleness ablation malformed:\n%s", text)
+	}
+}
+
+func TestAblationH(t *testing.T) {
+	text := AblationH().Text
+	for _, h := range []string{"1 ", "2 ", "4 "} {
+		if !strings.Contains(text, "\n"+h) {
+			t.Fatalf("H ablation missing row %q:\n%s", h, text)
+		}
+	}
+}
+
+func TestAblationHierarchical(t *testing.T) {
+	text := AblationHierarchical().Text
+	for _, want := range []string{"flat single iSwitch", "two-level", "three-tier"} {
+		if !strings.Contains(text, want) {
+			t.Fatalf("hierarchical ablation missing %q:\n%s", want, text)
+		}
+	}
+}
+
+func TestAblationMTUMonotone(t *testing.T) {
+	text := AblationMTU().Text
+	re := regexp.MustCompile(`(?m)^(\d+)\s+([0-9.]+)`)
+	var aggs []float64
+	for _, m := range re.FindAllStringSubmatch(text, -1) {
+		v, _ := strconv.ParseFloat(m[2], 64)
+		aggs = append(aggs, v)
+	}
+	if len(aggs) != 4 {
+		t.Fatalf("MTU ablation rows = %d:\n%s", len(aggs), text)
+	}
+	// Full MTU (first row) must be fastest.
+	for _, v := range aggs[1:] {
+		if v < aggs[0] {
+			t.Fatalf("smaller packets were faster (%v < %v):\n%s", v, aggs[0], text)
+		}
+	}
+}
+
+func TestAblationFP16(t *testing.T) {
+	text := AblationFP16().Text
+	if !strings.Contains(text, "relative error") {
+		t.Fatalf("fp16 ablation missing fidelity result:\n%s", text)
+	}
+	// The DQN (largest-model) row must show a saving above 1.5x, the
+	// PPO (smallest) row little benefit.
+	re := regexp.MustCompile(`(?m)^(DQN|PPO)\s+\S+\s+\S+\s+([0-9.]+)x`)
+	found := map[string]float64{}
+	for _, m := range re.FindAllStringSubmatch(text, -1) {
+		v, _ := strconv.ParseFloat(m[2], 64)
+		found[m[1]] = v
+	}
+	if found["DQN"] < 1.5 {
+		t.Errorf("DQN fp16 saving %v, want > 1.5x:\n%s", found["DQN"], text)
+	}
+	if found["PPO"] > 1.3 {
+		t.Errorf("PPO fp16 saving %v should be marginal:\n%s", found["PPO"], text)
+	}
+}
+
+func TestRegistryComplete(t *testing.T) {
+	specs := Specs(QuickCurveOpts())
+	want := []string{"table1", "table2", "table3", "table4", "table5",
+		"figure4", "figure5", "figure7", "figure8", "figure12",
+		"figure13", "figure14", "figure15"}
+	have := map[string]bool{}
+	for _, s := range specs {
+		have[s.ID] = true
+		if s.Run == nil || s.Title == "" {
+			t.Errorf("spec %s incomplete", s.ID)
+		}
+	}
+	for _, id := range want {
+		if !have[id] {
+			t.Errorf("registry missing %s", id)
+		}
+	}
+	if _, ok := ByID("table4", QuickCurveOpts()); !ok {
+		t.Error("ByID failed")
+	}
+	if _, ok := ByID("nope", QuickCurveOpts()); ok {
+		t.Error("ByID found nonexistent id")
+	}
+}
+
+func TestCurveExperimentsQuick(t *testing.T) {
+	if testing.Short() {
+		t.Skip("functional training")
+	}
+	opts := QuickCurveOpts()
+	f13 := Figure13(opts)
+	if !strings.Contains(f13.Text, "iSW time") || !strings.Contains(f13.Text, "sooner") {
+		t.Fatalf("figure13 malformed:\n%s", f13.Text)
+	}
+	f14 := Figure14(opts)
+	if !strings.Contains(f14.Text, "staleness") {
+		t.Fatalf("figure14 malformed:\n%s", f14.Text)
+	}
+}

@@ -1,0 +1,46 @@
+package experiments
+
+// Spec describes one runnable experiment for the CLI and docs.
+type Spec struct {
+	ID        string
+	Title     string
+	Expensive bool // involves functional RL training (seconds–minutes)
+	Run       func() Result
+}
+
+// Specs lists every reproduction in paper order. opts sizes the
+// functional (training-curve) runs.
+func Specs(opts CurveOpts) []Spec {
+	return []Spec{
+		{ID: "table1", Title: "RL algorithm study", Run: Table1},
+		{ID: "figure4", Title: "Per-iteration breakdown (PS, AR)", Run: Figure4},
+		{ID: "table2", Title: "iSwitch control messages", Run: Table2},
+		{ID: "figure5", Title: "Packet formats", Run: Figure5},
+		{ID: "figure7", Title: "Accelerator datapath", Run: Figure7},
+		{ID: "figure8", Title: "On-the-fly vs whole-vector aggregation", Run: Figure8},
+		{ID: "table3", Title: "End-to-end speedup summary", Run: Table3},
+		{ID: "figure12", Title: "Sync per-iteration comparison", Run: Figure12},
+		{ID: "figure13", Title: "Sync DQN training curves", Expensive: true,
+			Run: func() Result { return Figure13(opts) }},
+		{ID: "table4", Title: "Sync comparison", Run: Table4},
+		{ID: "table5", Title: "Async comparison", Run: Table5},
+		{ID: "figure14", Title: "Async DQN training curves", Expensive: true,
+			Run: func() Result { return Figure14(opts) }},
+		{ID: "figure15", Title: "Scalability", Run: Figure15},
+		{ID: "ablation-staleness", Title: "Staleness bound sweep", Run: AblationStaleness},
+		{ID: "ablation-h", Title: "Aggregation threshold sweep", Run: AblationH},
+		{ID: "ablation-hierarchical", Title: "Hierarchical vs flat", Run: AblationHierarchical},
+		{ID: "ablation-mtu", Title: "Packet payload sweep", Run: AblationMTU},
+		{ID: "ablation-fp16", Title: "Half-precision wire format", Run: AblationFP16},
+	}
+}
+
+// ByID finds an experiment spec.
+func ByID(id string, opts CurveOpts) (Spec, bool) {
+	for _, s := range Specs(opts) {
+		if s.ID == id {
+			return s, true
+		}
+	}
+	return Spec{}, false
+}

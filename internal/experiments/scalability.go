@@ -1,0 +1,89 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"iswitch/internal/perfmodel"
+)
+
+// Figure15 reproduces the scalability study: end-to-end training
+// speedup of each approach at 4, 6, 9 and 12 worker nodes, normalized
+// to its own 4-node time, for PPO and DDPG, sync and async. Workers sit
+// in racks of three (the paper's NetFPGA port limit) under a two-level
+// switch hierarchy; iSwitch aggregates hierarchically (ToR then root).
+//
+// Speedup model (documented in DESIGN.md): the total sample budget is
+// fixed, so synchronous runs need iterations ∝ 1/N (each iteration
+// consumes N workers' samples) and the speedup at N nodes is
+// (N/4) · perIter(4)/perIter(N) — the paper's "Ideal" line is N/4 with
+// perIter constant. Asynchronously, a PS update consumes one gradient
+// (updates needed ≈ constant × staleness inflation) while an iSwitch
+// update consumes H = N gradients (updates ∝ 1/N), with measured mean
+// staleness inflating iterations per stale-synchronous-parallel theory.
+func Figure15() Result {
+	nodes := []int{4, 6, 9, 12}
+	const perRack = 3
+	var b strings.Builder
+
+	for _, name := range []string{"PPO", "DDPG"} {
+		w, _ := perfmodel.WorkloadByName(name)
+
+		// Synchronous speedups.
+		fmt.Fprintf(&b, "(%s-Sync)   %-6s", name, "nodes")
+		for _, n := range nodes {
+			fmt.Fprintf(&b, " %6d", n)
+		}
+		b.WriteByte('\n')
+		base := map[string]float64{}
+		cells := map[string][]float64{}
+		for _, s := range SyncStrategies() {
+			for _, n := range nodes {
+				perIter := simSync(w, s, n, perRack, 2).MeanIter().Seconds()
+				if n == nodes[0] {
+					base[s] = perIter
+				}
+				speedup := float64(n) / 4 * base[s] / perIter
+				cells[s] = append(cells[s], speedup)
+			}
+		}
+		for _, s := range SyncStrategies() {
+			fmt.Fprintf(&b, "            %-6s", s)
+			for _, v := range cells[s] {
+				fmt.Fprintf(&b, " %6.2f", v)
+			}
+			b.WriteByte('\n')
+		}
+		fmt.Fprintf(&b, "            %-6s", "Ideal")
+		for _, n := range nodes {
+			fmt.Fprintf(&b, " %6.2f", float64(n)/4)
+		}
+		b.WriteString("\n")
+
+		// Asynchronous speedups.
+		fmt.Fprintf(&b, "(%s-Async)  %-6s", name, "nodes")
+		for _, n := range nodes {
+			fmt.Fprintf(&b, " %6d", n)
+		}
+		b.WriteByte('\n')
+		for _, s := range []string{StratPS, StratISW} {
+			var basePS float64
+			fmt.Fprintf(&b, "            %-6s", s)
+			for _, n := range nodes {
+				stats := simAsync(w, s, n, perRack, 50, 3)
+				cost := asyncPerIter(stats).Seconds() * (1 + stats.MeanStaleness())
+				if s == StratISW {
+					cost /= float64(n) // each update consumes N gradients
+				}
+				if n == nodes[0] {
+					basePS = cost
+				}
+				fmt.Fprintf(&b, " %6.2f", basePS/cost)
+			}
+			b.WriteByte('\n')
+		}
+		b.WriteByte('\n')
+	}
+	b.WriteString("(speedups normalized against each approach's own 4-node end-to-end time)\n")
+	return Result{ID: "figure15", Title: "Scalability comparison of all training approaches", Text: b.String()}
+}

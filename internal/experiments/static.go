@@ -1,0 +1,127 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"iswitch/internal/accel"
+	"iswitch/internal/perfmodel"
+	"iswitch/internal/protocol"
+)
+
+// Table1 reproduces the RL-algorithm study: model size and training
+// iterations per benchmark.
+func Table1() Result {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-12s %-12s %-12s %-12s %-12s\n", "RL Algorithm",
+		"DQN", "A2C", "PPO", "DDPG")
+	row := func(label string, f func(perfmodel.Workload) string) {
+		fmt.Fprintf(&b, "%-12s", label)
+		for _, w := range perfmodel.Workloads() {
+			fmt.Fprintf(&b, " %-12s", f(w))
+		}
+		b.WriteByte('\n')
+	}
+	row("Environment", func(w perfmodel.Workload) string {
+		return strings.Fields(w.PaperEnv)[0]
+	})
+	row("Model Size", func(w perfmodel.Workload) string {
+		if w.ModelBytes >= 1_000_000 {
+			return fmt.Sprintf("%.2f MB", float64(w.ModelBytes)/1e6)
+		}
+		return fmt.Sprintf("%.2f KB", float64(w.ModelBytes)/1e3)
+	})
+	row("Train Iter", func(w perfmodel.Workload) string {
+		return fmt.Sprintf("%.2fM", float64(w.TableIters)/1e6)
+	})
+	row("Stand-in", func(w perfmodel.Workload) string { return w.StandInEnv })
+	return Result{ID: "table1", Title: "A study of popular RL algorithms", Text: b.String()}
+}
+
+// Table2 reproduces the control-message table of the iSwitch protocol.
+func Table2() Result {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-8s %s\n", "Name", "Description")
+	for _, a := range protocol.Actions() {
+		fmt.Fprintf(&b, "%-8s %s\n", a.String(), a.Describe())
+	}
+	return Result{ID: "table2", Title: "Control messages in iSwitch protocol", Text: b.String()}
+}
+
+// Figure5 reproduces the control/data packet formats by building and
+// dissecting real frames.
+func Figure5() Result {
+	var b strings.Builder
+	src := protocol.AddrFrom(10, 0, 0, 2, 9999)
+	dst := protocol.AddrFrom(10, 0, 0, 1, 9990)
+
+	ctl := protocol.NewControl(src, dst, protocol.ActionSetH, protocol.SetHValue(4))
+	cf, _ := protocol.Marshal(ctl)
+	fmt.Fprintf(&b, "(a) Control packet (%d bytes on the wire)\n", len(cf))
+	fmt.Fprintf(&b, "    ETH[14] | IP[20, ToS=%#02x] | UDP[8] | Action[1]=%s | Value[%d]\n",
+		protocol.ToSControl, ctl.Action, len(ctl.Value))
+
+	data := protocol.NewData(src, dst, 7, make([]float32, protocol.FloatsPerPacket))
+	df, _ := protocol.Marshal(data)
+	fmt.Fprintf(&b, "(b) Data packet (%d bytes on the wire, max frame %d)\n",
+		len(df), protocol.MaxFrameLen)
+	fmt.Fprintf(&b, "    ETH[14] | IP[20, ToS=%#02x] | UDP[8] | Seg[8]=%d | Data[%d floats = %d bytes]\n",
+		protocol.ToSData, data.Seg, len(data.Data), 4*len(data.Data))
+	fmt.Fprintf(&b, "    gradient capacity: %d float32 per packet (IP MTU %d)\n",
+		protocol.FloatsPerPacket, protocol.IPMTU)
+	return Result{ID: "figure5", Title: "Format of the control/data packet in iSwitch", Text: b.String()}
+}
+
+// Figure7 reports the in-switch accelerator datapath parameters and its
+// per-packet latency, mirroring the architecture figure's numbers.
+func Figure7() Result {
+	var b strings.Builder
+	cfg := accel.DefaultConfig()
+	a := accel.New(cfg)
+	fmt.Fprintf(&b, "bus width: %d bits/cycle (%d float32 adders in parallel)\n",
+		cfg.BusWidthBits, cfg.AddersPerCycle())
+	fmt.Fprintf(&b, "clock: %.0f MHz, pipeline depth: %d cycles\n", cfg.ClockHz/1e6, cfg.PipelineDepth)
+	fmt.Fprintf(&b, "full-MTU packet (%d floats) datapath latency: %v\n",
+		protocol.FloatsPerPacket, a.PacketLatency(protocol.FloatsPerPacket))
+	fmt.Fprintf(&b, "per-segment state: %d-float buffer + aggregation counter (threshold H)\n",
+		protocol.FloatsPerPacket)
+	return Result{ID: "figure7", Title: "In-switch accelerator architecture", Text: b.String()}
+}
+
+// Figure8 is the on-the-fly vs whole-vector aggregation ablation: time
+// from first packet arrival to aggregate availability for each model,
+// with N=4 senders whose packets interleave.
+func Figure8() Result {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-6s %-12s %-22s %-22s %-8s\n",
+		"Bench", "Model", "Whole-vector (Fig 8a)", "On-the-fly (Fig 8b)", "Saving")
+	for _, w := range perfmodel.Workloads() {
+		const workers = 4
+		// Whole-vector (parameter-server style): wait for all vectors
+		// (serialized on the central link) then sum.
+		link := float64(w.ModelBytes*8) / 10e9 // one vector's wire time at 10GbE
+		recvAll := 4 * link                    // N vectors share the server link
+		sum := accel.SumLatency(w.Floats(), workers, perfmodel.PSSumRate)
+		whole := secondsToMS(recvAll) + float64(sum)/1e6
+
+		// On-the-fly: aggregation overlaps reception; each worker has a
+		// dedicated link, so the last packet's arrival dominates, plus
+		// one accelerator packet latency.
+		a := accel.New(accel.DefaultConfig())
+		fly := secondsToMS(link) + float64(a.PacketLatency(protocol.FloatsPerPacket))/1e6
+
+		fmt.Fprintf(&b, "%-6s %-12s %18.3fms %18.3fms %7.1fx\n",
+			w.Name, byteSize(w.ModelBytes), whole, fly, whole/fly)
+	}
+	b.WriteString("(time from first gradient packet arrival to aggregate availability, 4 workers)\n")
+	return Result{ID: "figure8", Title: "Conventional vs on-the-fly aggregation", Text: b.String()}
+}
+
+func secondsToMS(s float64) float64 { return s * 1e3 }
+
+func byteSize(n int) string {
+	if n >= 1_000_000 {
+		return fmt.Sprintf("%.2fMB", float64(n)/1e6)
+	}
+	return fmt.Sprintf("%.2fKB", float64(n)/1e3)
+}

@@ -1,0 +1,110 @@
+// Package fp16 implements IEEE 754 half-precision conversion.
+//
+// The paper transmits and sums gradients "in a raw float-point format"
+// (float32) for efficiency of the in-switch datapath. This package
+// exists to quantify that design choice: the fp16 ablation experiment
+// measures what halving the wire bytes would save in aggregation time
+// and what it would cost in gradient precision (see
+// experiments.AblationFP16).
+package fp16
+
+import "math"
+
+// FromFloat32 converts a float32 to its nearest half-precision bit
+// pattern (round-to-nearest-even), handling subnormals, infinities and
+// NaN.
+func FromFloat32(f float32) uint16 {
+	bits := math.Float32bits(f)
+	sign := uint16(bits>>16) & 0x8000
+	exp := int32(bits>>23&0xff) - 127 + 15
+	mant := bits & 0x7fffff
+
+	switch {
+	case exp >= 0x1f: // overflow → inf; NaN preserved
+		if int32(bits>>23&0xff) == 0xff && mant != 0 {
+			return sign | 0x7e00 // quiet NaN
+		}
+		return sign | 0x7c00
+	case exp <= 0:
+		if exp < -10 {
+			return sign // underflow to zero
+		}
+		// Subnormal: shift mantissa (with implicit leading 1).
+		mant |= 0x800000
+		shift := uint32(14 - exp)
+		half := uint32(1) << (shift - 1)
+		rounded := (mant + half) >> shift
+		// Round-to-nearest-even on ties.
+		if mant&(half<<1-1) == half && rounded&1 == 1 {
+			rounded--
+		}
+		return sign | uint16(rounded)
+	default:
+		// Normal: round mantissa from 23 to 10 bits.
+		rounded := mant + 0xfff + (mant>>13)&1
+		if rounded&0x800000 != 0 {
+			rounded = 0
+			exp++
+			if exp >= 0x1f {
+				return sign | 0x7c00
+			}
+		}
+		return sign | uint16(exp)<<10 | uint16(rounded>>13)
+	}
+}
+
+// ToFloat32 expands a half-precision bit pattern to float32.
+func ToFloat32(h uint16) float32 {
+	sign := uint32(h&0x8000) << 16
+	exp := uint32(h >> 10 & 0x1f)
+	mant := uint32(h & 0x3ff)
+
+	switch {
+	case exp == 0x1f: // inf / NaN
+		return math.Float32frombits(sign | 0x7f800000 | mant<<13)
+	case exp == 0:
+		if mant == 0 {
+			return math.Float32frombits(sign)
+		}
+		// Subnormal: normalize.
+		e := uint32(127 - 15 + 1)
+		for mant&0x400 == 0 {
+			mant <<= 1
+			e--
+		}
+		mant &= 0x3ff
+		return math.Float32frombits(sign | e<<23 | mant<<13)
+	default:
+		return math.Float32frombits(sign | (exp-15+127)<<23 | mant<<13)
+	}
+}
+
+// Pack converts a float32 vector to packed half-precision bytes
+// (little-endian).
+func Pack(src []float32) []byte {
+	out := make([]byte, 2*len(src))
+	for i, f := range src {
+		h := FromFloat32(f)
+		out[2*i] = byte(h)
+		out[2*i+1] = byte(h >> 8)
+	}
+	return out
+}
+
+// Unpack expands packed half-precision bytes back to float32.
+func Unpack(src []byte) []float32 {
+	out := make([]float32, len(src)/2)
+	for i := range out {
+		h := uint16(src[2*i]) | uint16(src[2*i+1])<<8
+		out[i] = ToFloat32(h)
+	}
+	return out
+}
+
+// QuantizeInPlace rounds every element of v through half precision —
+// what a worker would observe after an fp16 wire round trip.
+func QuantizeInPlace(v []float32) {
+	for i, f := range v {
+		v[i] = ToFloat32(FromFloat32(f))
+	}
+}

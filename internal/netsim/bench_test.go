@@ -1,0 +1,52 @@
+package netsim
+
+import (
+	"testing"
+	"time"
+
+	"iswitch/internal/protocol"
+	"iswitch/internal/sim"
+)
+
+// BenchmarkStarDelivery measures forwarding packets through a switch.
+func BenchmarkStarDelivery(b *testing.B) {
+	k := sim.NewKernel()
+	star := BuildStar(k, 2, LinkConfig{BitsPerSecond: 10e9, Propagation: time.Microsecond})
+	src, dst := star.Hosts[0], star.Hosts[1]
+	pkt := protocol.NewData(src.Addr, dst.Addr, 0, make([]float32, protocol.FloatsPerPacket))
+	k.Spawn("recv", func(p *sim.Proc) {
+		for i := 0; i < b.N; i++ {
+			dst.Recv(p)
+		}
+	})
+	k.Spawn("send", func(p *sim.Proc) {
+		for i := 0; i < b.N; i++ {
+			src.Send(pkt)
+			p.Sleep(2 * time.Microsecond)
+		}
+	})
+	b.SetBytes(int64(pkt.WireLen()))
+	b.ResetTimer()
+	k.Run()
+}
+
+// BenchmarkTreeCrossRack measures inter-rack forwarding (4 hops).
+func BenchmarkTreeCrossRack(b *testing.B) {
+	k := sim.NewKernel()
+	tr := BuildRacks(k, 2, 3, TenGbE(), FortyGbE())
+	src, dst := tr.Hosts[0], tr.Hosts[5]
+	pkt := protocol.NewData(src.Addr, dst.Addr, 0, make([]float32, 100))
+	k.Spawn("recv", func(p *sim.Proc) {
+		for i := 0; i < b.N; i++ {
+			dst.Recv(p)
+		}
+	})
+	k.Spawn("send", func(p *sim.Proc) {
+		for i := 0; i < b.N; i++ {
+			src.Send(pkt)
+			p.Sleep(2 * time.Microsecond)
+		}
+	})
+	b.ResetTimer()
+	k.Run()
+}

@@ -1,0 +1,271 @@
+// Package netsim is a packet-level network simulator built on the
+// discrete-event kernel in internal/sim.
+//
+// It models hosts with NICs, full-duplex point-to-point links with
+// bandwidth, propagation delay and per-packet overhead, and
+// store-and-forward switches with per-direction egress serialization —
+// enough fidelity that the iSwitch paper's hop-count and contention
+// arguments (central parameter-server bottleneck, AllReduce's 4N−4
+// hops, iSwitch's 2 hops) emerge from the model rather than being
+// asserted.
+package netsim
+
+import (
+	"fmt"
+	"math/rand"
+	"time"
+
+	"iswitch/internal/protocol"
+	"iswitch/internal/sim"
+)
+
+// LinkConfig describes one full-duplex link.
+type LinkConfig struct {
+	// BitsPerSecond is the line rate (e.g. 10e9 for 10GbE).
+	BitsPerSecond float64
+	// Propagation is the one-way signal delay.
+	Propagation time.Duration
+	// PerPacketOverhead is added to each packet's serialization time to
+	// model NIC/DMA/kernel per-packet cost on the transmitting side.
+	PerPacketOverhead time.Duration
+}
+
+// TenGbE returns the paper's worker-link configuration: 10 Gb/s with
+// sub-microsecond propagation and a small per-packet host cost.
+func TenGbE() LinkConfig {
+	return LinkConfig{BitsPerSecond: 10e9, Propagation: 500 * time.Nanosecond,
+		PerPacketOverhead: 300 * time.Nanosecond}
+}
+
+// FortyGbE returns an aggregation/core uplink configuration (paper §3.4:
+// higher levels run 40–100 Gb/s).
+func FortyGbE() LinkConfig {
+	return LinkConfig{BitsPerSecond: 40e9, Propagation: 500 * time.Nanosecond,
+		PerPacketOverhead: 300 * time.Nanosecond}
+}
+
+// SerializationTime returns how long a frame of n bytes occupies the
+// transmitter.
+func (c LinkConfig) SerializationTime(bytes int) time.Duration {
+	return time.Duration(float64(bytes*8)/c.BitsPerSecond*float64(time.Second)) +
+		c.PerPacketOverhead
+}
+
+// Deliverable receives fully arrived frames from a port.
+type Deliverable interface {
+	// Deliver is called in kernel context when a frame has completely
+	// arrived on port.
+	Deliver(pkt *protocol.Packet, on *Port)
+}
+
+// Port is one endpoint of a link: it owns the egress serialization state
+// for its transmit direction.
+type Port struct {
+	k     *sim.Kernel
+	name  string
+	cfg   LinkConfig
+	owner Deliverable
+	peer  *Port
+
+	busyUntil sim.Time
+	lossRate  float64
+	lossRNG   *rand.Rand
+
+	// Trace, when set, observes this port's traffic: called with "tx"
+	// when serialization starts, "rx" on delivery to the peer, and
+	// "drop" when loss injection discards a frame.
+	Trace func(at sim.Time, kind string, pkt *protocol.Packet)
+
+	// Stats
+	TxPackets, RxPackets uint64
+	TxBytes, RxBytes     uint64
+	Dropped              uint64
+}
+
+// Name returns the port's diagnostic name.
+func (p *Port) Name() string { return p.name }
+
+// Peer returns the port at the other end of the link.
+func (p *Port) Peer() *Port { return p.peer }
+
+// SetLoss makes this transmit direction drop packets at the given rate,
+// deterministically for a given seed. Used to exercise the Help/FBcast
+// recovery path.
+func (p *Port) SetLoss(rate float64, seed int64) {
+	p.lossRate = rate
+	p.lossRNG = rand.New(rand.NewSource(seed))
+}
+
+// Send serializes pkt onto the link. If the transmitter is busy the
+// packet queues behind in-flight frames (FIFO), which is how contention
+// at a hot link (e.g. the parameter server's downlink) manifests.
+func (p *Port) Send(pkt *protocol.Packet) {
+	if p.peer == nil {
+		panic(fmt.Sprintf("netsim: port %s is not connected", p.name))
+	}
+	now := p.k.Now()
+	start := now
+	if p.busyUntil > start {
+		start = p.busyUntil
+	}
+	txEnd := start + p.cfg.SerializationTime(pkt.WireLen())
+	p.busyUntil = txEnd
+	p.TxPackets++
+	p.TxBytes += uint64(pkt.WireLen())
+	if p.Trace != nil {
+		p.Trace(start, "tx", pkt)
+	}
+
+	if p.lossRate > 0 && p.lossRNG.Float64() < p.lossRate {
+		p.Dropped++
+		if p.Trace != nil {
+			p.Trace(txEnd, "drop", pkt)
+		}
+		return
+	}
+	peer := p.peer
+	arrive := txEnd + p.cfg.Propagation - now
+	p.k.After(arrive, func() {
+		peer.RxPackets++
+		peer.RxBytes += uint64(pkt.WireLen())
+		if peer.Trace != nil {
+			peer.Trace(peer.k.Now(), "rx", pkt)
+		}
+		peer.owner.Deliver(pkt, peer)
+	})
+}
+
+// BusyUntil exposes the egress serialization horizon, for tests.
+func (p *Port) BusyUntil() sim.Time { return p.busyUntil }
+
+// Connect creates a full-duplex link between two deliverables and
+// returns the two ports (a's side first).
+func Connect(k *sim.Kernel, cfg LinkConfig, a Deliverable, aName string, b Deliverable, bName string) (*Port, *Port) {
+	pa := &Port{k: k, name: aName, cfg: cfg, owner: a}
+	pb := &Port{k: k, name: bName, cfg: cfg, owner: b}
+	pa.peer = pb
+	pb.peer = pa
+	return pa, pb
+}
+
+// Host is an end node with one NIC. Received frames are queued on RX in
+// arrival order; worker processes block on RX in virtual time.
+type Host struct {
+	Addr protocol.Addr
+	RX   *sim.Chan[*protocol.Packet]
+	port *Port
+}
+
+// NewHost creates a host with the given address. Attach it with Connect
+// via its Deliver method, then call SetPort.
+func NewHost(k *sim.Kernel, addr protocol.Addr) *Host {
+	return &Host{Addr: addr, RX: sim.NewChan[*protocol.Packet](k, addr.String()+"/rx")}
+}
+
+// SetPort attaches the NIC created by Connect.
+func (h *Host) SetPort(p *Port) { h.port = p }
+
+// Port returns the host's NIC port.
+func (h *Host) Port() *Port { return h.port }
+
+// Deliver implements Deliverable.
+func (h *Host) Deliver(pkt *protocol.Packet, _ *Port) { h.RX.Send(pkt) }
+
+// Send transmits a packet from this host.
+func (h *Host) Send(pkt *protocol.Packet) { h.port.Send(pkt) }
+
+// Recv blocks the calling process until a frame arrives.
+func (h *Host) Recv(p *sim.Proc) *protocol.Packet { return h.RX.Recv(p) }
+
+// RecvTimeout blocks up to d for a frame.
+func (h *Host) RecvTimeout(p *sim.Proc, d time.Duration) (*protocol.Packet, bool) {
+	return h.RX.RecvTimeout(p, d)
+}
+
+// Switch is a store-and-forward L2/L3 switch with static routes. A tap
+// function may intercept packets before forwarding — this is the hook
+// the iSwitch data-plane extension (input arbiter → accelerator) plugs
+// into, leaving regular traffic untouched.
+type Switch struct {
+	k     *sim.Kernel
+	name  string
+	proc  time.Duration // per-packet pipeline (lookup + crossbar) delay
+	ports []*Port
+	route map[protocol.Addr]*Port
+	def   *Port // default route (uplink) when no table entry matches
+	tap   func(pkt *protocol.Packet, in *Port) bool
+
+	Forwarded uint64
+	NoRoute   uint64
+}
+
+// NewSwitch creates a switch. procDelay models the lookup/forwarding
+// pipeline per packet (a production ToR cuts through in ~1µs).
+func NewSwitch(k *sim.Kernel, name string, procDelay time.Duration) *Switch {
+	return &Switch{k: k, name: name, proc: procDelay, route: make(map[protocol.Addr]*Port)}
+}
+
+// Name returns the switch name.
+func (s *Switch) Name() string { return s.name }
+
+// Kernel returns the owning simulation kernel.
+func (s *Switch) Kernel() *sim.Kernel { return s.k }
+
+// AddPort registers a port created by Connect as belonging to this
+// switch and returns it.
+func (s *Switch) AddPort(p *Port) *Port {
+	s.ports = append(s.ports, p)
+	return p
+}
+
+// Ports lists the switch's ports in attachment order.
+func (s *Switch) Ports() []*Port { return s.ports }
+
+// AddRoute installs a forwarding-table entry: frames for addr exit via
+// port. Route entries for whole hosts use their full Addr; lookup falls
+// back to IP-only matching so replies to any port of a host route too.
+func (s *Switch) AddRoute(addr protocol.Addr, port *Port) { s.route[addr] = port }
+
+// SetDefault installs the default (uplink) route used when no table
+// entry matches.
+func (s *Switch) SetDefault(p *Port) { s.def = p }
+
+// RouteFor resolves the egress port for a destination, trying the exact
+// address, then an IP-wildcard (port 0) entry, then the default route.
+func (s *Switch) RouteFor(dst protocol.Addr) (*Port, bool) {
+	if p, ok := s.route[dst]; ok {
+		return p, true
+	}
+	if p, ok := s.route[protocol.Addr{IP: dst.IP}]; ok {
+		return p, true
+	}
+	if s.def != nil {
+		return s.def, true
+	}
+	return nil, false
+}
+
+// SetTap installs the data-plane intercept. tap returns true when it
+// consumed the packet (it will not be forwarded normally).
+func (s *Switch) SetTap(tap func(pkt *protocol.Packet, in *Port) bool) { s.tap = tap }
+
+// Deliver implements Deliverable: store-and-forward then route.
+func (s *Switch) Deliver(pkt *protocol.Packet, in *Port) {
+	s.k.After(s.proc, func() {
+		if s.tap != nil && s.tap(pkt, in) {
+			return
+		}
+		s.Forward(pkt)
+	})
+}
+
+// Forward routes pkt out the port its destination maps to.
+func (s *Switch) Forward(pkt *protocol.Packet) {
+	out, ok := s.RouteFor(pkt.Dst)
+	if !ok {
+		s.NoRoute++
+		return
+	}
+	s.Forwarded++
+	out.Send(pkt)
+}

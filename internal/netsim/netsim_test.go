@@ -1,0 +1,344 @@
+package netsim
+
+import (
+	"testing"
+	"time"
+
+	"iswitch/internal/protocol"
+	"iswitch/internal/sim"
+)
+
+// testLink has easy arithmetic: 8 Gb/s = 1 byte/ns, 1µs propagation,
+// no per-packet overhead.
+func testLink() LinkConfig {
+	return LinkConfig{BitsPerSecond: 8e9, Propagation: time.Microsecond}
+}
+
+func dataPkt(src, dst protocol.Addr, seg uint64, n int) *protocol.Packet {
+	return protocol.NewData(src, dst, seg, make([]float32, n))
+}
+
+func TestSerializationTime(t *testing.T) {
+	c := testLink()
+	if got := c.SerializationTime(1000); got != time.Microsecond {
+		t.Fatalf("1000 bytes at 1B/ns = %v, want 1µs", got)
+	}
+	c.PerPacketOverhead = 100 * time.Nanosecond
+	if got := c.SerializationTime(1000); got != 1100*time.Nanosecond {
+		t.Fatalf("with overhead = %v, want 1.1µs", got)
+	}
+}
+
+func TestHostToHostDelivery(t *testing.T) {
+	k := sim.NewKernel()
+	a := NewHost(k, HostAddr(0, 0))
+	b := NewHost(k, HostAddr(0, 1))
+	pa, pb := Connect(k, testLink(), a, "a", b, "b")
+	a.SetPort(pa)
+	b.SetPort(pb)
+
+	pkt := dataPkt(a.Addr, b.Addr, 0, 100) // wire = 14+20+8+8+400 = 450B
+	var at sim.Time
+	var got *protocol.Packet
+	k.Spawn("recv", func(p *sim.Proc) {
+		got = b.Recv(p)
+		at = p.Now()
+	})
+	k.Spawn("send", func(p *sim.Proc) { a.Send(pkt) })
+	k.Run()
+	if got == nil || got.Seg != 0 {
+		t.Fatal("packet not delivered")
+	}
+	want := 450*time.Nanosecond + time.Microsecond
+	if at != want {
+		t.Fatalf("arrival at %v, want %v", at, want)
+	}
+}
+
+func TestEgressSerializationQueues(t *testing.T) {
+	k := sim.NewKernel()
+	a := NewHost(k, HostAddr(0, 0))
+	b := NewHost(k, HostAddr(0, 1))
+	pa, pb := Connect(k, testLink(), a, "a", b, "b")
+	a.SetPort(pa)
+	b.SetPort(pb)
+
+	var arrivals []sim.Time
+	k.Spawn("recv", func(p *sim.Proc) {
+		for i := 0; i < 3; i++ {
+			b.Recv(p)
+			arrivals = append(arrivals, p.Now())
+		}
+	})
+	k.Spawn("send", func(p *sim.Proc) {
+		for i := 0; i < 3; i++ {
+			a.Send(dataPkt(a.Addr, b.Addr, uint64(i), 100)) // 450ns each
+		}
+	})
+	k.Run()
+	if len(arrivals) != 3 {
+		t.Fatalf("delivered %d, want 3", len(arrivals))
+	}
+	// Back-to-back: 450ns, 900ns, 1350ns serialization ends + 1µs prop.
+	want := []sim.Time{1450 * time.Nanosecond, 1900 * time.Nanosecond, 2350 * time.Nanosecond}
+	for i := range want {
+		if arrivals[i] != want[i] {
+			t.Fatalf("arrival[%d] = %v, want %v", i, arrivals[i], want[i])
+		}
+	}
+}
+
+func TestFullDuplexDirectionsIndependent(t *testing.T) {
+	k := sim.NewKernel()
+	a := NewHost(k, HostAddr(0, 0))
+	b := NewHost(k, HostAddr(0, 1))
+	pa, pb := Connect(k, testLink(), a, "a", b, "b")
+	a.SetPort(pa)
+	b.SetPort(pb)
+
+	var atA, atB sim.Time
+	k.Spawn("a", func(p *sim.Proc) {
+		a.Send(dataPkt(a.Addr, b.Addr, 0, 100))
+		a.Recv(p)
+		atA = p.Now()
+	})
+	k.Spawn("b", func(p *sim.Proc) {
+		b.Send(dataPkt(b.Addr, a.Addr, 0, 100))
+		b.Recv(p)
+		atB = p.Now()
+	})
+	k.Run()
+	want := 450*time.Nanosecond + time.Microsecond
+	if atA != want || atB != want {
+		t.Fatalf("duplex arrivals %v/%v, want both %v", atA, atB, want)
+	}
+}
+
+func TestStarForwarding(t *testing.T) {
+	k := sim.NewKernel()
+	star := BuildStar(k, 4, testLink())
+	src, dst := star.Hosts[0], star.Hosts[3]
+	var at sim.Time
+	k.Spawn("recv", func(p *sim.Proc) {
+		pkt := dst.Recv(p)
+		at = p.Now()
+		if pkt.Src != src.Addr {
+			t.Errorf("src = %v", pkt.Src)
+		}
+	})
+	k.Spawn("send", func(p *sim.Proc) { src.Send(dataPkt(src.Addr, dst.Addr, 0, 100)) })
+	k.Run()
+	// Two link traversals (450ns + 1µs each) + 1µs switch pipeline.
+	want := 2*(450*time.Nanosecond+time.Microsecond) + DefaultSwitchDelay
+	if at != want {
+		t.Fatalf("arrival %v, want %v", at, want)
+	}
+	if star.Switch.Forwarded != 1 {
+		t.Fatalf("forwarded = %d", star.Switch.Forwarded)
+	}
+}
+
+func TestCentralLinkContention(t *testing.T) {
+	// Three hosts blast one destination through a star: the switch→dst
+	// link must serialize, so total time ≈ 3 packets back to back.
+	k := sim.NewKernel()
+	star := BuildStar(k, 4, testLink())
+	dst := star.Hosts[3]
+	var last sim.Time
+	k.Spawn("recv", func(p *sim.Proc) {
+		for i := 0; i < 3; i++ {
+			dst.Recv(p)
+			last = p.Now()
+		}
+	})
+	for i := 0; i < 3; i++ {
+		h := star.Hosts[i]
+		k.Spawn("send", func(p *sim.Proc) { h.Send(dataPkt(h.Addr, dst.Addr, 0, 300)) })
+	}
+	k.Run()
+	// Each packet: 14+20+8+8+1200 = 1250B → 1250ns at 1B/ns.
+	// Uplinks run in parallel; switch→dst serializes 3×1250ns.
+	want := 1250*time.Nanosecond + time.Microsecond + DefaultSwitchDelay +
+		3*1250*time.Nanosecond + time.Microsecond
+	if last != want {
+		t.Fatalf("last arrival %v, want %v", last, want)
+	}
+}
+
+func TestSwitchNoRouteCounted(t *testing.T) {
+	k := sim.NewKernel()
+	star := BuildStar(k, 2, testLink())
+	h := star.Hosts[0]
+	k.Spawn("send", func(p *sim.Proc) {
+		h.Send(dataPkt(h.Addr, protocol.AddrFrom(99, 9, 9, 9, 1), 0, 10))
+	})
+	k.Run()
+	if star.Switch.NoRoute != 1 {
+		t.Fatalf("NoRoute = %d, want 1", star.Switch.NoRoute)
+	}
+}
+
+func TestTapInterceptsTaggedTraffic(t *testing.T) {
+	k := sim.NewKernel()
+	star := BuildStar(k, 2, testLink())
+	var tapped []*protocol.Packet
+	star.Switch.SetTap(func(pkt *protocol.Packet, in *Port) bool {
+		if pkt.IsISwitch() {
+			tapped = append(tapped, pkt)
+			return true
+		}
+		return false
+	})
+	src, dst := star.Hosts[0], star.Hosts[1]
+	var regular *protocol.Packet
+	k.Spawn("recv", func(p *sim.Proc) { regular = dst.Recv(p) })
+	k.Spawn("send", func(p *sim.Proc) {
+		src.Send(dataPkt(src.Addr, dst.Addr, 0, 10)) // tagged: consumed
+		src.Send(&protocol.Packet{Src: src.Addr, Dst: dst.Addr, ToS: protocol.ToSRegular})
+	})
+	k.Run()
+	if len(tapped) != 1 {
+		t.Fatalf("tapped %d, want 1", len(tapped))
+	}
+	if regular == nil || regular.ToS != protocol.ToSRegular {
+		t.Fatal("regular traffic did not pass through")
+	}
+}
+
+func TestLossInjection(t *testing.T) {
+	k := sim.NewKernel()
+	a := NewHost(k, HostAddr(0, 0))
+	b := NewHost(k, HostAddr(0, 1))
+	pa, pb := Connect(k, testLink(), a, "a", b, "b")
+	a.SetPort(pa)
+	b.SetPort(pb)
+	pa.SetLoss(1.0, 1) // drop everything
+
+	got := false
+	k.Spawn("recv", func(p *sim.Proc) {
+		_, ok := b.RecvTimeout(p, 10*time.Millisecond)
+		got = ok
+	})
+	k.Spawn("send", func(p *sim.Proc) { a.Send(dataPkt(a.Addr, b.Addr, 0, 10)) })
+	k.Run()
+	if got {
+		t.Fatal("packet delivered despite 100% loss")
+	}
+	if pa.Dropped != 1 {
+		t.Fatalf("dropped = %d", pa.Dropped)
+	}
+}
+
+func TestRackTopologyRouting(t *testing.T) {
+	k := sim.NewKernel()
+	tr := BuildRacks(k, 3, 3, testLink(), testLink())
+	if len(tr.Hosts) != 9 || len(tr.ToRs) != 3 {
+		t.Fatalf("hosts=%d tors=%d", len(tr.Hosts), len(tr.ToRs))
+	}
+	// Intra-rack: host 0 → host 1 (same rack) must not touch the root.
+	src, dst := tr.Hosts[0], tr.Hosts[1]
+	var gotIntra *protocol.Packet
+	k.Spawn("recv", func(p *sim.Proc) { gotIntra = dst.Recv(p) })
+	k.Spawn("send", func(p *sim.Proc) { src.Send(dataPkt(src.Addr, dst.Addr, 0, 10)) })
+	k.Run()
+	if gotIntra == nil {
+		t.Fatal("intra-rack packet lost")
+	}
+	if tr.Root.Forwarded != 0 {
+		t.Fatalf("intra-rack traffic crossed the root (%d)", tr.Root.Forwarded)
+	}
+	// Inter-rack: host 0 (rack 0) → host 8 (rack 2) goes via the root.
+	far := tr.Hosts[8]
+	var gotInter *protocol.Packet
+	k.Spawn("recv2", func(p *sim.Proc) { gotInter = far.Recv(p) })
+	k.Spawn("send2", func(p *sim.Proc) { src.Send(dataPkt(src.Addr, far.Addr, 0, 10)) })
+	k.Run()
+	if gotInter == nil {
+		t.Fatal("inter-rack packet lost")
+	}
+	if tr.Root.Forwarded != 1 {
+		t.Fatalf("root forwarded = %d, want 1", tr.Root.Forwarded)
+	}
+}
+
+func TestRackOfMapping(t *testing.T) {
+	k := sim.NewKernel()
+	tr := BuildRacks(k, 4, 3, testLink(), testLink())
+	for i, r := range tr.RackOf {
+		if want := i / 3; r != want {
+			t.Fatalf("RackOf[%d] = %d, want %d", i, r, want)
+		}
+	}
+	if len(tr.Uplinks) != 4 {
+		t.Fatalf("uplinks = %d", len(tr.Uplinks))
+	}
+}
+
+func TestAttachHost(t *testing.T) {
+	k := sim.NewKernel()
+	star := BuildStar(k, 2, testLink())
+	ps := star.AttachHost(k, protocol.AddrFrom(10, 0, 0, 10, 9990), testLink())
+	var got *protocol.Packet
+	k.Spawn("recv", func(p *sim.Proc) { got = ps.Recv(p) })
+	h := star.Hosts[0]
+	k.Spawn("send", func(p *sim.Proc) { h.Send(dataPkt(h.Addr, ps.Addr, 0, 10)) })
+	k.Run()
+	if got == nil {
+		t.Fatal("attached host unreachable")
+	}
+}
+
+func TestPortStats(t *testing.T) {
+	k := sim.NewKernel()
+	a := NewHost(k, HostAddr(0, 0))
+	b := NewHost(k, HostAddr(0, 1))
+	pa, pb := Connect(k, testLink(), a, "a", b, "b")
+	a.SetPort(pa)
+	b.SetPort(pb)
+	pkt := dataPkt(a.Addr, b.Addr, 0, 25) // 150 bytes on the wire
+	k.Spawn("recv", func(p *sim.Proc) { b.Recv(p) })
+	k.Spawn("send", func(p *sim.Proc) { a.Send(pkt) })
+	k.Run()
+	if pa.TxPackets != 1 || pa.TxBytes != 150 {
+		t.Fatalf("tx stats %d/%d", pa.TxPackets, pa.TxBytes)
+	}
+	if pb.RxPackets != 1 || pb.RxBytes != 150 {
+		t.Fatalf("rx stats %d/%d", pb.RxPackets, pb.RxBytes)
+	}
+}
+
+func TestPortTraceHook(t *testing.T) {
+	k := sim.NewKernel()
+	a := NewHost(k, HostAddr(0, 0))
+	b := NewHost(k, HostAddr(0, 1))
+	pa, pb := Connect(k, testLink(), a, "a", b, "b")
+	a.SetPort(pa)
+	b.SetPort(pb)
+	type ev struct {
+		kind string
+		at   sim.Time
+	}
+	var events []ev
+	hook := func(at sim.Time, kind string, pkt *protocol.Packet) {
+		events = append(events, ev{kind, at})
+	}
+	pa.Trace = hook
+	pb.Trace = hook
+	k.Spawn("recv", func(p *sim.Proc) { b.Recv(p) })
+	k.Spawn("send", func(p *sim.Proc) { a.Send(dataPkt(a.Addr, b.Addr, 0, 10)) })
+	k.Run()
+	if len(events) != 2 || events[0].kind != "tx" || events[1].kind != "rx" {
+		t.Fatalf("events = %+v", events)
+	}
+	if events[1].at <= events[0].at {
+		t.Fatalf("rx not after tx: %+v", events)
+	}
+	// Drops are traced too.
+	events = nil
+	pa.SetLoss(1.0, 1)
+	k.Spawn("send2", func(p *sim.Proc) { a.Send(dataPkt(a.Addr, b.Addr, 1, 10)) })
+	k.Run()
+	if len(events) != 2 || events[1].kind != "drop" {
+		t.Fatalf("drop not traced: %+v", events)
+	}
+}

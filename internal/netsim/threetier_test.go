@@ -1,0 +1,88 @@
+package netsim
+
+import (
+	"testing"
+	"time"
+
+	"iswitch/internal/protocol"
+	"iswitch/internal/sim"
+)
+
+func TestThreeTierShape(t *testing.T) {
+	k := sim.NewKernel()
+	tt := BuildThreeTier(k, 2, 2, 3, testLink(), testLink(), testLink())
+	if len(tt.Hosts) != 12 || len(tt.ToRs) != 4 || len(tt.AGGs) != 2 {
+		t.Fatalf("hosts=%d tors=%d aggs=%d", len(tt.Hosts), len(tt.ToRs), len(tt.AGGs))
+	}
+	for i, tor := range tt.ToROf {
+		if want := i / 3; tor != want {
+			t.Fatalf("ToROf[%d] = %d, want %d", i, tor, want)
+		}
+	}
+	for tor, agg := range tt.AGGOf {
+		if want := tor / 2; agg != want {
+			t.Fatalf("AGGOf[%d] = %d, want %d", tor, agg, want)
+		}
+	}
+}
+
+func TestThreeTierRoutingLevels(t *testing.T) {
+	k := sim.NewKernel()
+	tt := BuildThreeTier(k, 2, 2, 3, testLink(), testLink(), testLink())
+
+	deliver := func(src, dst *Host) {
+		t.Helper()
+		var got *protocol.Packet
+		k.Spawn("recv", func(p *sim.Proc) {
+			pkt, ok := dst.RecvTimeout(p, 10*time.Millisecond)
+			if ok {
+				got = pkt
+			}
+		})
+		k.Spawn("send", func(p *sim.Proc) {
+			src.Send(protocol.NewData(src.Addr, dst.Addr, 0, []float32{1}))
+		})
+		k.Run()
+		if got == nil {
+			t.Fatalf("no delivery %v → %v", src.Addr, dst.Addr)
+		}
+	}
+
+	// Same ToR: no AGG/core involvement.
+	deliver(tt.Hosts[0], tt.Hosts[1])
+	if tt.AGGs[0].Forwarded != 0 || tt.Core.Forwarded != 0 {
+		t.Fatal("intra-ToR traffic escalated")
+	}
+	// Same AGG, different ToR: through the AGG, not the core.
+	deliver(tt.Hosts[0], tt.Hosts[3])
+	if tt.AGGs[0].Forwarded == 0 {
+		t.Fatal("inter-ToR traffic skipped the AGG")
+	}
+	if tt.Core.Forwarded != 0 {
+		t.Fatal("intra-pod traffic crossed the core")
+	}
+	// Different AGGs: through the core.
+	deliver(tt.Hosts[0], tt.Hosts[11])
+	if tt.Core.Forwarded == 0 {
+		t.Fatal("inter-pod traffic skipped the core")
+	}
+}
+
+func TestDefaultThreeTierLinkSpeeds(t *testing.T) {
+	edge, agg, core := DefaultThreeTierLinks()
+	if edge.BitsPerSecond != 10e9 || agg.BitsPerSecond != 40e9 || core.BitsPerSecond != 100e9 {
+		t.Fatalf("link plan %v/%v/%v", edge.BitsPerSecond, agg.BitsPerSecond, core.BitsPerSecond)
+	}
+}
+
+func TestThreeTierAddressesDistinct(t *testing.T) {
+	k := sim.NewKernel()
+	tt := BuildThreeTier(k, 2, 2, 3, testLink(), testLink(), testLink())
+	seen := map[string]bool{}
+	for _, h := range tt.Hosts {
+		if seen[h.Addr.String()] {
+			t.Fatalf("duplicate address %v", h.Addr)
+		}
+		seen[h.Addr.String()] = true
+	}
+}

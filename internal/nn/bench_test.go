@@ -1,0 +1,54 @@
+package nn
+
+import "testing"
+
+// benchNet matches the RL agents' 2×64 hidden-layer policy networks.
+func benchNet() *MLP { return NewMLP([]int{8, 64, 64, 4}, ActTanh, ActNone, 1) }
+
+func BenchmarkMLPForward(b *testing.B) {
+	m := benchNet()
+	x := make([]float32, 8)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m.Forward(x)
+	}
+}
+
+func BenchmarkMLPForwardBackward(b *testing.B) {
+	m := benchNet()
+	x := make([]float32, 8)
+	dout := make([]float32, 4)
+	dout[0] = 1
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m.Forward(x)
+		m.Backward(dout)
+	}
+}
+
+func BenchmarkAdamStep(b *testing.B) {
+	m := benchNet()
+	opt := NewAdam(1e-3)
+	grads := make([]float32, m.ParamCount())
+	for i := range grads {
+		grads[i] = 0.01
+	}
+	b.SetBytes(int64(4 * m.ParamCount()))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		opt.Step(m.Params(), grads)
+	}
+}
+
+func BenchmarkParamSetRoundTrip(b *testing.B) {
+	n1 := benchNet()
+	n2 := NewMLP([]int{8, 64, 64, 1}, ActTanh, ActNone, 2)
+	ps := NewParamSet([]*MLP{n1, n2}, []Optimizer{NewAdam(1e-3), NewAdam(1e-3)})
+	buf := make([]float32, ps.Len())
+	b.SetBytes(int64(4 * ps.Len()))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ps.ReadGrads(buf)
+		ps.WriteGrads(buf)
+	}
+}

@@ -1,0 +1,116 @@
+package nn
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"math"
+)
+
+// Checkpointing: flat-parameter snapshots with a small self-describing
+// header, so workers can persist and resume models (and operators can
+// ship identical initial weights to a job's workers out of band).
+//
+// Layout (little-endian):
+//
+//	magic "ISWC" | version u16 | count u64 | crc32(payload) u32 | payload
+//
+// where payload is count float32 values.
+
+const (
+	ckptMagic   = "ISWC"
+	ckptVersion = 1
+)
+
+// SaveParams writes a parameter vector as a checkpoint stream.
+func SaveParams(w io.Writer, params []float32) error {
+	hdr := make([]byte, 4+2+8+4)
+	copy(hdr[0:4], ckptMagic)
+	binary.LittleEndian.PutUint16(hdr[4:6], ckptVersion)
+	binary.LittleEndian.PutUint64(hdr[6:14], uint64(len(params)))
+
+	payload := make([]byte, 4*len(params))
+	for i, f := range params {
+		binary.LittleEndian.PutUint32(payload[4*i:], math.Float32bits(f))
+	}
+	binary.LittleEndian.PutUint32(hdr[14:18], crc32.ChecksumIEEE(payload))
+	if _, err := w.Write(hdr); err != nil {
+		return fmt.Errorf("nn: checkpoint header: %w", err)
+	}
+	if _, err := w.Write(payload); err != nil {
+		return fmt.Errorf("nn: checkpoint payload: %w", err)
+	}
+	return nil
+}
+
+// LoadParams reads a checkpoint stream, validating magic, version,
+// length, and checksum.
+func LoadParams(r io.Reader) ([]float32, error) {
+	hdr := make([]byte, 4+2+8+4)
+	if _, err := io.ReadFull(r, hdr); err != nil {
+		return nil, fmt.Errorf("nn: checkpoint header: %w", err)
+	}
+	if string(hdr[0:4]) != ckptMagic {
+		return nil, fmt.Errorf("nn: not a checkpoint (magic %q)", hdr[0:4])
+	}
+	if v := binary.LittleEndian.Uint16(hdr[4:6]); v != ckptVersion {
+		return nil, fmt.Errorf("nn: unsupported checkpoint version %d", v)
+	}
+	count := binary.LittleEndian.Uint64(hdr[6:14])
+	const maxParams = 1 << 30 // 4 GiB of float32; far above any RL model
+	if count > maxParams {
+		return nil, fmt.Errorf("nn: implausible parameter count %d", count)
+	}
+	wantCRC := binary.LittleEndian.Uint32(hdr[14:18])
+	payload := make([]byte, 4*count)
+	if _, err := io.ReadFull(r, payload); err != nil {
+		return nil, fmt.Errorf("nn: checkpoint payload: %w", err)
+	}
+	if got := crc32.ChecksumIEEE(payload); got != wantCRC {
+		return nil, fmt.Errorf("nn: checkpoint corrupt (crc %#x, want %#x)", got, wantCRC)
+	}
+	params := make([]float32, count)
+	for i := range params {
+		params[i] = math.Float32frombits(binary.LittleEndian.Uint32(payload[4*i:]))
+	}
+	return params, nil
+}
+
+// Save writes this network's parameters as a checkpoint.
+func (m *MLP) Save(w io.Writer) error { return SaveParams(w, m.params) }
+
+// Load restores parameters from a checkpoint; the vector length must
+// match this architecture.
+func (m *MLP) Load(r io.Reader) error {
+	params, err := LoadParams(r)
+	if err != nil {
+		return err
+	}
+	if len(params) != len(m.params) {
+		return fmt.Errorf("nn: checkpoint has %d params, network needs %d",
+			len(params), len(m.params))
+	}
+	copy(m.params, params)
+	return nil
+}
+
+// Save writes the combined parameter vector of all networks.
+func (ps *ParamSet) Save(w io.Writer) error {
+	buf := make([]float32, ps.Len())
+	ps.ReadParams(buf)
+	return SaveParams(w, buf)
+}
+
+// Load restores the combined parameter vector into all networks.
+func (ps *ParamSet) Load(r io.Reader) error {
+	params, err := LoadParams(r)
+	if err != nil {
+		return err
+	}
+	if len(params) != ps.Len() {
+		return fmt.Errorf("nn: checkpoint has %d params, set needs %d", len(params), ps.Len())
+	}
+	ps.WriteParams(params)
+	return nil
+}

@@ -1,0 +1,95 @@
+package nn
+
+import (
+	"bytes"
+	"testing"
+)
+
+func TestCheckpointRoundTrip(t *testing.T) {
+	m := NewMLP([]int{4, 16, 2}, ActTanh, ActNone, 7)
+	var buf bytes.Buffer
+	if err := m.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	m2 := NewMLP([]int{4, 16, 2}, ActTanh, ActNone, 99) // different init
+	if err := m2.Load(&buf); err != nil {
+		t.Fatal(err)
+	}
+	for i := range m.Params() {
+		if m.Params()[i] != m2.Params()[i] {
+			t.Fatalf("param %d differs after load", i)
+		}
+	}
+}
+
+func TestCheckpointParamSetRoundTrip(t *testing.T) {
+	a := NewMLP([]int{2, 3, 1}, ActTanh, ActNone, 1)
+	b := NewMLP([]int{3, 2}, ActNone, ActNone, 2)
+	ps := NewParamSet([]*MLP{a, b}, []Optimizer{NewSGD(0.1, 0), NewSGD(0.1, 0)})
+	var buf bytes.Buffer
+	if err := ps.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	a2 := NewMLP([]int{2, 3, 1}, ActTanh, ActNone, 8)
+	b2 := NewMLP([]int{3, 2}, ActNone, ActNone, 9)
+	ps2 := NewParamSet([]*MLP{a2, b2}, []Optimizer{NewSGD(0.1, 0), NewSGD(0.1, 0)})
+	if err := ps2.Load(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if a.Params()[0] != a2.Params()[0] || b.Params()[1] != b2.Params()[1] {
+		t.Fatal("param set not restored")
+	}
+}
+
+func TestCheckpointRejectsCorruption(t *testing.T) {
+	m := NewMLP([]int{2, 2}, ActNone, ActNone, 1)
+	var buf bytes.Buffer
+	if err := m.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	data := buf.Bytes()
+
+	// Corrupt payload → CRC failure.
+	corrupt := append([]byte(nil), data...)
+	corrupt[len(corrupt)-1] ^= 0xff
+	if err := m.Load(bytes.NewReader(corrupt)); err == nil {
+		t.Fatal("corrupt payload accepted")
+	}
+	// Bad magic.
+	bad := append([]byte(nil), data...)
+	bad[0] = 'X'
+	if err := m.Load(bytes.NewReader(bad)); err == nil {
+		t.Fatal("bad magic accepted")
+	}
+	// Wrong architecture.
+	other := NewMLP([]int{3, 3}, ActNone, ActNone, 1)
+	if err := other.Load(bytes.NewReader(data)); err == nil {
+		t.Fatal("architecture mismatch accepted")
+	}
+	// Truncated stream.
+	if err := m.Load(bytes.NewReader(data[:8])); err == nil {
+		t.Fatal("truncated header accepted")
+	}
+	if err := m.Load(bytes.NewReader(data[:len(data)-2])); err == nil {
+		t.Fatal("truncated payload accepted")
+	}
+	// Implausible count.
+	huge := append([]byte(nil), data...)
+	for i := 6; i < 14; i++ {
+		huge[i] = 0xff
+	}
+	if _, err := LoadParams(bytes.NewReader(huge)); err == nil {
+		t.Fatal("implausible count accepted")
+	}
+}
+
+func TestCheckpointEmptyVector(t *testing.T) {
+	var buf bytes.Buffer
+	if err := SaveParams(&buf, nil); err != nil {
+		t.Fatal(err)
+	}
+	out, err := LoadParams(&buf)
+	if err != nil || len(out) != 0 {
+		t.Fatalf("empty round-trip: %v %v", out, err)
+	}
+}

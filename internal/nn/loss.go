@@ -1,0 +1,97 @@
+package nn
+
+import (
+	"math"
+
+	"iswitch/internal/tensor"
+)
+
+// Loss helpers. Each returns the scalar loss and writes dL/d(pred)
+// into dgrad, ready to feed MLP.Backward.
+
+// MSE computes 0.5·(pred−target)² summed over elements; dgrad gets
+// (pred−target).
+func MSE(pred, target, dgrad []float32) float32 {
+	var loss float32
+	for i := range pred {
+		d := pred[i] - target[i]
+		dgrad[i] = d
+		loss += 0.5 * d * d
+	}
+	return loss
+}
+
+// Huber computes the Huber (smooth-L1) loss with threshold delta, the
+// standard DQN temporal-difference loss.
+func Huber(pred, target, dgrad []float32, delta float32) float32 {
+	var loss float32
+	for i := range pred {
+		d := pred[i] - target[i]
+		if d > delta {
+			loss += delta * (d - 0.5*delta)
+			dgrad[i] = delta
+		} else if d < -delta {
+			loss += delta * (-d - 0.5*delta)
+			dgrad[i] = -delta
+		} else {
+			loss += 0.5 * d * d
+			dgrad[i] = d
+		}
+	}
+	return loss
+}
+
+// SoftmaxCE computes softmax cross-entropy against a one-hot target
+// class, weighted by w (policy-gradient advantage weighting uses w =
+// −advantage to ascend). It returns the (unweighted) log-probability of
+// the class and writes w·(softmax(logits) − onehot) into dgrad.
+func SoftmaxCE(logits []float32, class int, w float32, dgrad []float32) float32 {
+	probs := make([]float32, len(logits))
+	tensor.Softmax(probs, logits)
+	for i := range logits {
+		t := float32(0)
+		if i == class {
+			t = 1
+		}
+		dgrad[i] = w * (probs[i] - t)
+	}
+	return float32(math.Log(float64(probs[class]) + 1e-12))
+}
+
+// Entropy returns the entropy of softmax(logits) and accumulates
+// −β·d(entropy)/d(logits) into dgrad (maximizing entropy with weight β,
+// the standard A2C/PPO exploration bonus).
+func Entropy(logits []float32, beta float32, dgrad []float32) float32 {
+	probs := make([]float32, len(logits))
+	tensor.Softmax(probs, logits)
+	var h float64
+	for _, p := range probs {
+		if p > 0 {
+			h -= float64(p) * math.Log(float64(p))
+		}
+	}
+	// dH/dlogit_i = −p_i·(log p_i + H)
+	for i, p := range probs {
+		dH := -p * (float32(math.Log(float64(p)+1e-12)) + float32(h))
+		dgrad[i] -= beta * dH
+	}
+	return float32(h)
+}
+
+// GaussianLogProb returns log N(a; mean, exp(logStd)²) summed over
+// dims and writes the gradients w.r.t. mean and logStd.
+func GaussianLogProb(a, mean, logStd []float32, dMean, dLogStd []float32) float32 {
+	var lp float32
+	for i := range a {
+		std := float32(math.Exp(float64(logStd[i])))
+		z := (a[i] - mean[i]) / std
+		lp += -0.5*z*z - logStd[i] - 0.5*float32(math.Log(2*math.Pi))
+		if dMean != nil {
+			dMean[i] = z / std // d logp / d mean
+		}
+		if dLogStd != nil {
+			dLogStd[i] = z*z - 1 // d logp / d logStd
+		}
+	}
+	return lp
+}

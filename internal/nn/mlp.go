@@ -1,0 +1,210 @@
+// Package nn implements the small neural networks the RL algorithms
+// train: multi-layer perceptrons with explicit backward passes, flat
+// float32 parameter/gradient storage (the vectors that get packetized
+// and aggregated in-switch), and SGD/Adam optimizers.
+package nn
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"iswitch/internal/tensor"
+)
+
+// Activation selects a layer nonlinearity.
+type Activation int
+
+const (
+	// ActNone is the identity (linear output layers).
+	ActNone Activation = iota
+	// ActReLU is max(0, x).
+	ActReLU
+	// ActTanh is the hyperbolic tangent.
+	ActTanh
+)
+
+func (a Activation) apply(z float32) float32 {
+	switch a {
+	case ActReLU:
+		if z < 0 {
+			return 0
+		}
+		return z
+	case ActTanh:
+		return float32(math.Tanh(float64(z)))
+	default:
+		return z
+	}
+}
+
+// derivFromOutput returns dσ/dz expressed via the activation output y.
+func (a Activation) derivFromOutput(y float32) float32 {
+	switch a {
+	case ActReLU:
+		if y > 0 {
+			return 1
+		}
+		return 0
+	case ActTanh:
+		return 1 - y*y
+	default:
+		return 1
+	}
+}
+
+// MLP is a fully connected network with one activation on hidden layers
+// and an optional activation on the output. All weights and biases live
+// in a single contiguous params slice (and gradients in a parallel
+// grads slice), so distributing the model is a straight memcpy.
+type MLP struct {
+	dims   []int
+	hidden Activation
+	out    Activation
+
+	params []float32
+	grads  []float32
+	ws     []*tensor.Mat // views into params
+	bs     []tensor.Vec
+	dws    []*tensor.Mat // views into grads
+	dbs    []tensor.Vec
+
+	// Forward caches for the most recent sample.
+	acts [][]float32 // acts[0] = input, acts[l+1] = output of layer l
+}
+
+// NewMLP builds a network with the given layer dims (dims[0] inputs,
+// dims[len-1] outputs), hidden activation, output activation, and
+// Xavier-initialized weights from seed.
+func NewMLP(dims []int, hidden, out Activation, seed int64) *MLP {
+	if len(dims) < 2 {
+		panic("nn: MLP needs at least input and output dims")
+	}
+	for _, d := range dims {
+		if d < 1 {
+			panic(fmt.Sprintf("nn: invalid layer dim %d", d))
+		}
+	}
+	total := 0
+	for l := 0; l+1 < len(dims); l++ {
+		total += dims[l+1]*dims[l] + dims[l+1]
+	}
+	m := &MLP{
+		dims:   append([]int(nil), dims...),
+		hidden: hidden,
+		out:    out,
+		params: make([]float32, total),
+		grads:  make([]float32, total),
+	}
+	off := 0
+	rng := rand.New(rand.NewSource(seed))
+	for l := 0; l+1 < len(dims); l++ {
+		in, outDim := dims[l], dims[l+1]
+		w := tensor.MatFrom(outDim, in, m.params[off:off+outDim*in])
+		dw := tensor.MatFrom(outDim, in, m.grads[off:off+outDim*in])
+		off += outDim * in
+		b := tensor.Vec(m.params[off : off+outDim])
+		db := tensor.Vec(m.grads[off : off+outDim])
+		off += outDim
+		w.XavierInit(rng)
+		m.ws = append(m.ws, w)
+		m.bs = append(m.bs, b)
+		m.dws = append(m.dws, dw)
+		m.dbs = append(m.dbs, db)
+	}
+	m.acts = make([][]float32, len(dims))
+	for i, d := range dims {
+		m.acts[i] = make([]float32, d)
+	}
+	return m
+}
+
+// InDim and OutDim report the network's interface sizes.
+func (m *MLP) InDim() int  { return m.dims[0] }
+func (m *MLP) OutDim() int { return m.dims[len(m.dims)-1] }
+
+// ParamCount returns the number of trainable scalars.
+func (m *MLP) ParamCount() int { return len(m.params) }
+
+// Params returns the flat parameter storage (a live view).
+func (m *MLP) Params() []float32 { return m.params }
+
+// Grads returns the flat gradient storage (a live view).
+func (m *MLP) Grads() []float32 { return m.grads }
+
+// ZeroGrads clears accumulated gradients.
+func (m *MLP) ZeroGrads() { tensor.Vec(m.grads).Zero() }
+
+// Forward runs one sample through the network, caching activations for
+// Backward, and returns the output (a live view; copy to retain).
+func (m *MLP) Forward(x []float32) []float32 {
+	if len(x) != m.dims[0] {
+		panic(fmt.Sprintf("nn: input dim %d, want %d", len(x), m.dims[0]))
+	}
+	copy(m.acts[0], x)
+	for l := range m.ws {
+		in := tensor.Vec(m.acts[l])
+		z := tensor.Vec(m.acts[l+1])
+		m.ws[l].MatVec(z, in)
+		z.Add(m.bs[l])
+		act := m.hidden
+		if l == len(m.ws)-1 {
+			act = m.out
+		}
+		if act != ActNone {
+			for i := range z {
+				z[i] = act.apply(z[i])
+			}
+		}
+	}
+	return m.acts[len(m.acts)-1]
+}
+
+// Backward accumulates parameter gradients for the most recent Forward
+// given dL/d(output), and returns dL/d(input) as a fresh slice.
+func (m *MLP) Backward(dout []float32) []float32 {
+	if len(dout) != m.OutDim() {
+		panic(fmt.Sprintf("nn: dout dim %d, want %d", len(dout), m.OutDim()))
+	}
+	delta := append([]float32(nil), dout...)
+	for l := len(m.ws) - 1; l >= 0; l-- {
+		act := m.hidden
+		if l == len(m.ws)-1 {
+			act = m.out
+		}
+		y := m.acts[l+1]
+		if act != ActNone {
+			for i := range delta {
+				delta[i] *= act.derivFromOutput(y[i])
+			}
+		}
+		// dW += delta · xᵀ; db += delta; dx = Wᵀ · delta.
+		x := tensor.Vec(m.acts[l])
+		m.dws[l].AddOuter(1, delta, x)
+		tensor.Vec(m.dbs[l]).Add(delta)
+		dx := make([]float32, m.dims[l])
+		m.ws[l].MatTVec(dx, delta)
+		delta = dx
+	}
+	return delta
+}
+
+// CopyFrom overwrites this network's parameters with src's (target
+// network hard update). Architectures must match.
+func (m *MLP) CopyFrom(src *MLP) {
+	if len(m.params) != len(src.params) {
+		panic("nn: CopyFrom architecture mismatch")
+	}
+	copy(m.params, src.params)
+}
+
+// SoftUpdate blends θ ← τ·θ_src + (1−τ)·θ (DDPG-style Polyak target
+// update).
+func (m *MLP) SoftUpdate(src *MLP, tau float32) {
+	if len(m.params) != len(src.params) {
+		panic("nn: SoftUpdate architecture mismatch")
+	}
+	for i := range m.params {
+		m.params[i] = tau*src.params[i] + (1-tau)*m.params[i]
+	}
+}

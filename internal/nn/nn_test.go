@@ -1,0 +1,371 @@
+package nn
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestMLPShapes(t *testing.T) {
+	m := NewMLP([]int{4, 8, 3}, ActReLU, ActNone, 1)
+	if m.InDim() != 4 || m.OutDim() != 3 {
+		t.Fatalf("dims %d/%d", m.InDim(), m.OutDim())
+	}
+	want := 8*4 + 8 + 3*8 + 3
+	if m.ParamCount() != want {
+		t.Fatalf("params = %d, want %d", m.ParamCount(), want)
+	}
+	out := m.Forward([]float32{1, 0, -1, 0.5})
+	if len(out) != 3 {
+		t.Fatalf("out len %d", len(out))
+	}
+}
+
+func TestMLPDeterministicInit(t *testing.T) {
+	a := NewMLP([]int{3, 5, 2}, ActTanh, ActNone, 42)
+	b := NewMLP([]int{3, 5, 2}, ActTanh, ActNone, 42)
+	for i := range a.Params() {
+		if a.Params()[i] != b.Params()[i] {
+			t.Fatal("same seed gave different init")
+		}
+	}
+	c := NewMLP([]int{3, 5, 2}, ActTanh, ActNone, 43)
+	same := true
+	for i := range a.Params() {
+		if a.Params()[i] != c.Params()[i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Fatal("different seeds gave identical init")
+	}
+}
+
+// Numerical gradient check: the backward pass must match finite
+// differences of a scalar loss for every parameter.
+func TestMLPGradCheck(t *testing.T) {
+	for _, tc := range []struct {
+		name   string
+		hidden Activation
+		out    Activation
+	}{
+		{"tanh-linear", ActTanh, ActNone},
+		{"relu-linear", ActReLU, ActNone},
+		{"tanh-tanh", ActTanh, ActTanh},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			m := NewMLP([]int{3, 6, 4, 2}, tc.hidden, tc.out, 7)
+			rng := rand.New(rand.NewSource(9))
+			x := []float32{0.3, -0.7, 0.5}
+			target := []float32{0.2, -0.4}
+
+			loss := func() float64 {
+				out := m.Forward(x)
+				var l float64
+				for i := range out {
+					d := float64(out[i] - target[i])
+					l += 0.5 * d * d
+				}
+				return l
+			}
+
+			m.ZeroGrads()
+			out := m.Forward(x)
+			dout := make([]float32, len(out))
+			MSE(out, target, dout)
+			m.Backward(dout)
+			analytic := append([]float32(nil), m.Grads()...)
+
+			const eps = 1e-3
+			checks := 0
+			for trial := 0; trial < 40; trial++ {
+				i := rng.Intn(m.ParamCount())
+				orig := m.Params()[i]
+				m.Params()[i] = orig + eps
+				lp := loss()
+				m.Params()[i] = orig - eps
+				lm := loss()
+				m.Params()[i] = orig
+				numeric := (lp - lm) / (2 * eps)
+				if math.Abs(numeric-float64(analytic[i])) > 1e-2*(1+math.Abs(numeric)) {
+					t.Fatalf("param %d: analytic %v vs numeric %v", i, analytic[i], numeric)
+				}
+				checks++
+			}
+			if checks == 0 {
+				t.Fatal("no gradient checks ran")
+			}
+		})
+	}
+}
+
+func TestBackwardReturnsInputGrad(t *testing.T) {
+	m := NewMLP([]int{2, 4, 1}, ActTanh, ActNone, 3)
+	x := []float32{0.5, -0.25}
+	out := m.Forward(x)
+	dx := m.Backward([]float32{1})
+	if len(dx) != 2 {
+		t.Fatalf("dx len %d", len(dx))
+	}
+	// Finite-difference check on the input gradient.
+	const eps = 1e-3
+	base := float64(out[0])
+	_ = base
+	for i := range x {
+		xp := append([]float32(nil), x...)
+		xp[i] += eps
+		up := float64(m.Forward(xp)[0])
+		xm := append([]float32(nil), x...)
+		xm[i] -= eps
+		um := float64(m.Forward(xm)[0])
+		numeric := (up - um) / (2 * eps)
+		if math.Abs(numeric-float64(dx[i])) > 1e-2*(1+math.Abs(numeric)) {
+			t.Fatalf("dx[%d]: analytic %v vs numeric %v", i, dx[i], numeric)
+		}
+	}
+}
+
+func TestGradAccumulation(t *testing.T) {
+	m := NewMLP([]int{2, 3, 1}, ActTanh, ActNone, 5)
+	x1 := []float32{1, 0}
+	x2 := []float32{0, 1}
+
+	m.ZeroGrads()
+	m.Forward(x1)
+	m.Backward([]float32{1})
+	g1 := append([]float32(nil), m.Grads()...)
+
+	m.ZeroGrads()
+	m.Forward(x2)
+	m.Backward([]float32{1})
+	g2 := append([]float32(nil), m.Grads()...)
+
+	m.ZeroGrads()
+	m.Forward(x1)
+	m.Backward([]float32{1})
+	m.Forward(x2)
+	m.Backward([]float32{1})
+	for i := range g1 {
+		want := g1[i] + g2[i]
+		if math.Abs(float64(m.Grads()[i]-want)) > 1e-5 {
+			t.Fatalf("grad %d: %v, want %v", i, m.Grads()[i], want)
+		}
+	}
+}
+
+func TestCopyFromAndSoftUpdate(t *testing.T) {
+	a := NewMLP([]int{2, 3, 1}, ActTanh, ActNone, 1)
+	b := NewMLP([]int{2, 3, 1}, ActTanh, ActNone, 2)
+	b.CopyFrom(a)
+	for i := range a.Params() {
+		if a.Params()[i] != b.Params()[i] {
+			t.Fatal("CopyFrom incomplete")
+		}
+	}
+	c := NewMLP([]int{2, 3, 1}, ActTanh, ActNone, 3)
+	orig := append([]float32(nil), c.Params()...)
+	c.SoftUpdate(a, 0.1)
+	for i := range c.Params() {
+		want := 0.1*a.Params()[i] + 0.9*orig[i]
+		if math.Abs(float64(c.Params()[i]-want)) > 1e-6 {
+			t.Fatalf("soft update param %d: %v, want %v", i, c.Params()[i], want)
+		}
+	}
+}
+
+func TestSGDStep(t *testing.T) {
+	params := []float32{1, 2}
+	grads := []float32{0.5, -0.5}
+	NewSGD(0.1, 0).Step(params, grads)
+	if params[0] != 0.95 || params[1] != 2.05 {
+		t.Fatalf("params = %v", params)
+	}
+}
+
+func TestSGDMomentumAccumulates(t *testing.T) {
+	s := NewSGD(0.1, 0.9)
+	params := []float32{0}
+	s.Step(params, []float32{1}) // vel=1, p=-0.1
+	s.Step(params, []float32{1}) // vel=1.9, p=-0.29
+	if math.Abs(float64(params[0])+0.29) > 1e-6 {
+		t.Fatalf("params = %v", params)
+	}
+}
+
+func TestAdamConvergesOnQuadratic(t *testing.T) {
+	// minimize (p-3)^2 from p=0
+	params := []float32{0}
+	a := NewAdam(0.05)
+	for i := 0; i < 2000; i++ {
+		g := []float32{2 * (params[0] - 3)}
+		a.Step(params, g)
+	}
+	if math.Abs(float64(params[0])-3) > 0.05 {
+		t.Fatalf("Adam converged to %v, want 3", params[0])
+	}
+}
+
+func TestParamSetRoundTrip(t *testing.T) {
+	n1 := NewMLP([]int{2, 3, 1}, ActTanh, ActNone, 1)
+	n2 := NewMLP([]int{3, 2}, ActNone, ActNone, 2)
+	ps := NewParamSet([]*MLP{n1, n2}, []Optimizer{NewSGD(0.1, 0), NewSGD(0.1, 0)})
+	if ps.Len() != n1.ParamCount()+n2.ParamCount() {
+		t.Fatalf("len = %d", ps.Len())
+	}
+	buf := make([]float32, ps.Len())
+	ps.ReadParams(buf)
+	if buf[0] != n1.Params()[0] || buf[ps.Len()-1] != n2.Params()[n2.ParamCount()-1] {
+		t.Fatal("ReadParams ordering wrong")
+	}
+	buf[0] = 99
+	ps.WriteParams(buf)
+	if n1.Params()[0] != 99 {
+		t.Fatal("WriteParams did not land")
+	}
+}
+
+func TestParamSetStepAppliesAveragedGrad(t *testing.T) {
+	n := NewMLP([]int{1, 1}, ActNone, ActNone, 1)
+	ps := NewParamSet([]*MLP{n}, []Optimizer{NewSGD(1, 0)})
+	before := append([]float32(nil), n.Params()...)
+	avg := make([]float32, ps.Len())
+	for i := range avg {
+		avg[i] = 0.5
+	}
+	ps.Step(avg)
+	for i := range before {
+		if math.Abs(float64(n.Params()[i]-(before[i]-0.5))) > 1e-6 {
+			t.Fatalf("param %d: %v, want %v", i, n.Params()[i], before[i]-0.5)
+		}
+	}
+}
+
+func TestHuberLoss(t *testing.T) {
+	pred := []float32{0, 3, -3}
+	target := []float32{0, 0, 0}
+	dgrad := make([]float32, 3)
+	loss := Huber(pred, target, dgrad, 1)
+	if dgrad[0] != 0 || dgrad[1] != 1 || dgrad[2] != -1 {
+		t.Fatalf("dgrad = %v", dgrad)
+	}
+	want := float32(0 + 2.5 + 2.5)
+	if math.Abs(float64(loss-want)) > 1e-6 {
+		t.Fatalf("loss = %v, want %v", loss, want)
+	}
+	// quadratic region matches MSE
+	d2 := make([]float32, 1)
+	l2 := Huber([]float32{0.5}, []float32{0}, d2, 1)
+	if math.Abs(float64(l2)-0.125) > 1e-6 || math.Abs(float64(d2[0])-0.5) > 1e-6 {
+		t.Fatalf("quadratic region: loss=%v d=%v", l2, d2[0])
+	}
+}
+
+func TestSoftmaxCEGradient(t *testing.T) {
+	logits := []float32{0.2, -0.1, 0.7}
+	dgrad := make([]float32, 3)
+	lp := SoftmaxCE(logits, 2, 1, dgrad)
+	if lp >= 0 {
+		t.Fatalf("log prob = %v, want negative", lp)
+	}
+	// Gradient sums to zero and is negative for the target class.
+	var sum float32
+	for _, g := range dgrad {
+		sum += g
+	}
+	if math.Abs(float64(sum)) > 1e-5 {
+		t.Fatalf("grad sum = %v", sum)
+	}
+	if dgrad[2] >= 0 {
+		t.Fatalf("target grad %v should be negative", dgrad[2])
+	}
+	// Numerical check against finite differences of −log p(class).
+	const eps = 1e-3
+	for i := range logits {
+		lp := func(l []float32) float64 {
+			probs := make([]float32, 3)
+			copyL := append([]float32(nil), l...)
+			maxv := copyL[0]
+			for _, v := range copyL {
+				if v > maxv {
+					maxv = v
+				}
+			}
+			var s float64
+			for j, v := range copyL {
+				probs[j] = float32(math.Exp(float64(v - maxv)))
+				s += float64(probs[j])
+			}
+			return -math.Log(float64(probs[2])/s + 1e-12)
+		}
+		up := append([]float32(nil), logits...)
+		up[i] += eps
+		dn := append([]float32(nil), logits...)
+		dn[i] -= eps
+		numeric := (lp(up) - lp(dn)) / (2 * eps)
+		if math.Abs(numeric-float64(dgrad[i])) > 1e-3 {
+			t.Fatalf("dgrad[%d] = %v, numeric %v", i, dgrad[i], numeric)
+		}
+	}
+}
+
+func TestEntropyBonus(t *testing.T) {
+	logits := []float32{0, 0, 0}
+	dgrad := make([]float32, 3)
+	h := Entropy(logits, 0.01, dgrad)
+	if math.Abs(float64(h)-math.Log(3)) > 1e-5 {
+		t.Fatalf("uniform entropy = %v, want ln3", h)
+	}
+	// Uniform distribution is the entropy maximum: gradient ~ 0.
+	for _, g := range dgrad {
+		if math.Abs(float64(g)) > 1e-6 {
+			t.Fatalf("entropy grad at maximum = %v", dgrad)
+		}
+	}
+	// Peaked logits: bonus should push the peak down.
+	logits = []float32{2, 0, 0}
+	dgrad = make([]float32, 3)
+	Entropy(logits, 1, dgrad)
+	if dgrad[0] <= 0 {
+		t.Fatalf("entropy bonus should lower the peaked logit, grad %v", dgrad)
+	}
+}
+
+func TestGaussianLogProb(t *testing.T) {
+	mean := []float32{0}
+	logStd := []float32{0} // std = 1
+	dMean := make([]float32, 1)
+	dLogStd := make([]float32, 1)
+	lp := GaussianLogProb([]float32{0}, mean, logStd, dMean, dLogStd)
+	want := -0.5 * math.Log(2*math.Pi)
+	if math.Abs(float64(lp)-want) > 1e-5 {
+		t.Fatalf("logprob = %v, want %v", lp, want)
+	}
+	if dMean[0] != 0 {
+		t.Fatalf("dMean at mean = %v", dMean[0])
+	}
+	if dLogStd[0] != -1 {
+		t.Fatalf("dLogStd = %v, want -1", dLogStd[0])
+	}
+	// At a = mean + std the logStd gradient flips sign to 0.
+	GaussianLogProb([]float32{1}, mean, logStd, dMean, dLogStd)
+	if math.Abs(float64(dLogStd[0])) > 1e-6 {
+		t.Fatalf("dLogStd at 1σ = %v, want 0", dLogStd[0])
+	}
+	if dMean[0] != 1 {
+		t.Fatalf("dMean at 1σ = %v, want 1", dMean[0])
+	}
+}
+
+func TestInvalidConstruction(t *testing.T) {
+	for _, dims := range [][]int{{3}, {0, 2}, {2, -1, 3}} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("dims %v accepted", dims)
+				}
+			}()
+			NewMLP(dims, ActNone, ActNone, 1)
+		}()
+	}
+}

@@ -1,0 +1,71 @@
+package nn
+
+import "math"
+
+// Optimizer updates a flat parameter vector from a flat gradient
+// vector. Implementations are deterministic: in synchronous distributed
+// training every worker applies the same aggregated gradient, so every
+// replica's parameters stay bit-identical (the decentralized weight
+// storage argument of paper §4.1).
+type Optimizer interface {
+	// Step applies one update in place. len(params) == len(grads).
+	Step(params, grads []float32)
+}
+
+// SGD is stochastic gradient descent with optional momentum.
+type SGD struct {
+	LR       float32
+	Momentum float32
+	vel      []float32
+}
+
+// NewSGD returns an SGD optimizer.
+func NewSGD(lr, momentum float32) *SGD { return &SGD{LR: lr, Momentum: momentum} }
+
+// Step implements Optimizer.
+func (s *SGD) Step(params, grads []float32) {
+	if s.Momentum == 0 {
+		for i := range params {
+			params[i] -= s.LR * grads[i]
+		}
+		return
+	}
+	if s.vel == nil {
+		s.vel = make([]float32, len(params))
+	}
+	for i := range params {
+		s.vel[i] = s.Momentum*s.vel[i] + grads[i]
+		params[i] -= s.LR * s.vel[i]
+	}
+}
+
+// Adam is the Adam optimizer (Kingma & Ba) with bias correction.
+type Adam struct {
+	LR, Beta1, Beta2, Eps float32
+	m, v                  []float32
+	t                     int
+}
+
+// NewAdam returns an Adam optimizer with standard betas.
+func NewAdam(lr float32) *Adam {
+	return &Adam{LR: lr, Beta1: 0.9, Beta2: 0.999, Eps: 1e-8}
+}
+
+// Step implements Optimizer.
+func (a *Adam) Step(params, grads []float32) {
+	if a.m == nil {
+		a.m = make([]float32, len(params))
+		a.v = make([]float32, len(params))
+	}
+	a.t++
+	b1c := 1 - float32(math.Pow(float64(a.Beta1), float64(a.t)))
+	b2c := 1 - float32(math.Pow(float64(a.Beta2), float64(a.t)))
+	for i := range params {
+		g := grads[i]
+		a.m[i] = a.Beta1*a.m[i] + (1-a.Beta1)*g
+		a.v[i] = a.Beta2*a.v[i] + (1-a.Beta2)*g*g
+		mHat := a.m[i] / b1c
+		vHat := a.v[i] / b2c
+		params[i] -= a.LR * mHat / (float32(math.Sqrt(float64(vHat))) + a.Eps)
+	}
+}

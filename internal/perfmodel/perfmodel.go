@@ -1,0 +1,206 @@
+// Package perfmodel carries the paper-derived timing parameters that
+// calibrate the simulation: the four benchmark workloads of Table 1
+// (model sizes, iteration counts), the per-iteration stage durations
+// implied by Table 4/5 and the Figure 4 breakdowns, and the software
+// overhead constants of the reference PS/AllReduce implementations.
+//
+// Calibration policy (DESIGN.md §4): only the *baseline* synchronous
+// parameter-server numbers are fitted — local compute and weight-update
+// durations are chosen so that sync-PS per-iteration time matches
+// Table 4 given the network model. Every other number (AllReduce,
+// iSwitch, async, scalability) is produced by the simulator, so the
+// reproduction genuinely tests whether in-switch aggregation yields the
+// paper's shape.
+package perfmodel
+
+import (
+	"fmt"
+	"time"
+)
+
+// Workload describes one paper benchmark for the timing layer.
+type Workload struct {
+	// Name is the algorithm (DQN, A2C, PPO, DDPG).
+	Name string
+	// PaperEnv is the environment the paper trained on.
+	PaperEnv string
+	// StandInEnv is the environment this reproduction trains on.
+	StandInEnv string
+	// ModelBytes is the gradient/model size (Table 1).
+	ModelBytes int
+	// TableIters is the "Training Iteration" column of Table 1.
+	TableIters int64
+	// TensorMessages is how many framework-level tensor messages carry
+	// one gradient (DDPG's "dual model" ships actor and critic
+	// separately, so it pays the per-message software cost twice).
+	TensorMessages int
+
+	// SyncIters is the synchronous iteration count (Table 4; identical
+	// for PS, AR, and iSwitch since they are mathematically equivalent).
+	SyncIters int64
+	// AsyncItersPS and AsyncItersISW are the Table 5 iteration counts.
+	AsyncItersPS, AsyncItersISW int64
+
+	// AsyncPSUpdateCost is extra server-side time per accepted update in
+	// the asynchronous parameter-server baseline, fitted so async-PS
+	// per-iteration time matches Table 5 (the async baseline is fitted
+	// the same way the sync baseline is; iSwitch stays derived).
+	AsyncPSUpdateCost time.Duration
+
+	// LocalCompute is the per-iteration local-gradient-computing time
+	// (agent action, environment reaction, buffer sampling, memory
+	// allocation, forward pass, backward pass, GPU copy, others).
+	LocalCompute time.Duration
+	// WeightUpdate is the per-iteration optimizer-step time.
+	WeightUpdate time.Duration
+
+	// ComputeShares splits LocalCompute into Figure 4's named stages
+	// (fractions of LocalCompute, summing to 1).
+	ComputeShares ComputeShares
+
+	// PaperSyncPerIter are Table 4's measured per-iteration times, kept
+	// for paper-vs-measured reporting (they are outputs to compare
+	// against, not inputs to the simulator).
+	PaperSyncPerIterPS, PaperSyncPerIterAR, PaperSyncPerIterISW time.Duration
+	// PaperAsyncPerIterPS/ISW are Table 5's per-iteration times.
+	PaperAsyncPerIterPS, PaperAsyncPerIterISW time.Duration
+	// FinalReward is the "Final Average Reward" the paper reports for
+	// synchronous training (Table 4).
+	FinalReward float64
+}
+
+// ComputeShares are the Figure 4 local-computation stage fractions.
+type ComputeShares struct {
+	AgentAction, EnvReact, BufferSampling, MemAlloc,
+	ForwardPass, BackwardPass, GPUCopy, Others float64
+}
+
+// StageNames lists the Figure 4 stage labels in display order.
+func StageNames() []string {
+	return []string{"Agent Action", "Environ React", "Buffer Sampling", "Memory Alloc",
+		"Forward Pass", "Backward Pass", "GPU Copy", "Weight Update", "Grad Aggregation", "Others"}
+}
+
+// Floats returns the model size in float32 elements.
+func (w Workload) Floats() int { return w.ModelBytes / 4 }
+
+// Tensors returns the framework-level tensor message count (≥ 1).
+func (w Workload) Tensors() int {
+	if w.TensorMessages < 1 {
+		return 1
+	}
+	return w.TensorMessages
+}
+
+// defaultShares is a generic Figure 4-style split of local compute.
+var defaultShares = ComputeShares{
+	AgentAction: 0.10, EnvReact: 0.14, BufferSampling: 0.08, MemAlloc: 0.07,
+	ForwardPass: 0.22, BackwardPass: 0.26, GPUCopy: 0.08, Others: 0.05,
+}
+
+// Workloads returns the four paper benchmarks with calibrated timing.
+//
+// Derivations (4 workers, Table 4): per-iteration sync-PS time =
+// end-to-end hours / iterations: DQN 31.72 h/1.40 M = 81.6 ms, A2C
+// 2.87 h/0.20 M = 51.7 ms, PPO 0.39 h/80 K = 17.6 ms, DDPG 8.07 h/0.75 M
+// = 38.7 ms. Gradient aggregation occupies 49.9–83.2 % of an iteration
+// (Figure 4), highest for the largest model (DQN) and lowest for the
+// smallest (PPO); LocalCompute+WeightUpdate is the remainder.
+func Workloads() []Workload {
+	return []Workload{
+		{
+			Name: "DQN", PaperEnv: "Atari Pong", StandInEnv: "GridPong",
+			ModelBytes: 6_410_000, TableIters: 200_000_000,
+			SyncIters: 1_400_000, AsyncItersPS: 6_300_000, AsyncItersISW: 3_500_000,
+			LocalCompute: 11700 * time.Microsecond, WeightUpdate: 2000 * time.Microsecond,
+			AsyncPSUpdateCost:   21100 * time.Microsecond,
+			ComputeShares:       defaultShares,
+			PaperSyncPerIterPS:  81560 * time.Microsecond,
+			PaperSyncPerIterAR:  41350 * time.Microsecond,
+			PaperSyncPerIterISW: 22270 * time.Microsecond,
+			PaperAsyncPerIterPS: 24880 * time.Microsecond, PaperAsyncPerIterISW: 12070 * time.Microsecond,
+			FinalReward: 20.00,
+		},
+		{
+			Name: "A2C", PaperEnv: "Atari Qbert", StandInEnv: "CartPole",
+			ModelBytes: 3_310_000, TableIters: 2_000_000,
+			SyncIters: 200_000, AsyncItersPS: 1_200_000, AsyncItersISW: 400_000,
+			LocalCompute: 14800 * time.Microsecond, WeightUpdate: 1500 * time.Microsecond,
+			AsyncPSUpdateCost:   9950 * time.Microsecond,
+			ComputeShares:       defaultShares,
+			PaperSyncPerIterPS:  51660 * time.Microsecond,
+			PaperSyncPerIterAR:  32040 * time.Microsecond,
+			PaperSyncPerIterISW: 20160 * time.Microsecond,
+			PaperAsyncPerIterPS: 13130 * time.Microsecond, PaperAsyncPerIterISW: 12530 * time.Microsecond,
+			FinalReward: 13491.73,
+		},
+		{
+			Name: "PPO", PaperEnv: "MuJoCo Hopper", StandInEnv: "Pendulum",
+			ModelBytes: 40_020, TableIters: 150_000,
+			SyncIters: 80_000, AsyncItersPS: 540_000, AsyncItersISW: 120_000,
+			LocalCompute: 8500 * time.Microsecond, WeightUpdate: 300 * time.Microsecond,
+			AsyncPSUpdateCost:   720 * time.Microsecond,
+			ComputeShares:       defaultShares,
+			PaperSyncPerIterPS:  17550 * time.Microsecond,
+			PaperSyncPerIterAR:  18900 * time.Microsecond,
+			PaperSyncPerIterISW: 9900 * time.Microsecond,
+			PaperAsyncPerIterPS: 3400 * time.Microsecond, PaperAsyncPerIterISW: 7990 * time.Microsecond,
+			FinalReward: 3090.24,
+		},
+		{
+			Name: "DDPG", PaperEnv: "MuJoCo HalfCheetah", StandInEnv: "PlanarCheetah",
+			ModelBytes: 157_520, TableIters: 2_500_000,
+			SyncIters: 750_000, AsyncItersPS: 3_000_000, AsyncItersISW: 1_500_000,
+			TensorMessages: 2,
+			LocalCompute:   14500 * time.Microsecond, WeightUpdate: 500 * time.Microsecond,
+			AsyncPSUpdateCost:   9500 * time.Microsecond,
+			ComputeShares:       defaultShares,
+			PaperSyncPerIterPS:  38740 * time.Microsecond,
+			PaperSyncPerIterAR:  43240 * time.Microsecond,
+			PaperSyncPerIterISW: 21130 * time.Microsecond,
+			PaperAsyncPerIterPS: 11580 * time.Microsecond, PaperAsyncPerIterISW: 14890 * time.Microsecond,
+			FinalReward: 2476.75,
+		},
+	}
+}
+
+// WorkloadByName returns the named workload.
+func WorkloadByName(name string) (Workload, error) {
+	for _, w := range Workloads() {
+		if w.Name == name {
+			return w, nil
+		}
+	}
+	return Workload{}, fmt.Errorf("perfmodel: unknown workload %q", name)
+}
+
+// Software-stack overhead constants for the reference designs, chosen
+// once to land the PS baseline near Table 4 and then held fixed.
+const (
+	// PSPerMessage is the framework cost (PyTorch distributed + MPI +
+	// GPU staging) the parameter server pays per whole-gradient message
+	// it receives or sends.
+	PSPerMessage = 1290 * time.Microsecond
+	// PSWorkerBase is each worker's per-round client-side cost.
+	PSWorkerBase = 500 * time.Microsecond
+	// PSSumRate is the server's vectorized summation rate (float32
+	// element-additions per second).
+	PSSumRate = 2e9
+	// PSCopyRate is the server's tensor staging throughput
+	// (serialize/deserialize + host-GPU copies), charged per byte of
+	// every whole-gradient message it receives or sends.
+	PSCopyRate = 1.57e9
+
+	// ARPerStep is the per-ring-step software cost (MPI send/recv pair
+	// launch plus GPU staging) each worker pays.
+	ARPerStep = 1500 * time.Microsecond
+	// ARSumRate is each worker's chunk-reduction rate.
+	ARSumRate = 2e9
+	// ARCopyRate is each worker's per-step tensor staging throughput,
+	// charged on the chunk it sends and the chunk it receives.
+	ARCopyRate = 3e9
+
+	// ISWWorkerBase is the per-round client cost of the iSwitch path:
+	// raw UDP packetization without the framework stack.
+	ISWWorkerBase = 500 * time.Microsecond
+)

@@ -1,0 +1,107 @@
+package perfmodel
+
+import (
+	"testing"
+	"time"
+)
+
+func TestWorkloadsMatchTable1(t *testing.T) {
+	ws := Workloads()
+	if len(ws) != 4 {
+		t.Fatalf("workloads = %d, want 4", len(ws))
+	}
+	want := []struct {
+		name  string
+		bytes int
+		iters int64
+	}{
+		{"DQN", 6_410_000, 200_000_000},
+		{"A2C", 3_310_000, 2_000_000},
+		{"PPO", 40_020, 150_000},
+		{"DDPG", 157_520, 2_500_000},
+	}
+	for i, w := range ws {
+		if w.Name != want[i].name || w.ModelBytes != want[i].bytes || w.TableIters != want[i].iters {
+			t.Errorf("workload %d = %s/%d/%d, want %+v", i, w.Name, w.ModelBytes, w.TableIters, want[i])
+		}
+		if w.ModelBytes%4 != 0 {
+			t.Errorf("%s: model bytes %d not float32-aligned", w.Name, w.ModelBytes)
+		}
+		if w.Floats() != w.ModelBytes/4 {
+			t.Errorf("%s: Floats() inconsistent", w.Name)
+		}
+	}
+}
+
+func TestWorkloadTimingPositive(t *testing.T) {
+	for _, w := range Workloads() {
+		if w.LocalCompute <= 0 || w.WeightUpdate <= 0 {
+			t.Errorf("%s: nonpositive stage times", w.Name)
+		}
+		if w.SyncIters <= 0 || w.AsyncItersPS <= 0 || w.AsyncItersISW <= 0 {
+			t.Errorf("%s: nonpositive iteration counts", w.Name)
+		}
+		if w.AsyncItersISW >= w.AsyncItersPS {
+			t.Errorf("%s: async iSW iterations should be below async PS", w.Name)
+		}
+		// Compute+update must fit inside the paper's fastest per-iteration
+		// time for the workload (otherwise the calibration is impossible).
+		if w.LocalCompute+w.WeightUpdate > w.PaperSyncPerIterISW {
+			t.Errorf("%s: compute %v exceeds paper iSW per-iter %v",
+				w.Name, w.LocalCompute+w.WeightUpdate, w.PaperSyncPerIterISW)
+		}
+	}
+}
+
+func TestComputeSharesSumToOne(t *testing.T) {
+	for _, w := range Workloads() {
+		cs := w.ComputeShares
+		sum := cs.AgentAction + cs.EnvReact + cs.BufferSampling + cs.MemAlloc +
+			cs.ForwardPass + cs.BackwardPass + cs.GPUCopy + cs.Others
+		if sum < 0.999 || sum > 1.001 {
+			t.Errorf("%s: compute shares sum to %v", w.Name, sum)
+		}
+	}
+}
+
+func TestTensors(t *testing.T) {
+	dqn, _ := WorkloadByName("DQN")
+	if dqn.Tensors() != 1 {
+		t.Errorf("DQN tensors = %d", dqn.Tensors())
+	}
+	ddpg, _ := WorkloadByName("DDPG")
+	if ddpg.Tensors() != 2 {
+		t.Errorf("DDPG dual model tensors = %d", ddpg.Tensors())
+	}
+}
+
+func TestWorkloadByName(t *testing.T) {
+	if _, err := WorkloadByName("PPO"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := WorkloadByName("SAC"); err == nil {
+		t.Fatal("unknown workload accepted")
+	}
+}
+
+func TestStageNames(t *testing.T) {
+	names := StageNames()
+	if len(names) != 10 {
+		t.Fatalf("stage names = %d, want 10 (Figure 4 legend)", len(names))
+	}
+	if names[8] != "Grad Aggregation" {
+		t.Fatalf("names[8] = %s", names[8])
+	}
+}
+
+func TestConstantsSane(t *testing.T) {
+	if PSPerMessage <= 0 || ARPerStep <= 0 || ISWWorkerBase <= 0 {
+		t.Fatal("nonpositive software constants")
+	}
+	if PSPerMessage > 10*time.Millisecond || ARPerStep > 10*time.Millisecond {
+		t.Fatal("software constants implausibly large")
+	}
+	if PSSumRate < 1e8 || PSCopyRate < 1e8 || ARCopyRate < 1e8 {
+		t.Fatal("rates implausibly small")
+	}
+}

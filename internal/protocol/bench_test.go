@@ -1,0 +1,72 @@
+package protocol
+
+import "testing"
+
+func benchAddrs() (Addr, Addr) {
+	return AddrFrom(10, 0, 0, 2, 9999), AddrFrom(10, 0, 0, 1, 9990)
+}
+
+// BenchmarkMarshalDataPacket measures encoding one full gradient packet
+// to a complete Ethernet frame.
+func BenchmarkMarshalDataPacket(b *testing.B) {
+	src, dst := benchAddrs()
+	p := NewData(src, dst, 7, make([]float32, FloatsPerPacket))
+	b.SetBytes(int64(p.WireLen()))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Marshal(p); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkUnmarshalDataPacket measures parsing a full frame back.
+func BenchmarkUnmarshalDataPacket(b *testing.B) {
+	src, dst := benchAddrs()
+	frame, err := Marshal(NewData(src, dst, 7, make([]float32, FloatsPerPacket)))
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.SetBytes(int64(len(frame)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Unmarshal(frame); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkSegmentDQNGradient measures packetizing the paper's largest
+// gradient (6.41 MB → 4379 packets).
+func BenchmarkSegmentDQNGradient(b *testing.B) {
+	src, dst := benchAddrs()
+	grad := make([]float32, 1_602_500)
+	b.SetBytes(int64(4 * len(grad)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		pkts := Segment(src, dst, grad)
+		if len(pkts) != SegmentCount(len(grad)) {
+			b.Fatal("bad segmentation")
+		}
+	}
+}
+
+// BenchmarkAssembleDQNGradient measures reassembling it.
+func BenchmarkAssembleDQNGradient(b *testing.B) {
+	src, dst := benchAddrs()
+	grad := make([]float32, 1_602_500)
+	pkts := Segment(src, dst, grad)
+	b.SetBytes(int64(4 * len(grad)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		asm := NewAssembler(len(grad))
+		for _, p := range pkts {
+			if err := asm.Add(p); err != nil {
+				b.Fatal(err)
+			}
+		}
+		if !asm.Complete() {
+			b.Fatal("incomplete")
+		}
+	}
+}

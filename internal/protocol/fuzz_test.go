@@ -1,0 +1,74 @@
+package protocol
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// Unmarshal must never panic on arbitrary bytes — the switch data plane
+// sees whatever the wire carries.
+func TestUnmarshalNeverPanicsQuick(t *testing.T) {
+	f := func(seed int64, n16 uint16) (ok bool) {
+		defer func() {
+			if recover() != nil {
+				ok = false
+			}
+		}()
+		rng := rand.New(rand.NewSource(seed))
+		buf := make([]byte, int(n16)%2048)
+		rng.Read(buf)
+		_, _ = Unmarshal(buf)
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Mutated valid frames must either parse or error — never panic, and
+// never mis-parse into an out-of-range segment payload.
+func TestUnmarshalMutatedFrames(t *testing.T) {
+	src, dst := AddrFrom(10, 0, 0, 2, 9999), AddrFrom(10, 0, 0, 4, 9998)
+	base, err := Marshal(NewData(src, dst, 3, make([]float32, 100)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(11))
+	for trial := 0; trial < 2000; trial++ {
+		frame := append([]byte(nil), base...)
+		// Flip 1–4 random bytes.
+		for k := 0; k < rng.Intn(4)+1; k++ {
+			frame[rng.Intn(len(frame))] ^= byte(rng.Intn(255) + 1)
+		}
+		pkt, err := Unmarshal(frame)
+		if err != nil {
+			continue
+		}
+		// Parsed despite mutation (e.g. payload-only flips): the shape
+		// must still be internally consistent.
+		if pkt.IsData() && len(pkt.Data) > FloatsPerPacket {
+			t.Fatalf("mutated frame parsed into oversized payload (%d floats)", len(pkt.Data))
+		}
+	}
+}
+
+// UnmarshalPayload on arbitrary bytes must never panic either (the UDP
+// transport feeds it raw datagrams).
+func TestUnmarshalPayloadNeverPanicsQuick(t *testing.T) {
+	f := func(tos uint8, payload []byte) (ok bool) {
+		defer func() {
+			if recover() != nil {
+				ok = false
+			}
+		}()
+		if len(payload) > 4096 {
+			payload = payload[:4096]
+		}
+		_, _ = UnmarshalPayload(Addr{}, Addr{}, tos, payload)
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}

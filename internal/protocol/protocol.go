@@ -1,0 +1,242 @@
+// Package protocol implements the iSwitch wire format.
+//
+// iSwitch rides on ordinary Ethernet/IPv4/UDP frames and claims two
+// reserved values of the IP Type-of-Service byte to mark its traffic
+// (paper §3.2, Figure 5): one for control packets and one for data
+// packets. A control packet carries a one-byte Action plus an optional
+// Value payload; a data packet carries an 8-byte segment index (Seg)
+// followed by raw little-endian float32 gradient data.
+package protocol
+
+import (
+	"encoding/binary"
+	"fmt"
+)
+
+// Reserved ToS values tagging iSwitch traffic. Any other ToS means the
+// packet is regular traffic and must be forwarded untouched.
+const (
+	ToSRegular = 0x00
+	ToSControl = 0x41
+	ToSData    = 0x42
+)
+
+// Frame and header geometry (bytes). The paper uses standard Ethernet
+// with a 1522-byte maximum frame (1500-byte IP MTU plus 802.1Q tag room).
+const (
+	EthernetHeaderLen = 14
+	IPv4HeaderLen     = 20
+	UDPHeaderLen      = 8
+	SegFieldLen       = 8
+	MaxFrameLen       = 1522
+	IPMTU             = 1500
+
+	// MaxDataPayload is the gradient bytes that fit in one data packet:
+	// IP MTU minus IP, UDP, and Seg headers.
+	MaxDataPayload = IPMTU - IPv4HeaderLen - UDPHeaderLen - SegFieldLen // 1464
+
+	// FloatsPerPacket is MaxDataPayload expressed in float32 elements.
+	FloatsPerPacket = MaxDataPayload / 4 // 366
+)
+
+// Action codes for control messages (paper Table 2).
+type Action uint8
+
+const (
+	ActionInvalid Action = iota
+	ActionJoin           // join the training job
+	ActionLeave          // leave the training job
+	ActionReset          // clear accelerator buffers/counters on the switch
+	ActionSetH           // set the aggregation threshold H on the switch
+	ActionFBcast         // force broadcast of a partially aggregated segment
+	ActionHelp           // request a lost data packet for a worker
+	ActionHalt           // suspend the training job on all workers
+	ActionAck            // confirm success/failure of actions
+)
+
+var actionNames = map[Action]string{
+	ActionJoin:   "Join",
+	ActionLeave:  "Leave",
+	ActionReset:  "Reset",
+	ActionSetH:   "SetH",
+	ActionFBcast: "FBcast",
+	ActionHelp:   "Help",
+	ActionHalt:   "Halt",
+	ActionAck:    "Ack",
+}
+
+// String returns the paper's name for the action.
+func (a Action) String() string {
+	if s, ok := actionNames[a]; ok {
+		return s
+	}
+	return fmt.Sprintf("Action(%d)", uint8(a))
+}
+
+// Describe returns the paper's one-line description (Table 2).
+func (a Action) Describe() string {
+	switch a {
+	case ActionJoin:
+		return "Join the training job"
+	case ActionLeave:
+		return "Leave the training job"
+	case ActionReset:
+		return "Clear accelerator buffers/counters on the switch"
+	case ActionSetH:
+		return "Set the aggregation threshold H on the switch"
+	case ActionFBcast:
+		return "Force broadcasting a partially aggregated segment on the switch"
+	case ActionHelp:
+		return "Request a lost data packet for a worker"
+	case ActionHalt:
+		return "Suspend the training job on all workers"
+	case ActionAck:
+		return "Confirm the success/failure of actions"
+	}
+	return "unknown"
+}
+
+// Actions lists all defined control actions in Table 2 order.
+func Actions() []Action {
+	return []Action{ActionJoin, ActionLeave, ActionReset, ActionSetH,
+		ActionFBcast, ActionHelp, ActionHalt, ActionAck}
+}
+
+// Addr is an IPv4 address plus UDP port, the identity a worker or switch
+// presents to the iSwitch control plane.
+type Addr struct {
+	IP   [4]byte
+	Port uint16
+}
+
+// String formats the address in dotted-quad:port form.
+func (a Addr) String() string {
+	return fmt.Sprintf("%d.%d.%d.%d:%d", a.IP[0], a.IP[1], a.IP[2], a.IP[3], a.Port)
+}
+
+// AddrFrom builds an Addr from four octets and a port.
+func AddrFrom(a, b, c, d byte, port uint16) Addr {
+	return Addr{IP: [4]byte{a, b, c, d}, Port: port}
+}
+
+// Packet is a parsed iSwitch packet. Exactly one of the control fields
+// (Action/Value) or the data fields (Seg/Data) is meaningful, selected
+// by ToS.
+type Packet struct {
+	Src Addr
+	Dst Addr
+	ToS uint8
+
+	// Control packet fields (ToS == ToSControl).
+	Action Action
+	Value  []byte
+
+	// Data packet fields (ToS == ToSData).
+	Seg  uint64
+	Data []float32
+}
+
+// IsControl reports whether the packet is an iSwitch control packet.
+func (p *Packet) IsControl() bool { return p.ToS == ToSControl }
+
+// IsData reports whether the packet is an iSwitch data packet.
+func (p *Packet) IsData() bool { return p.ToS == ToSData }
+
+// IsISwitch reports whether the packet belongs to the iSwitch protocol.
+func (p *Packet) IsISwitch() bool { return p.IsControl() || p.IsData() }
+
+// WireLen returns the packet's on-the-wire frame length in bytes,
+// including Ethernet, IP, and UDP headers. It is the quantity the
+// network simulator charges against link bandwidth.
+func (p *Packet) WireLen() int {
+	n := EthernetHeaderLen + IPv4HeaderLen + UDPHeaderLen
+	if p.IsControl() {
+		return n + 1 + len(p.Value)
+	}
+	if p.IsData() {
+		return n + SegFieldLen + 4*len(p.Data)
+	}
+	return n
+}
+
+// Clone returns a deep copy of the packet. Switches that broadcast one
+// aggregated packet to many receivers clone so receivers cannot alias
+// each other's payload.
+func (p *Packet) Clone() *Packet {
+	q := *p
+	if p.Value != nil {
+		q.Value = append([]byte(nil), p.Value...)
+	}
+	if p.Data != nil {
+		q.Data = append([]float32(nil), p.Data...)
+	}
+	return &q
+}
+
+// NewControl builds a control packet.
+func NewControl(src, dst Addr, action Action, value []byte) *Packet {
+	return &Packet{Src: src, Dst: dst, ToS: ToSControl, Action: action, Value: value}
+}
+
+// NewData builds a data packet carrying one gradient segment.
+func NewData(src, dst Addr, seg uint64, data []float32) *Packet {
+	if len(data) > FloatsPerPacket {
+		panic(fmt.Sprintf("protocol: segment of %d floats exceeds packet capacity %d",
+			len(data), FloatsPerPacket))
+	}
+	return &Packet{Src: src, Dst: dst, ToS: ToSData, Seg: seg, Data: data}
+}
+
+// SetHValue encodes the aggregation-threshold payload for a SetH control
+// message.
+func SetHValue(h uint32) []byte {
+	v := make([]byte, 4)
+	binary.LittleEndian.PutUint32(v, h)
+	return v
+}
+
+// ParseSetH decodes the payload of a SetH control message.
+func ParseSetH(value []byte) (uint32, error) {
+	if len(value) != 4 {
+		return 0, fmt.Errorf("protocol: SetH value must be 4 bytes, got %d", len(value))
+	}
+	return binary.LittleEndian.Uint32(value), nil
+}
+
+// JoinValue encodes the Join metadata payload: the model's gradient
+// vector length in float32 elements, from which both sides derive the
+// segment count.
+func JoinValue(modelFloats uint64) []byte {
+	v := make([]byte, 8)
+	binary.LittleEndian.PutUint64(v, modelFloats)
+	return v
+}
+
+// ParseJoin decodes a Join payload.
+func ParseJoin(value []byte) (modelFloats uint64, err error) {
+	if len(value) != 8 {
+		return 0, fmt.Errorf("protocol: Join value must be 8 bytes, got %d", len(value))
+	}
+	return binary.LittleEndian.Uint64(value), nil
+}
+
+// HelpValue encodes a Help payload: the Seg index of the lost packet.
+func HelpValue(seg uint64) []byte {
+	v := make([]byte, 8)
+	binary.LittleEndian.PutUint64(v, seg)
+	return v
+}
+
+// ParseHelp decodes a Help payload.
+func ParseHelp(value []byte) (seg uint64, err error) {
+	if len(value) != 8 {
+		return 0, fmt.Errorf("protocol: Help value must be 8 bytes, got %d", len(value))
+	}
+	return binary.LittleEndian.Uint64(value), nil
+}
+
+// AckOK and AckFail are the two Ack payloads.
+var (
+	AckOK   = []byte{1}
+	AckFail = []byte{0}
+)

@@ -1,0 +1,191 @@
+package protocol
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+)
+
+// Wire encoding. Marshal produces a complete Ethernet/IPv4/UDP frame;
+// Unmarshal parses one. MarshalPayload/UnmarshalPayload handle only the
+// UDP payload (kind-tagged), which is what the real-UDP transport puts
+// inside genuine OS datagrams where the kernel owns the outer headers.
+
+const (
+	etherTypeIPv4 = 0x0800
+	ipProtoUDP    = 17
+	ipVersionIHL  = 0x45 // IPv4, 5-word header
+	defaultTTL    = 64
+)
+
+// Marshal encodes the packet as a full Ethernet frame. MAC addresses are
+// synthesized from the IP addresses (locally administered).
+func Marshal(p *Packet) ([]byte, error) {
+	payload, err := MarshalPayload(p)
+	if err != nil {
+		return nil, err
+	}
+	udpLen := UDPHeaderLen + len(payload)
+	ipLen := IPv4HeaderLen + udpLen
+	if ipLen > IPMTU {
+		return nil, fmt.Errorf("protocol: packet IP length %d exceeds MTU %d", ipLen, IPMTU)
+	}
+	buf := make([]byte, EthernetHeaderLen+ipLen)
+
+	// Ethernet.
+	copy(buf[0:6], macFor(p.Dst))
+	copy(buf[6:12], macFor(p.Src))
+	binary.BigEndian.PutUint16(buf[12:14], etherTypeIPv4)
+
+	// IPv4.
+	ip := buf[EthernetHeaderLen:]
+	ip[0] = ipVersionIHL
+	ip[1] = p.ToS
+	binary.BigEndian.PutUint16(ip[2:4], uint16(ipLen))
+	// ID, flags, fragment offset zero.
+	ip[8] = defaultTTL
+	ip[9] = ipProtoUDP
+	copy(ip[12:16], p.Src.IP[:])
+	copy(ip[16:20], p.Dst.IP[:])
+	binary.BigEndian.PutUint16(ip[10:12], ipChecksum(ip[:IPv4HeaderLen]))
+
+	// UDP.
+	udp := ip[IPv4HeaderLen:]
+	binary.BigEndian.PutUint16(udp[0:2], p.Src.Port)
+	binary.BigEndian.PutUint16(udp[2:4], p.Dst.Port)
+	binary.BigEndian.PutUint16(udp[4:6], uint16(udpLen))
+	// UDP checksum optional over IPv4; left zero as the paper's FPGA does.
+
+	copy(udp[UDPHeaderLen:], payload)
+	return buf, nil
+}
+
+// Unmarshal parses a full Ethernet frame produced by Marshal (or any
+// frame with the same layout). Frames that are not iSwitch traffic are
+// returned with ToS preserved so callers can forward them unmodified.
+func Unmarshal(frame []byte) (*Packet, error) {
+	if len(frame) < EthernetHeaderLen+IPv4HeaderLen+UDPHeaderLen {
+		return nil, fmt.Errorf("protocol: frame too short (%d bytes)", len(frame))
+	}
+	if et := binary.BigEndian.Uint16(frame[12:14]); et != etherTypeIPv4 {
+		return nil, fmt.Errorf("protocol: unsupported EtherType %#04x", et)
+	}
+	ip := frame[EthernetHeaderLen:]
+	if ip[0] != ipVersionIHL {
+		return nil, fmt.Errorf("protocol: unsupported IP version/IHL %#02x", ip[0])
+	}
+	if ip[9] != ipProtoUDP {
+		return nil, fmt.Errorf("protocol: unsupported IP protocol %d", ip[9])
+	}
+	if got := ipChecksum(ip[:IPv4HeaderLen]); got != 0 {
+		return nil, fmt.Errorf("protocol: bad IPv4 checksum")
+	}
+	ipLen := int(binary.BigEndian.Uint16(ip[2:4]))
+	if ipLen < IPv4HeaderLen+UDPHeaderLen || EthernetHeaderLen+ipLen > len(frame) {
+		return nil, fmt.Errorf("protocol: bad IP total length %d", ipLen)
+	}
+	p := &Packet{ToS: ip[1]}
+	copy(p.Src.IP[:], ip[12:16])
+	copy(p.Dst.IP[:], ip[16:20])
+
+	udp := ip[IPv4HeaderLen:ipLen]
+	p.Src.Port = binary.BigEndian.Uint16(udp[0:2])
+	p.Dst.Port = binary.BigEndian.Uint16(udp[2:4])
+	udpLen := int(binary.BigEndian.Uint16(udp[4:6]))
+	if udpLen < UDPHeaderLen || udpLen > len(udp) {
+		return nil, fmt.Errorf("protocol: bad UDP length %d", udpLen)
+	}
+	if err := unmarshalPayloadInto(p, udp[UDPHeaderLen:udpLen]); err != nil {
+		return nil, err
+	}
+	return p, nil
+}
+
+// MarshalPayload encodes only the UDP payload: for control packets a
+// 1-byte Action plus Value, for data packets the 8-byte Seg plus raw
+// float32 data. Regular packets have an empty payload.
+func MarshalPayload(p *Packet) ([]byte, error) {
+	switch {
+	case p.IsControl():
+		buf := make([]byte, 1+len(p.Value))
+		buf[0] = byte(p.Action)
+		copy(buf[1:], p.Value)
+		return buf, nil
+	case p.IsData():
+		if len(p.Data) > FloatsPerPacket {
+			return nil, fmt.Errorf("protocol: %d floats exceed packet capacity %d",
+				len(p.Data), FloatsPerPacket)
+		}
+		buf := make([]byte, SegFieldLen+4*len(p.Data))
+		binary.LittleEndian.PutUint64(buf[0:8], p.Seg)
+		for i, f := range p.Data {
+			binary.LittleEndian.PutUint32(buf[8+4*i:], math.Float32bits(f))
+		}
+		return buf, nil
+	default:
+		return nil, nil
+	}
+}
+
+// unmarshalPayloadInto fills the ToS-selected payload fields of p.
+func unmarshalPayloadInto(p *Packet, payload []byte) error {
+	switch {
+	case p.IsControl():
+		if len(payload) < 1 {
+			return fmt.Errorf("protocol: control packet missing action byte")
+		}
+		p.Action = Action(payload[0])
+		if len(payload) > 1 {
+			p.Value = append([]byte(nil), payload[1:]...)
+		}
+		return nil
+	case p.IsData():
+		if len(payload) < SegFieldLen {
+			return fmt.Errorf("protocol: data packet shorter than Seg field")
+		}
+		if (len(payload)-SegFieldLen)%4 != 0 {
+			return fmt.Errorf("protocol: data payload length %d not float32-aligned", len(payload))
+		}
+		p.Seg = binary.LittleEndian.Uint64(payload[0:8])
+		n := (len(payload) - SegFieldLen) / 4
+		p.Data = make([]float32, n)
+		for i := range p.Data {
+			p.Data[i] = math.Float32frombits(binary.LittleEndian.Uint32(payload[8+4*i:]))
+		}
+		return nil
+	default:
+		return nil
+	}
+}
+
+// UnmarshalPayload parses a UDP payload given the out-of-band ToS tag
+// and addressing (how the real-UDP transport reconstructs packets).
+func UnmarshalPayload(src, dst Addr, tos uint8, payload []byte) (*Packet, error) {
+	p := &Packet{Src: src, Dst: dst, ToS: tos}
+	if err := unmarshalPayloadInto(p, payload); err != nil {
+		return nil, err
+	}
+	return p, nil
+}
+
+// macFor synthesizes a deterministic locally-administered MAC from an
+// address, so frames are self-consistent without an ARP substrate.
+func macFor(a Addr) []byte {
+	return []byte{0x02, 0x00, a.IP[0], a.IP[1], a.IP[2], a.IP[3]}
+}
+
+// ipChecksum computes the RFC 791 header checksum. Computing it over a
+// header whose checksum field is already filled yields zero when valid.
+func ipChecksum(hdr []byte) uint16 {
+	var sum uint32
+	for i := 0; i+1 < len(hdr); i += 2 {
+		sum += uint32(binary.BigEndian.Uint16(hdr[i : i+2]))
+	}
+	if len(hdr)%2 == 1 {
+		sum += uint32(hdr[len(hdr)-1]) << 8
+	}
+	for sum>>16 != 0 {
+		sum = (sum & 0xffff) + (sum >> 16)
+	}
+	return ^uint16(sum)
+}

@@ -1,0 +1,152 @@
+package rl
+
+import (
+	"math/rand"
+
+	"iswitch/internal/envs"
+	"iswitch/internal/nn"
+	"iswitch/internal/tensor"
+)
+
+// A2CConfig parameterizes an advantage actor-critic agent (the
+// synchronous variant of Mnih et al. 2016, as in OpenAI Baselines).
+type A2CConfig struct {
+	Hidden      []int
+	Gamma       float32
+	LR          float32
+	ValueLR     float32
+	NSteps      int     // rollout length per iteration
+	EntropyBeta float32 // entropy-bonus weight
+	ValueCoef   float32 // critic loss weight
+	GradClip    float32
+}
+
+// DefaultA2CConfig returns settings tuned for the stand-in workloads.
+func DefaultA2CConfig() A2CConfig {
+	return A2CConfig{
+		Hidden: []int{64, 64}, Gamma: 0.99, LR: 7e-4, ValueLR: 7e-4,
+		NSteps: 8, EntropyBeta: 0.01, ValueCoef: 0.5, GradClip: 5,
+	}
+}
+
+// A2C is a synchronous advantage actor-critic with separate policy and
+// value networks and an entropy bonus.
+type A2C struct {
+	cfg    A2CConfig
+	env    envs.Discrete
+	policy *nn.MLP
+	value  *nn.MLP
+	ps     *nn.ParamSet
+	rng    *rand.Rand
+
+	obs   []float32
+	track episodeTracker
+	grad  []float32
+}
+
+// NewA2C builds an A2C agent; modelSeed fixes initial weights across
+// workers, expSeed decorrelates exploration.
+func NewA2C(env envs.Discrete, cfg A2CConfig, modelSeed, expSeed int64) *A2C {
+	pDims := append(append([]int{env.ObsDim()}, cfg.Hidden...), env.NumActions())
+	vDims := append(append([]int{env.ObsDim()}, cfg.Hidden...), 1)
+	p := nn.NewMLP(pDims, nn.ActTanh, nn.ActNone, modelSeed)
+	v := nn.NewMLP(vDims, nn.ActTanh, nn.ActNone, modelSeed+1)
+	a := &A2C{
+		cfg: cfg, env: env, policy: p, value: v,
+		ps: nn.NewParamSet([]*nn.MLP{p, v},
+			[]nn.Optimizer{nn.NewAdam(cfg.LR), nn.NewAdam(cfg.ValueLR)}),
+		rng: rand.New(rand.NewSource(expSeed)),
+	}
+	a.grad = make([]float32, a.ps.Len())
+	a.obs = env.Reset()
+	return a
+}
+
+// Name implements Agent.
+func (a *A2C) Name() string { return "A2C" }
+
+// GradLen implements Agent.
+func (a *A2C) GradLen() int { return a.ps.Len() }
+
+// ReadParams implements Agent.
+func (a *A2C) ReadParams(dst []float32) { a.ps.ReadParams(dst) }
+
+// WriteParams implements Agent.
+func (a *A2C) WriteParams(src []float32) { a.ps.WriteParams(src) }
+
+// DrainEpisodes implements Agent.
+func (a *A2C) DrainEpisodes() []float64 { return a.track.drain() }
+
+// sampleAction draws from the softmax policy.
+func (a *A2C) sampleAction(obs []float32) int {
+	logits := a.policy.Forward(obs)
+	probs := make([]float32, len(logits))
+	tensor.Softmax(probs, logits)
+	u := a.rng.Float32()
+	var cum float32
+	for i, p := range probs {
+		cum += p
+		if u <= cum {
+			return i
+		}
+	}
+	return len(probs) - 1
+}
+
+// ComputeGradient implements Agent: roll out NSteps with the current
+// policy, compute n-step advantages, and accumulate actor and critic
+// gradients.
+func (a *A2C) ComputeGradient(dst []float32) {
+	n := a.cfg.NSteps
+	obsBuf := make([][]float32, 0, n)
+	acts := make([]int, 0, n)
+	rewards := make([]float32, 0, n)
+	dones := make([]bool, 0, n)
+
+	for s := 0; s < n; s++ {
+		act := a.sampleAction(a.obs)
+		next, r, done := a.env.Step(act)
+		a.track.add(r, done)
+		obsBuf = append(obsBuf, append([]float32(nil), a.obs...))
+		acts = append(acts, act)
+		rewards = append(rewards, float32(r))
+		dones = append(dones, done)
+		if done {
+			a.obs = a.env.Reset()
+		} else {
+			a.obs = next
+		}
+	}
+	// Values for GAE: V(s_0..s_{n-1}) plus bootstrap V(s_n).
+	values := make([]float32, n+1)
+	for i, o := range obsBuf {
+		values[i] = a.value.Forward(o)[0]
+	}
+	values[n] = a.value.Forward(a.obs)[0]
+	adv, ret := GAE(rewards, values, dones, a.cfg.Gamma, 1.0) // λ=1: n-step returns
+
+	a.ps.ZeroGrads()
+	inv := 1 / float32(n)
+	for i := range obsBuf {
+		// Actor: ∇(−logπ(a|s)·A) plus entropy bonus.
+		logits := a.policy.Forward(obsBuf[i])
+		dlogits := make([]float32, len(logits))
+		nn.SoftmaxCE(logits, acts[i], adv[i]*inv, dlogits)
+		nn.Entropy(logits, a.cfg.EntropyBeta*inv, dlogits)
+		a.policy.Backward(dlogits)
+		// Critic: MSE toward the n-step return.
+		v := a.value.Forward(obsBuf[i])
+		dv := []float32{0}
+		nn.MSE(v, []float32{ret[i]}, dv)
+		dv[0] *= a.cfg.ValueCoef * inv
+		a.value.Backward(dv)
+	}
+	a.ps.ReadGrads(dst)
+	a.ps.ClipEachNorm(dst, a.cfg.GradClip)
+}
+
+// ApplyAggregated implements Agent.
+func (a *A2C) ApplyAggregated(sum []float32, h int) {
+	scaleInto(a.grad, sum, h)
+	a.ps.Step(a.grad)
+}

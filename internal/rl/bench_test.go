@@ -1,0 +1,40 @@
+package rl
+
+import "testing"
+
+// BenchmarkComputeGradient measures one local-gradient-computing
+// iteration per algorithm — the LGC stage the paper's LocalCompute
+// calibration stands in for.
+func BenchmarkComputeGradient(b *testing.B) {
+	for _, name := range Workloads() {
+		b.Run(name, func(b *testing.B) {
+			a, err := NewWorkloadAgent(name, 1, 2)
+			if err != nil {
+				b.Fatal(err)
+			}
+			g := make([]float32, a.GradLen())
+			// Warm the replay buffers past their learning threshold.
+			for i := 0; i < 300; i++ {
+				a.ComputeGradient(g)
+				a.ApplyAggregated(g, 1)
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				a.ComputeGradient(g)
+				a.ApplyAggregated(g, 1)
+			}
+		})
+	}
+}
+
+// BenchmarkReplaySample measures replay-buffer sampling.
+func BenchmarkReplaySample(b *testing.B) {
+	r := NewReplay(20000, 1)
+	for i := 0; i < 20000; i++ {
+		r.Add(Transition{Obs: make([]float32, 8), Next: make([]float32, 8)})
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		r.Sample(32)
+	}
+}

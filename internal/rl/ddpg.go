@@ -1,0 +1,204 @@
+package rl
+
+import (
+	"math/rand"
+
+	"iswitch/internal/envs"
+	"iswitch/internal/nn"
+)
+
+// DDPGConfig parameterizes a DDPG agent (Lillicrap et al. 2015).
+type DDPGConfig struct {
+	ActorHidden  []int
+	CriticHidden []int
+	Gamma        float32
+	ActorLR      float32
+	CriticLR     float32
+	Tau          float32 // Polyak target blend
+	BatchSize    int
+	ReplayCap    int
+	WarmupSteps  int
+	EnvSteps     int // env steps per training iteration
+	OUTheta      float32
+	OUSigma      float32
+	GradClip     float32
+}
+
+// DefaultDDPGConfig returns settings tuned for the stand-in workloads.
+func DefaultDDPGConfig() DDPGConfig {
+	return DDPGConfig{
+		ActorHidden: []int{64, 64}, CriticHidden: []int{64, 64},
+		Gamma: 0.99, ActorLR: 1e-4, CriticLR: 1e-3, Tau: 0.005,
+		BatchSize: 64, ReplayCap: 50000, WarmupSteps: 500, EnvSteps: 1,
+		OUTheta: 0.15, OUSigma: 0.2, GradClip: 5,
+	}
+}
+
+// DDPG is a deterministic-policy-gradient agent: an actor maps states
+// to actions, a critic estimates Q(s, a), and slow-moving target copies
+// of both stabilize the TD targets. The actor and critic gradients
+// travel as one concatenated vector (the paper's "dual model",
+// 157.52 KB for HalfCheetah).
+type DDPG struct {
+	cfg          DDPGConfig
+	env          envs.Continuous
+	actor        *nn.MLP
+	critic       *nn.MLP
+	targetActor  *nn.MLP
+	targetCritic *nn.MLP
+	ps           *nn.ParamSet
+	replay       *Replay
+	noise        *OUNoise
+	rng          *rand.Rand
+
+	obs      []float32
+	envSteps int
+	track    episodeTracker
+	grad     []float32
+	scratch  []float32
+}
+
+// NewDDPG builds a DDPG agent; modelSeed fixes initial weights across
+// workers, expSeed decorrelates exploration.
+func NewDDPG(env envs.Continuous, cfg DDPGConfig, modelSeed, expSeed int64) *DDPG {
+	aDims := append(append([]int{env.ObsDim()}, cfg.ActorHidden...), env.ActionDim())
+	cDims := append(append([]int{env.ObsDim() + env.ActionDim()}, cfg.CriticHidden...), 1)
+	actor := nn.NewMLP(aDims, nn.ActReLU, nn.ActTanh, modelSeed)
+	critic := nn.NewMLP(cDims, nn.ActReLU, nn.ActNone, modelSeed+1)
+	tActor := nn.NewMLP(aDims, nn.ActReLU, nn.ActTanh, modelSeed)
+	tCritic := nn.NewMLP(cDims, nn.ActReLU, nn.ActNone, modelSeed+1)
+	tActor.CopyFrom(actor)
+	tCritic.CopyFrom(critic)
+	d := &DDPG{
+		cfg: cfg, env: env,
+		actor: actor, critic: critic, targetActor: tActor, targetCritic: tCritic,
+		ps: nn.NewParamSet([]*nn.MLP{actor, critic},
+			[]nn.Optimizer{nn.NewAdam(cfg.ActorLR), nn.NewAdam(cfg.CriticLR)}),
+		replay: NewReplay(cfg.ReplayCap, expSeed),
+		noise:  NewOUNoise(env.ActionDim(), cfg.OUTheta, cfg.OUSigma, expSeed+1),
+		rng:    rand.New(rand.NewSource(expSeed + 2)),
+	}
+	d.grad = make([]float32, d.ps.Len())
+	d.scratch = make([]float32, env.ObsDim()+env.ActionDim())
+	d.obs = env.Reset()
+	return d
+}
+
+// Name implements Agent.
+func (d *DDPG) Name() string { return "DDPG" }
+
+// GradLen implements Agent.
+func (d *DDPG) GradLen() int { return d.ps.Len() }
+
+// ReadParams implements Agent.
+func (d *DDPG) ReadParams(dst []float32) { d.ps.ReadParams(dst) }
+
+// WriteParams implements Agent: targets re-sync so replicas agree.
+func (d *DDPG) WriteParams(src []float32) {
+	d.ps.WriteParams(src)
+	d.targetActor.CopyFrom(d.actor)
+	d.targetCritic.CopyFrom(d.critic)
+}
+
+// DrainEpisodes implements Agent.
+func (d *DDPG) DrainEpisodes() []float64 { return d.track.drain() }
+
+// policyAction runs the deterministic policy, scaled to env bounds.
+func (d *DDPG) policyAction(net *nn.MLP, obs []float32) []float32 {
+	raw := net.Forward(obs)
+	out := make([]float32, len(raw))
+	for i, x := range raw {
+		out[i] = x * d.env.Bound()
+	}
+	return out
+}
+
+// ComputeGradient implements Agent.
+func (d *DDPG) ComputeGradient(dst []float32) {
+	bound := d.env.Bound()
+	for s := 0; s < d.cfg.EnvSteps; s++ {
+		act := d.policyAction(d.actor, d.obs)
+		for i, n := range d.noise.Sample() {
+			act[i] = clampA(act[i]+n*bound, -bound, bound)
+		}
+		next, r, done := d.env.Step(act)
+		d.track.add(r, done)
+		d.replay.Add(Transition{
+			Obs: append([]float32(nil), d.obs...), ActC: act,
+			Reward: float32(r), Next: append([]float32(nil), next...), Done: done,
+		})
+		if done {
+			d.obs = d.env.Reset()
+			d.noise.Reset()
+		} else {
+			d.obs = next
+		}
+		d.envSteps++
+	}
+
+	d.ps.ZeroGrads()
+	if d.replay.Len() >= d.cfg.WarmupSteps {
+		batch := d.replay.Sample(d.cfg.BatchSize)
+		inv := 1 / float32(d.cfg.BatchSize)
+		for _, tr := range batch {
+			// Critic: MSE toward r + γ·Q'(s', μ'(s')).
+			y := tr.Reward
+			if !tr.Done {
+				na := d.policyAction(d.targetActor, tr.Next)
+				q := d.targetCritic.Forward(catInto(d.scratch, tr.Next, na))
+				y += d.cfg.Gamma * q[0]
+			}
+			q := d.critic.Forward(catInto(d.scratch, tr.Obs, tr.ActC))
+			dq := []float32{0}
+			nn.MSE(q, []float32{y}, dq)
+			dq[0] *= inv
+			d.critic.Backward(dq)
+		}
+		// Actor: ascend Q(s, μ(s)) — gradient of −Q through the critic
+		// into the action input, then through the actor. The critic
+		// weight gradients from this pass must not leak into the critic
+		// update, so stash and restore them.
+		criticGrads := append([]float32(nil), d.critic.Grads()...)
+		for _, tr := range batch {
+			a := d.policyAction(d.actor, tr.Obs)
+			d.critic.Forward(catInto(d.scratch, tr.Obs, a))
+			dIn := d.critic.Backward([]float32{-inv})
+			dAct := dIn[len(tr.Obs):]
+			// Chain through action scaling a = bound·tanh-out.
+			for i := range dAct {
+				dAct[i] *= bound
+			}
+			d.actor.Forward(tr.Obs)
+			d.actor.Backward(dAct)
+		}
+		copy(d.critic.Grads(), criticGrads)
+	}
+	d.ps.ReadGrads(dst)
+	d.ps.ClipEachNorm(dst, d.cfg.GradClip)
+}
+
+// ApplyAggregated implements Agent: optimizer step plus Polyak target
+// updates (identical on every replica).
+func (d *DDPG) ApplyAggregated(sum []float32, h int) {
+	scaleInto(d.grad, sum, h)
+	d.ps.Step(d.grad)
+	d.targetActor.SoftUpdate(d.actor, d.cfg.Tau)
+	d.targetCritic.SoftUpdate(d.critic, d.cfg.Tau)
+}
+
+// catInto concatenates a and b into dst and returns it.
+func catInto(dst, a, b []float32) []float32 {
+	copy(dst, a)
+	copy(dst[len(a):], b)
+	return dst[:len(a)+len(b)]
+}
+
+func clampA(x, lo, hi float32) float32 {
+	if x < lo {
+		return lo
+	}
+	if x > hi {
+		return hi
+	}
+	return x
+}

@@ -1,0 +1,173 @@
+package rl
+
+import (
+	"math/rand"
+
+	"iswitch/internal/envs"
+	"iswitch/internal/nn"
+	"iswitch/internal/tensor"
+)
+
+// DQNConfig parameterizes a DQN agent (Mnih et al. 2013/2015).
+type DQNConfig struct {
+	Hidden       []int   // hidden layer sizes
+	Gamma        float32 // discount
+	LR           float32
+	BatchSize    int
+	ReplayCap    int
+	WarmupSteps  int // env steps before learning starts
+	EnvSteps     int // env steps per training iteration
+	TargetSync   int // iterations between target-network hard updates
+	EpsStart     float32
+	EpsEnd       float32
+	EpsDecayIter int // iterations to anneal epsilon over
+	GradClip     float32
+	// Double enables Double DQN (van Hasselt et al. 2016): the online
+	// network selects the bootstrap action, the target network evaluates
+	// it, reducing the max-operator's overestimation bias.
+	Double bool
+}
+
+// DefaultDQNConfig returns settings tuned for the classic-control
+// stand-in environments.
+func DefaultDQNConfig() DQNConfig {
+	return DQNConfig{
+		Hidden: []int{64, 64}, Gamma: 0.99, LR: 1e-3,
+		BatchSize: 32, ReplayCap: 20000, WarmupSteps: 200, EnvSteps: 4,
+		TargetSync: 200, EpsStart: 1.0, EpsEnd: 0.05, EpsDecayIter: 2000,
+		GradClip: 10,
+	}
+}
+
+// DQN is a deep Q-learning agent with experience replay, a target
+// network, and ε-greedy exploration.
+type DQN struct {
+	cfg    DQNConfig
+	env    envs.Discrete
+	q      *nn.MLP
+	target *nn.MLP
+	ps     *nn.ParamSet
+	replay *Replay
+	rng    *rand.Rand
+
+	obs      []float32
+	iter     int
+	envSteps int
+	eps      float32
+	track    episodeTracker
+	grad     []float32 // scratch for ApplyAggregated
+}
+
+// NewDQN builds a DQN agent. modelSeed determines the initial weights —
+// every worker in a synchronous job must share it. expSeed decorrelates
+// exploration across workers.
+func NewDQN(env envs.Discrete, cfg DQNConfig, modelSeed, expSeed int64) *DQN {
+	dims := append(append([]int{env.ObsDim()}, cfg.Hidden...), env.NumActions())
+	q := nn.NewMLP(dims, nn.ActReLU, nn.ActNone, modelSeed)
+	target := nn.NewMLP(dims, nn.ActReLU, nn.ActNone, modelSeed)
+	target.CopyFrom(q)
+	d := &DQN{
+		cfg: cfg, env: env, q: q, target: target,
+		ps:     nn.NewParamSet([]*nn.MLP{q}, []nn.Optimizer{nn.NewAdam(cfg.LR)}),
+		replay: NewReplay(cfg.ReplayCap, expSeed),
+		rng:    rand.New(rand.NewSource(expSeed + 1)),
+		eps:    cfg.EpsStart,
+	}
+	d.grad = make([]float32, d.ps.Len())
+	d.obs = env.Reset()
+	return d
+}
+
+// Name implements Agent.
+func (d *DQN) Name() string { return "DQN" }
+
+// GradLen implements Agent.
+func (d *DQN) GradLen() int { return d.ps.Len() }
+
+// ReadParams implements Agent.
+func (d *DQN) ReadParams(dst []float32) { d.ps.ReadParams(dst) }
+
+// WriteParams implements Agent. The target network follows so replicas
+// stay consistent.
+func (d *DQN) WriteParams(src []float32) {
+	d.ps.WriteParams(src)
+	d.target.CopyFrom(d.q)
+}
+
+// DrainEpisodes implements Agent.
+func (d *DQN) DrainEpisodes() []float64 { return d.track.drain() }
+
+// Epsilon reports the current exploration rate (for tests).
+func (d *DQN) Epsilon() float32 { return d.eps }
+
+func (d *DQN) act(obs []float32) int {
+	if d.rng.Float32() < d.eps {
+		return d.rng.Intn(d.env.NumActions())
+	}
+	return tensor.Vec(d.q.Forward(obs)).ArgMax()
+}
+
+// ComputeGradient implements Agent: act in the environment for
+// cfg.EnvSteps steps, then compute a replay-batch TD gradient.
+func (d *DQN) ComputeGradient(dst []float32) {
+	for s := 0; s < d.cfg.EnvSteps; s++ {
+		a := d.act(d.obs)
+		next, r, done := d.env.Step(a)
+		d.track.add(r, done)
+		d.replay.Add(Transition{
+			Obs: append([]float32(nil), d.obs...), ActD: a,
+			Reward: float32(r), Next: append([]float32(nil), next...), Done: done,
+		})
+		if done {
+			d.obs = d.env.Reset()
+		} else {
+			d.obs = next
+		}
+		d.envSteps++
+	}
+	d.iter++
+	// Anneal epsilon linearly over EpsDecayIter iterations.
+	if d.iter < d.cfg.EpsDecayIter {
+		frac := float32(d.iter) / float32(d.cfg.EpsDecayIter)
+		d.eps = d.cfg.EpsStart + frac*(d.cfg.EpsEnd-d.cfg.EpsStart)
+	} else {
+		d.eps = d.cfg.EpsEnd
+	}
+
+	d.ps.ZeroGrads()
+	if d.replay.Len() >= d.cfg.WarmupSteps {
+		batch := d.replay.Sample(d.cfg.BatchSize)
+		for _, tr := range batch {
+			// TD target: r + γ·max_a' Q_target(s', a') (0 on terminal);
+			// Double DQN picks a' with the online net instead.
+			y := tr.Reward
+			if !tr.Done {
+				if d.cfg.Double {
+					aStar := tensor.Vec(d.q.Forward(tr.Next)).ArgMax()
+					y += d.cfg.Gamma * d.target.Forward(tr.Next)[aStar]
+				} else {
+					tq := d.target.Forward(tr.Next)
+					y += d.cfg.Gamma * tensor.Vec(tq).Max()
+				}
+			}
+			qv := d.q.Forward(tr.Obs)
+			dout := make([]float32, len(qv))
+			pred := []float32{qv[tr.ActD]}
+			dsel := []float32{0}
+			nn.Huber(pred, []float32{y}, dsel, 1)
+			dout[tr.ActD] = dsel[0] / float32(d.cfg.BatchSize)
+			d.q.Backward(dout)
+		}
+	}
+	d.ps.ReadGrads(dst)
+	tensor.Vec(dst).ClipNorm(d.cfg.GradClip)
+	if d.iter%d.cfg.TargetSync == 0 {
+		d.target.CopyFrom(d.q)
+	}
+}
+
+// ApplyAggregated implements Agent.
+func (d *DQN) ApplyAggregated(sum []float32, h int) {
+	scaleInto(d.grad, sum, h)
+	d.ps.Step(d.grad)
+}

@@ -1,0 +1,40 @@
+package rl
+
+import (
+	"fmt"
+
+	"iswitch/internal/envs"
+)
+
+// Workload names match the paper's four benchmarks.
+const (
+	WorkloadDQN  = "DQN"
+	WorkloadA2C  = "A2C"
+	WorkloadPPO  = "PPO"
+	WorkloadDDPG = "DDPG"
+)
+
+// Workloads lists the benchmark names in the paper's order.
+func Workloads() []string {
+	return []string{WorkloadDQN, WorkloadA2C, WorkloadPPO, WorkloadDDPG}
+}
+
+// NewWorkloadAgent builds the stand-in agent for a paper benchmark:
+// DQN on GridPong (paper: Atari Pong), A2C on CartPole (paper: Atari
+// Qbert), PPO on Pendulum (paper: MuJoCo Hopper), DDPG on PlanarCheetah
+// (paper: MuJoCo HalfCheetah). modelSeed must be shared by all workers
+// of a job; expSeed must differ per worker.
+func NewWorkloadAgent(name string, modelSeed, expSeed int64) (Agent, error) {
+	switch name {
+	case WorkloadDQN:
+		return NewDQN(envs.NewGridPong(expSeed), DefaultDQNConfig(), modelSeed, expSeed), nil
+	case WorkloadA2C:
+		return NewA2C(envs.NewCartPole(expSeed), DefaultA2CConfig(), modelSeed, expSeed), nil
+	case WorkloadPPO:
+		return NewPPO(envs.NewPendulum(expSeed), DefaultPPOConfig(), modelSeed, expSeed), nil
+	case WorkloadDDPG:
+		return NewDDPG(envs.NewPlanarCheetah(expSeed), DefaultDDPGConfig(), modelSeed, expSeed), nil
+	default:
+		return nil, fmt.Errorf("rl: unknown workload %q", name)
+	}
+}

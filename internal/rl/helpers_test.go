@@ -1,0 +1,9 @@
+package rl
+
+import "iswitch/internal/envs"
+
+// newTestEnvD returns a small discrete env for fast unit tests.
+func newTestEnvD() envs.Discrete { return envs.NewGridPong(99) }
+
+// newCartPole returns a seeded CartPole.
+func newCartPole(seed int64) envs.Discrete { return envs.NewCartPole(seed) }

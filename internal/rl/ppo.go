@@ -1,0 +1,269 @@
+package rl
+
+import (
+	"math"
+	"math/rand"
+
+	"iswitch/internal/envs"
+	"iswitch/internal/nn"
+)
+
+// PPOConfig parameterizes a PPO-Clip agent (Schulman et al. 2017) with
+// a diagonal-Gaussian policy for continuous control.
+type PPOConfig struct {
+	Hidden        []int
+	Gamma, Lambda float32
+	LR, ValueLR   float32
+	Horizon       int // rollout length collected before updating
+	MinibatchSize int
+	Epochs        int
+	ClipEps       float32
+	EntropyBeta   float32
+	GradClip      float32
+	InitLogStd    float32
+	// RewardScale multiplies rewards before GAE so the critic's targets
+	// stay O(1) on tasks with large negative returns (Pendulum's raw
+	// returns are ≈ −1500); advantage normalization makes the policy
+	// gradient invariant to it.
+	RewardScale float32
+}
+
+// DefaultPPOConfig returns settings tuned for the stand-in workloads.
+func DefaultPPOConfig() PPOConfig {
+	return PPOConfig{
+		Hidden: []int{64, 64}, Gamma: 0.99, Lambda: 0.95,
+		LR: 3e-4, ValueLR: 1e-3, Horizon: 128, MinibatchSize: 32,
+		Epochs: 4, ClipEps: 0.2, EntropyBeta: 0.001, GradClip: 5,
+		InitLogStd: -0.3, RewardScale: 0.05,
+	}
+}
+
+// ppoSample is one stored rollout step.
+type ppoSample struct {
+	obs     []float32
+	act     []float32
+	oldLogp float32
+	adv     float32
+	ret     float32
+}
+
+// PPO is a clipped-surrogate policy-gradient agent. One training
+// iteration (one gradient aggregation) consumes one minibatch of the
+// current rollout's epoch schedule; when the schedule is exhausted a
+// fresh on-policy rollout is collected — so distributed PPO aggregates
+// minibatch gradients exactly as the PS/AllReduce reference designs do.
+type PPO struct {
+	cfg    PPOConfig
+	env    envs.Continuous
+	mean   *nn.MLP // obs → action mean (tanh, scaled by env bound)
+	logStd *nn.MLP // [1] → per-dim log stddev (input-free parameter head)
+	value  *nn.MLP
+	ps     *nn.ParamSet
+	rng    *rand.Rand
+
+	obs     []float32
+	samples []ppoSample
+	queue   [][]int // minibatch index batches remaining
+	track   episodeTracker
+	grad    []float32
+	one     []float32
+}
+
+// NewPPO builds a PPO agent; modelSeed fixes initial weights, expSeed
+// decorrelates exploration.
+func NewPPO(env envs.Continuous, cfg PPOConfig, modelSeed, expSeed int64) *PPO {
+	mDims := append(append([]int{env.ObsDim()}, cfg.Hidden...), env.ActionDim())
+	vDims := append(append([]int{env.ObsDim()}, cfg.Hidden...), 1)
+	mean := nn.NewMLP(mDims, nn.ActTanh, nn.ActTanh, modelSeed)
+	logStd := nn.NewMLP([]int{1, env.ActionDim()}, nn.ActNone, nn.ActNone, modelSeed+1)
+	value := nn.NewMLP(vDims, nn.ActTanh, nn.ActNone, modelSeed+2)
+	p := &PPO{
+		cfg: cfg, env: env, mean: mean, logStd: logStd, value: value,
+		ps: nn.NewParamSet([]*nn.MLP{mean, logStd, value},
+			[]nn.Optimizer{nn.NewAdam(cfg.LR), nn.NewAdam(cfg.LR), nn.NewAdam(cfg.ValueLR)}),
+		rng: rand.New(rand.NewSource(expSeed)),
+		one: []float32{1},
+	}
+	// Initialize the log-std head so its output is InitLogStd: zero the
+	// weight, set the bias.
+	for i := range logStd.Params() {
+		logStd.Params()[i] = 0
+	}
+	for i := 0; i < env.ActionDim(); i++ {
+		logStd.Params()[env.ActionDim()+i] = cfg.InitLogStd
+	}
+	p.grad = make([]float32, p.ps.Len())
+	p.obs = env.Reset()
+	return p
+}
+
+// Name implements Agent.
+func (p *PPO) Name() string { return "PPO" }
+
+// GradLen implements Agent.
+func (p *PPO) GradLen() int { return p.ps.Len() }
+
+// ReadParams implements Agent.
+func (p *PPO) ReadParams(dst []float32) { p.ps.ReadParams(dst) }
+
+// WriteParams implements Agent.
+func (p *PPO) WriteParams(src []float32) { p.ps.WriteParams(src) }
+
+// DrainEpisodes implements Agent.
+func (p *PPO) DrainEpisodes() []float64 { return p.track.drain() }
+
+// policyDist evaluates the Gaussian policy at obs, returning the scaled
+// mean and the per-dimension stddevs.
+func (p *PPO) policyDist(obs []float32) (mean, std, logStd []float32) {
+	bound := float32(p.env.Bound())
+	raw := p.mean.Forward(obs)
+	mean = make([]float32, len(raw))
+	for i, m := range raw {
+		mean[i] = m * bound
+	}
+	logStd = append([]float32(nil), p.logStd.Forward(p.one)...)
+	std = make([]float32, len(logStd))
+	for i, ls := range logStd {
+		// Clamp to keep the policy from collapsing to a deterministic
+		// spike (ratio blow-ups) or diverging to pure noise.
+		if ls < -2 {
+			ls = -2
+		} else if ls > 0.5 {
+			ls = 0.5
+		}
+		logStd[i] = ls
+		std[i] = float32(math.Exp(float64(ls)))
+	}
+	return mean, std, logStd
+}
+
+// collectRollout gathers Horizon on-policy steps and builds the
+// epoch/minibatch schedule.
+func (p *PPO) collectRollout() {
+	T := p.cfg.Horizon
+	p.samples = make([]ppoSample, 0, T)
+	rewards := make([]float32, 0, T)
+	dones := make([]bool, 0, T)
+	values := make([]float32, 0, T+1)
+
+	for t := 0; t < T; t++ {
+		mean, std, logStd := p.policyDist(p.obs)
+		act := make([]float32, len(mean))
+		for i := range act {
+			act[i] = mean[i] + std[i]*float32(p.rng.NormFloat64())
+		}
+		logp := nn.GaussianLogProb(act, mean, logStd, nil, nil)
+		values = append(values, p.value.Forward(p.obs)[0])
+
+		next, r, done := p.env.Step(act)
+		p.track.add(r, done)
+		p.samples = append(p.samples, ppoSample{
+			obs: append([]float32(nil), p.obs...), act: act, oldLogp: logp,
+		})
+		rewards = append(rewards, float32(r)*p.cfg.RewardScale)
+		dones = append(dones, done)
+		if done {
+			p.obs = p.env.Reset()
+		} else {
+			p.obs = next
+		}
+	}
+	values = append(values, p.value.Forward(p.obs)[0])
+	adv, ret := GAE(rewards, values, dones, p.cfg.Gamma, p.cfg.Lambda)
+	// Normalize advantages over the rollout.
+	var sum, sq float64
+	for _, a := range adv {
+		sum += float64(a)
+	}
+	m := sum / float64(len(adv))
+	for _, a := range adv {
+		d := float64(a) - m
+		sq += d * d
+	}
+	sd := float32(math.Sqrt(sq/float64(len(adv)))) + 1e-6
+	for i := range p.samples {
+		p.samples[i].adv = (adv[i] - float32(m)) / sd
+		p.samples[i].ret = ret[i]
+	}
+	// Epoch/minibatch schedule.
+	p.queue = p.queue[:0]
+	for e := 0; e < p.cfg.Epochs; e++ {
+		perm := p.rng.Perm(T)
+		for i := 0; i < T; i += p.cfg.MinibatchSize {
+			end := i + p.cfg.MinibatchSize
+			if end > T {
+				end = T
+			}
+			p.queue = append(p.queue, perm[i:end])
+		}
+	}
+}
+
+// ComputeGradient implements Agent: one clipped-surrogate minibatch
+// gradient (collecting a fresh rollout when the schedule is empty).
+func (p *PPO) ComputeGradient(dst []float32) {
+	if len(p.queue) == 0 {
+		p.collectRollout()
+	}
+	batch := p.queue[0]
+	p.queue = p.queue[1:]
+
+	p.ps.ZeroGrads()
+	bound := float32(p.env.Bound())
+	inv := 1 / float32(len(batch))
+	for _, idx := range batch {
+		s := p.samples[idx]
+		mean, _, logStd := p.policyDist(s.obs)
+		dMean := make([]float32, len(mean))
+		dLogStd := make([]float32, len(mean))
+		logp := nn.GaussianLogProb(s.act, mean, logStd, dMean, dLogStd)
+
+		ratio := float32(math.Exp(float64(logp - s.oldLogp)))
+		// Clipped surrogate: gradient flows only when the unclipped
+		// term is the active minimum.
+		var w float32
+		lo, hi := 1-p.cfg.ClipEps, 1+p.cfg.ClipEps
+		unclipped := ratio * s.adv
+		clipped := s.adv * clampRatio(ratio, lo, hi)
+		if unclipped <= clipped {
+			w = ratio * s.adv // d(ratio·A)/dlogp = ratio·A
+		}
+		// Loss = −surrogate − β·H; H for a Gaussian is Σ logStd + const.
+		for i := range dMean {
+			dMean[i] *= -w * inv
+			dLogStd[i] = -w*inv*dLogStd[i] - p.cfg.EntropyBeta*inv
+		}
+		// Chain through the mean scaling a = bound·tanh-out.
+		for i := range dMean {
+			dMean[i] *= bound
+		}
+		p.mean.Forward(s.obs) // refresh caches for backward
+		p.mean.Backward(dMean)
+		p.logStd.Forward(p.one)
+		p.logStd.Backward(dLogStd)
+
+		v := p.value.Forward(s.obs)
+		dv := []float32{0}
+		nn.MSE(v, []float32{s.ret}, dv)
+		dv[0] *= inv
+		p.value.Backward(dv)
+	}
+	p.ps.ReadGrads(dst)
+	p.ps.ClipEachNorm(dst, p.cfg.GradClip)
+}
+
+// ApplyAggregated implements Agent.
+func (p *PPO) ApplyAggregated(sum []float32, h int) {
+	scaleInto(p.grad, sum, h)
+	p.ps.Step(p.grad)
+}
+
+func clampRatio(r, lo, hi float32) float32 {
+	if r < lo {
+		return lo
+	}
+	if r > hi {
+		return hi
+	}
+	return r
+}

@@ -1,0 +1,122 @@
+package rl
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// Property: with λ=1 and no terminals, GAE's returns equal the plain
+// discounted n-step returns with bootstrap, and adv = ret − V.
+func TestGAELambdaOneEqualsNStepQuick(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := rng.Intn(20) + 1
+		gamma := 0.9 + rng.Float32()*0.099
+		rewards := make([]float32, n)
+		values := make([]float32, n+1)
+		dones := make([]bool, n)
+		for i := range rewards {
+			rewards[i] = rng.Float32()*2 - 1
+			values[i] = rng.Float32()
+		}
+		values[n] = rng.Float32()
+
+		adv, ret := GAE(rewards, values, dones, gamma, 1)
+
+		// Reference discounted returns.
+		ref := make([]float64, n+1)
+		ref[n] = float64(values[n])
+		for i := n - 1; i >= 0; i-- {
+			ref[i] = float64(rewards[i]) + float64(gamma)*ref[i+1]
+		}
+		for i := 0; i < n; i++ {
+			if math.Abs(ref[i]-float64(ret[i])) > 1e-3 {
+				return false
+			}
+			if math.Abs(float64(adv[i])-(ref[i]-float64(values[i]))) > 1e-3 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: GAE with λ=0 gives one-step TD errors as advantages.
+func TestGAELambdaZeroIsTDErrorQuick(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := rng.Intn(20) + 1
+		gamma := float32(0.95)
+		rewards := make([]float32, n)
+		values := make([]float32, n+1)
+		dones := make([]bool, n)
+		for i := range rewards {
+			rewards[i] = rng.Float32()
+			values[i] = rng.Float32()
+			dones[i] = rng.Intn(4) == 0
+		}
+		values[n] = rng.Float32()
+		adv, _ := GAE(rewards, values, dones, gamma, 0)
+		for i := 0; i < n; i++ {
+			mask := float32(1)
+			if dones[i] {
+				mask = 0
+			}
+			td := rewards[i] + gamma*values[i+1]*mask - values[i]
+			if math.Abs(float64(adv[i]-td)) > 1e-5 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Replay sampling must cover the buffer (uniform with replacement).
+func TestReplaySamplingCoverage(t *testing.T) {
+	r := NewReplay(50, 3)
+	for i := 0; i < 50; i++ {
+		r.Add(Transition{ActD: i})
+	}
+	seen := map[int]int{}
+	for _, tr := range r.Sample(5000) {
+		seen[tr.ActD]++
+	}
+	if len(seen) < 45 {
+		t.Fatalf("sampling covered only %d of 50 entries", len(seen))
+	}
+	for a, c := range seen {
+		if c > 400 { // expected 100, allow wide slack
+			t.Fatalf("entry %d sampled %d times (biased)", a, c)
+		}
+	}
+}
+
+// OU noise must have approximately the configured stationary spread.
+func TestOUNoiseStationaryStats(t *testing.T) {
+	n := NewOUNoise(1, 0.15, 0.2, 11)
+	var sum, sq float64
+	const steps = 200000
+	for i := 0; i < steps; i++ {
+		v := float64(n.Sample()[0])
+		sum += v
+		sq += v * v
+	}
+	mean := sum / steps
+	sd := math.Sqrt(sq/steps - mean*mean)
+	if math.Abs(mean) > 0.05 {
+		t.Fatalf("OU mean %v, want ~0", mean)
+	}
+	// Stationary sd of OU with this discretization ≈ σ/√(2θ−θ²) ≈ 0.38.
+	want := 0.2 / math.Sqrt(2*0.15-0.15*0.15)
+	if math.Abs(sd-want) > 0.1 {
+		t.Fatalf("OU sd %v, want ≈ %v", sd, want)
+	}
+}

@@ -1,0 +1,175 @@
+// Package rl provides the reinforcement-learning algorithms the paper
+// trains — DQN, A2C, PPO, DDPG — behind one Agent interface shaped for
+// distributed training: each iteration a worker computes a flat local
+// gradient (Local Gradient Computing), the gradients are aggregated
+// elsewhere (parameter server, AllReduce ring, or in-switch), and the
+// averaged gradient is applied to the local weight replica (Local
+// Weight Update).
+package rl
+
+import (
+	"math/rand"
+)
+
+// Agent is one worker's training logic.
+//
+// Invariant relied on by synchronous distributed training: two agents
+// constructed with the same model seed hold identical parameters, and
+// applying the same aggregated gradient keeps them identical — the
+// paper's decentralized-weight-storage argument (§4.1).
+type Agent interface {
+	// Name identifies the algorithm.
+	Name() string
+	// GradLen is the flat gradient length in float32 elements.
+	GradLen() int
+	// ComputeGradient performs one iteration of local gradient
+	// computing — environment interaction, experience handling, and the
+	// backward pass — and writes the flat gradient into dst.
+	ComputeGradient(dst []float32)
+	// ApplyAggregated applies one optimizer step using the element-wise
+	// sum of h workers' gradients (the switch's aggregate). The agent
+	// divides by h, matching Algorithm 1's w ← w − γ·g_sum/H.
+	ApplyAggregated(sum []float32, h int)
+	// ReadParams copies the flat parameter vector into dst.
+	ReadParams(dst []float32)
+	// WriteParams overwrites the parameters from src (initial sync).
+	WriteParams(src []float32)
+	// DrainEpisodes returns the rewards of episodes completed since the
+	// last call.
+	DrainEpisodes() []float64
+}
+
+// Transition is one replay-buffer entry. Discrete algorithms use ActD;
+// continuous ones use ActC.
+type Transition struct {
+	Obs    []float32
+	ActD   int
+	ActC   []float32
+	Reward float32
+	Next   []float32
+	Done   bool
+}
+
+// Replay is a fixed-capacity ring-buffer experience replay.
+type Replay struct {
+	buf  []Transition
+	next int
+	full bool
+	rng  *rand.Rand
+}
+
+// NewReplay creates a replay buffer holding up to capacity transitions.
+func NewReplay(capacity int, seed int64) *Replay {
+	if capacity < 1 {
+		panic("rl: replay capacity must be >= 1")
+	}
+	return &Replay{buf: make([]Transition, 0, capacity), rng: rand.New(rand.NewSource(seed))}
+}
+
+// Add appends a transition, evicting the oldest once full.
+func (r *Replay) Add(t Transition) {
+	if len(r.buf) < cap(r.buf) {
+		r.buf = append(r.buf, t)
+		return
+	}
+	r.full = true
+	r.buf[r.next] = t
+	r.next = (r.next + 1) % cap(r.buf)
+}
+
+// Len reports the number of stored transitions.
+func (r *Replay) Len() int { return len(r.buf) }
+
+// Sample draws n transitions uniformly with replacement.
+func (r *Replay) Sample(n int) []Transition {
+	if len(r.buf) == 0 {
+		panic("rl: sampling from empty replay")
+	}
+	out := make([]Transition, n)
+	for i := range out {
+		out[i] = r.buf[r.rng.Intn(len(r.buf))]
+	}
+	return out
+}
+
+// GAE computes generalized advantage estimates and discounted returns
+// for a rollout. values has len(rewards)+1 entries (bootstrap last);
+// dones[i] marks terminal transitions (no bootstrap across them).
+func GAE(rewards []float32, values []float32, dones []bool, gamma, lambda float32) (adv, ret []float32) {
+	n := len(rewards)
+	if len(values) != n+1 || len(dones) != n {
+		panic("rl: GAE input length mismatch")
+	}
+	adv = make([]float32, n)
+	ret = make([]float32, n)
+	var lastAdv float32
+	for i := n - 1; i >= 0; i-- {
+		mask := float32(1)
+		if dones[i] {
+			mask = 0
+		}
+		delta := rewards[i] + gamma*values[i+1]*mask - values[i]
+		lastAdv = delta + gamma*lambda*mask*lastAdv
+		adv[i] = lastAdv
+		ret[i] = adv[i] + values[i]
+	}
+	return adv, ret
+}
+
+// OUNoise is an Ornstein-Uhlenbeck process, the temporally correlated
+// exploration noise DDPG uses on continuous actions.
+type OUNoise struct {
+	theta, sigma, mu float32
+	state            []float32
+	rng              *rand.Rand
+}
+
+// NewOUNoise creates an OU process of dimension dim.
+func NewOUNoise(dim int, theta, sigma float32, seed int64) *OUNoise {
+	return &OUNoise{theta: theta, sigma: sigma,
+		state: make([]float32, dim), rng: rand.New(rand.NewSource(seed))}
+}
+
+// Reset returns the process to its mean.
+func (o *OUNoise) Reset() {
+	for i := range o.state {
+		o.state[i] = o.mu
+	}
+}
+
+// Sample advances the process one step and returns the noise vector
+// (a live view; copy to retain).
+func (o *OUNoise) Sample() []float32 {
+	for i := range o.state {
+		o.state[i] += o.theta*(o.mu-o.state[i]) + o.sigma*float32(o.rng.NormFloat64())
+	}
+	return o.state
+}
+
+// episodeTracker accumulates per-episode rewards for DrainEpisodes.
+type episodeTracker struct {
+	cur  float64
+	done []float64
+}
+
+func (e *episodeTracker) add(r float64, done bool) {
+	e.cur += r
+	if done {
+		e.done = append(e.done, e.cur)
+		e.cur = 0
+	}
+}
+
+func (e *episodeTracker) drain() []float64 {
+	out := e.done
+	e.done = nil
+	return out
+}
+
+// scaleInto writes src/h into dst.
+func scaleInto(dst, src []float32, h int) {
+	inv := 1 / float32(h)
+	for i := range src {
+		dst[i] = src[i] * inv
+	}
+}

@@ -1,0 +1,327 @@
+package rl
+
+import (
+	"math"
+	"testing"
+)
+
+func TestReplayEviction(t *testing.T) {
+	r := NewReplay(3, 1)
+	for i := 0; i < 5; i++ {
+		r.Add(Transition{ActD: i})
+	}
+	if r.Len() != 3 {
+		t.Fatalf("len = %d", r.Len())
+	}
+	seen := map[int]bool{}
+	for _, tr := range r.Sample(100) {
+		seen[tr.ActD] = true
+	}
+	for a := range seen {
+		if a < 2 {
+			t.Fatalf("evicted transition %d sampled", a)
+		}
+	}
+}
+
+func TestReplaySampleEmptyPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic")
+		}
+	}()
+	NewReplay(2, 1).Sample(1)
+}
+
+func TestGAEHandComputed(t *testing.T) {
+	// Two steps, no terminals, gamma=0.5, lambda=1 → n-step returns.
+	rewards := []float32{1, 2}
+	values := []float32{0.5, 1, 2}
+	dones := []bool{false, false}
+	adv, ret := GAE(rewards, values, dones, 0.5, 1)
+	// ret[1] = 2 + 0.5*2 = 3; adv[1] = 3 - 1 = 2
+	// ret[0] = 1 + 0.5*ret[1] = 2.5; adv[0] = 2.5 - 0.5 = 2
+	if math.Abs(float64(ret[1]-3)) > 1e-6 || math.Abs(float64(adv[1]-2)) > 1e-6 {
+		t.Fatalf("step1 adv=%v ret=%v", adv[1], ret[1])
+	}
+	if math.Abs(float64(ret[0]-2.5)) > 1e-6 || math.Abs(float64(adv[0]-2)) > 1e-6 {
+		t.Fatalf("step0 adv=%v ret=%v", adv[0], ret[0])
+	}
+}
+
+func TestGAETerminalMasksBootstrap(t *testing.T) {
+	rewards := []float32{1, 1}
+	values := []float32{0, 5, 100} // large bootstrap must be masked
+	dones := []bool{true, true}
+	adv, ret := GAE(rewards, values, dones, 0.99, 0.95)
+	if math.Abs(float64(ret[0]-1)) > 1e-6 || math.Abs(float64(ret[1]-1)) > 1e-6 {
+		t.Fatalf("terminal returns %v", ret)
+	}
+	if math.Abs(float64(adv[0]-1)) > 1e-6 {
+		t.Fatalf("adv[0] = %v", adv[0])
+	}
+}
+
+func TestGAELengthMismatchPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic")
+		}
+	}()
+	GAE([]float32{1}, []float32{1}, []bool{false}, 0.9, 0.9)
+}
+
+func TestOUNoiseMeanReverts(t *testing.T) {
+	n := NewOUNoise(1, 0.5, 0.0, 7) // zero sigma: pure decay
+	n.state[0] = 10
+	for i := 0; i < 50; i++ {
+		n.Sample()
+	}
+	if math.Abs(float64(n.state[0])) > 0.1 {
+		t.Fatalf("OU did not revert: %v", n.state[0])
+	}
+	n2 := NewOUNoise(2, 0.15, 0.2, 8)
+	s := n2.Sample()
+	if len(s) != 2 {
+		t.Fatalf("dim = %d", len(s))
+	}
+	n2.Reset()
+	if n2.state[0] != 0 || n2.state[1] != 0 {
+		t.Fatal("reset failed")
+	}
+}
+
+func TestEpisodeTracker(t *testing.T) {
+	var tr episodeTracker
+	tr.add(1, false)
+	tr.add(2, true)
+	tr.add(5, true)
+	got := tr.drain()
+	if len(got) != 2 || got[0] != 3 || got[1] != 5 {
+		t.Fatalf("drain = %v", got)
+	}
+	if len(tr.drain()) != 0 {
+		t.Fatal("second drain not empty")
+	}
+}
+
+func TestWorkloadFactory(t *testing.T) {
+	for _, name := range Workloads() {
+		a, err := NewWorkloadAgent(name, 1, 2)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if a.Name() != name {
+			t.Fatalf("agent name %s, want %s", a.Name(), name)
+		}
+		if a.GradLen() <= 0 {
+			t.Fatalf("%s: grad len %d", name, a.GradLen())
+		}
+	}
+	if _, err := NewWorkloadAgent("nope", 1, 2); err == nil {
+		t.Fatal("unknown workload accepted")
+	}
+}
+
+// finite checks a gradient for NaN/Inf.
+func finite(t *testing.T, name string, g []float32) {
+	t.Helper()
+	for i, x := range g {
+		if math.IsNaN(float64(x)) || math.IsInf(float64(x), 0) {
+			t.Fatalf("%s: grad[%d] = %v", name, i, x)
+		}
+	}
+}
+
+func TestAgentsProduceFiniteGradients(t *testing.T) {
+	for _, name := range Workloads() {
+		a, err := NewWorkloadAgent(name, 3, 4)
+		if err != nil {
+			t.Fatal(err)
+		}
+		g := make([]float32, a.GradLen())
+		for it := 0; it < 30; it++ {
+			a.ComputeGradient(g)
+			finite(t, name, g)
+			a.ApplyAggregated(g, 1)
+		}
+		params := make([]float32, a.GradLen())
+		a.ReadParams(params)
+		finite(t, name+" params", params)
+	}
+}
+
+// The paper's decentralized-weight-storage invariant (§4.1): replicas
+// with the same initial weights that apply the same aggregated gradient
+// stay bit-identical, even with different local experience.
+func TestReplicasStayInLockstep(t *testing.T) {
+	for _, name := range Workloads() {
+		const workers = 3
+		agents := make([]Agent, workers)
+		for w := range agents {
+			a, err := NewWorkloadAgent(name, 42, int64(100+w))
+			if err != nil {
+				t.Fatal(err)
+			}
+			agents[w] = a
+		}
+		gl := agents[0].GradLen()
+		sum := make([]float32, gl)
+		g := make([]float32, gl)
+		for iter := 0; iter < 5; iter++ {
+			for i := range sum {
+				sum[i] = 0
+			}
+			for _, a := range agents {
+				a.ComputeGradient(g)
+				for i := range sum {
+					sum[i] += g[i]
+				}
+			}
+			for _, a := range agents {
+				a.ApplyAggregated(sum, workers)
+			}
+			ref := make([]float32, gl)
+			cmp := make([]float32, gl)
+			agents[0].ReadParams(ref)
+			for w := 1; w < workers; w++ {
+				agents[w].ReadParams(cmp)
+				for i := range ref {
+					if ref[i] != cmp[i] {
+						t.Fatalf("%s iter %d: worker %d param %d diverged (%v vs %v)",
+							name, iter, w, i, cmp[i], ref[i])
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestWriteParamsSyncsReplica(t *testing.T) {
+	a, _ := NewWorkloadAgent(WorkloadDQN, 1, 2)
+	b, _ := NewWorkloadAgent(WorkloadDQN, 9, 3) // different init
+	p := make([]float32, a.GradLen())
+	a.ReadParams(p)
+	b.WriteParams(p)
+	q := make([]float32, b.GradLen())
+	b.ReadParams(q)
+	for i := range p {
+		if p[i] != q[i] {
+			t.Fatal("WriteParams did not sync")
+		}
+	}
+}
+
+func TestDQNEpsilonAnneals(t *testing.T) {
+	d := NewDQN(newTestEnvD(), DefaultDQNConfig(), 1, 2)
+	g := make([]float32, d.GradLen())
+	start := d.Epsilon()
+	for i := 0; i < 500; i++ {
+		d.ComputeGradient(g)
+	}
+	if d.Epsilon() >= start {
+		t.Fatalf("epsilon did not anneal: %v → %v", start, d.Epsilon())
+	}
+}
+
+// avgReturn runs training and reports mean episode reward over a window.
+func avgReturn(t *testing.T, a Agent, iters int) (early, late float64) {
+	t.Helper()
+	g := make([]float32, a.GradLen())
+	var rewards []float64
+	for i := 0; i < iters; i++ {
+		a.ComputeGradient(g)
+		a.ApplyAggregated(g, 1)
+		rewards = append(rewards, a.DrainEpisodes()...)
+	}
+	if len(rewards) < 10 {
+		t.Fatalf("%s: only %d episodes in %d iters", a.Name(), len(rewards), iters)
+	}
+	k := len(rewards) / 5
+	if k == 0 {
+		k = 1
+	}
+	for _, r := range rewards[:k] {
+		early += r
+	}
+	early /= float64(k)
+	for _, r := range rewards[len(rewards)-k:] {
+		late += r
+	}
+	late /= float64(k)
+	return early, late
+}
+
+func TestA2CLearnsCartPole(t *testing.T) {
+	if testing.Short() {
+		t.Skip("learning test")
+	}
+	a, _ := NewWorkloadAgent(WorkloadA2C, 5, 6)
+	early, late := avgReturn(t, a, 12000)
+	if late < early+50 || late < 150 {
+		t.Fatalf("A2C did not learn: early %.1f late %.1f", early, late)
+	}
+}
+
+func TestDQNLearnsCartPole(t *testing.T) {
+	if testing.Short() {
+		t.Skip("learning test")
+	}
+	cfg := DefaultDQNConfig()
+	d := NewDQN(newCartPole(7), cfg, 7, 8)
+	early, late := avgReturn(t, d, 3000)
+	if late < early+20 || late < 60 {
+		t.Fatalf("DQN did not learn: early %.1f late %.1f", early, late)
+	}
+}
+
+func TestPPOLearnsPendulum(t *testing.T) {
+	if testing.Short() {
+		t.Skip("learning test")
+	}
+	p, _ := NewWorkloadAgent(WorkloadPPO, 9, 10)
+	early, late := avgReturn(t, p, 9000)
+	if late < early+100 {
+		t.Fatalf("PPO did not improve: early %.1f late %.1f", early, late)
+	}
+}
+
+func TestDDPGLearnsCheetah(t *testing.T) {
+	if testing.Short() {
+		t.Skip("learning test")
+	}
+	d, _ := NewWorkloadAgent(WorkloadDDPG, 11, 12)
+	early, late := avgReturn(t, d, 4000)
+	if late < early+50 {
+		t.Fatalf("DDPG did not improve: early %.1f late %.1f", early, late)
+	}
+}
+
+func TestDoubleDQNDiffersFromVanilla(t *testing.T) {
+	// With identical seeds, Double DQN must eventually choose a
+	// different bootstrap value than vanilla DQN, producing diverging
+	// gradients — but both stay finite and learn-shaped.
+	cfgV := DefaultDQNConfig()
+	cfgD := DefaultDQNConfig()
+	cfgD.Double = true
+	v := NewDQN(newCartPole(31), cfgV, 5, 6)
+	d := NewDQN(newCartPole(31), cfgD, 5, 6)
+	gv := make([]float32, v.GradLen())
+	gd := make([]float32, d.GradLen())
+	diverged := false
+	for i := 0; i < 400; i++ {
+		v.ComputeGradient(gv)
+		d.ComputeGradient(gd)
+		for j := range gv {
+			if gv[j] != gd[j] {
+				diverged = true
+			}
+		}
+		v.ApplyAggregated(gv, 1)
+		d.ApplyAggregated(gd, 1)
+	}
+	if !diverged {
+		t.Fatal("Double DQN produced identical gradients to vanilla for 400 iterations")
+	}
+	finite(t, "double-dqn", gd)
+}

@@ -1,0 +1,54 @@
+package sim
+
+import (
+	"testing"
+	"time"
+)
+
+// BenchmarkEventThroughput measures raw sleep-event processing.
+func BenchmarkEventThroughput(b *testing.B) {
+	k := NewKernel()
+	k.Spawn("p", func(p *Proc) {
+		for i := 0; i < b.N; i++ {
+			p.Sleep(time.Microsecond)
+		}
+	})
+	b.ResetTimer()
+	k.Run()
+}
+
+// BenchmarkChanPingPong measures two processes exchanging values.
+func BenchmarkChanPingPong(b *testing.B) {
+	k := NewKernel()
+	a := NewChan[int](k, "a")
+	c := NewChan[int](k, "b")
+	k.Spawn("ping", func(p *Proc) {
+		for i := 0; i < b.N; i++ {
+			a.Send(i)
+			c.Recv(p)
+		}
+	})
+	k.Spawn("pong", func(p *Proc) {
+		for i := 0; i < b.N; i++ {
+			v := a.Recv(p)
+			c.Send(v)
+		}
+	})
+	b.ResetTimer()
+	k.Run()
+}
+
+// BenchmarkManyProcs measures scheduling across 64 concurrent processes.
+func BenchmarkManyProcs(b *testing.B) {
+	k := NewKernel()
+	per := b.N/64 + 1
+	for i := 0; i < 64; i++ {
+		k.Spawn("p", func(p *Proc) {
+			for j := 0; j < per; j++ {
+				p.Sleep(time.Duration(j%5+1) * time.Microsecond)
+			}
+		})
+	}
+	b.ResetTimer()
+	k.Run()
+}

@@ -1,0 +1,123 @@
+package sim
+
+import (
+	"testing"
+	"time"
+)
+
+func TestRunOnEmptyKernel(t *testing.T) {
+	k := NewKernel()
+	k.Run() // must return immediately
+	if k.Now() != 0 {
+		t.Fatalf("clock moved to %v", k.Now())
+	}
+	k.RunUntil(time.Second)
+	if k.Now() != time.Second {
+		t.Fatalf("RunUntil did not advance idle clock: %v", k.Now())
+	}
+}
+
+func TestStopBeforeRunIsHarmless(t *testing.T) {
+	k := NewKernel()
+	k.Stop()
+	ran := false
+	k.Spawn("p", func(p *Proc) { ran = true })
+	k.Run() // Run clears the stop flag on entry
+	if !ran {
+		t.Fatal("pre-Run Stop leaked into Run")
+	}
+}
+
+func TestBarrierOfOneNeverBlocks(t *testing.T) {
+	k := NewKernel()
+	b := NewBarrier(k, 1)
+	count := 0
+	k.Spawn("p", func(p *Proc) {
+		for i := 0; i < 5; i++ {
+			b.Wait(p)
+			count++
+		}
+	})
+	k.Run()
+	if count != 5 {
+		t.Fatalf("count = %d", count)
+	}
+	if b.Round() != 5 {
+		t.Fatalf("rounds = %d", b.Round())
+	}
+}
+
+func TestBarrierInvalidN(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("n=0 barrier accepted")
+		}
+	}()
+	NewBarrier(NewKernel(), 0)
+}
+
+func TestNegativeWaitGroupPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("negative counter accepted")
+		}
+	}()
+	wg := NewWaitGroup(NewKernel())
+	wg.Done()
+}
+
+func TestProcsCount(t *testing.T) {
+	k := NewKernel()
+	if k.Procs() != 0 {
+		t.Fatalf("initial procs = %d", k.Procs())
+	}
+	k.Spawn("a", func(p *Proc) { p.Sleep(time.Millisecond) })
+	k.Spawn("b", func(p *Proc) { p.Sleep(2 * time.Millisecond) })
+	if k.Procs() != 2 {
+		t.Fatalf("spawned procs = %d", k.Procs())
+	}
+	k.Run()
+	if k.Procs() != 0 {
+		t.Fatalf("procs after run = %d", k.Procs())
+	}
+}
+
+func TestInterleavedRunUntilAndSpawn(t *testing.T) {
+	k := NewKernel()
+	events := 0
+	k.Spawn("ticker", func(p *Proc) {
+		for i := 0; i < 10; i++ {
+			p.Sleep(time.Millisecond)
+			events++
+		}
+	})
+	k.RunUntil(5 * time.Millisecond)
+	if events != 5 {
+		t.Fatalf("events = %d at 5ms", events)
+	}
+	// Spawning mid-run starts at the current clock.
+	var startedAt Time
+	k.Spawn("late", func(p *Proc) { startedAt = p.Now() })
+	k.Run()
+	if startedAt != 5*time.Millisecond {
+		t.Fatalf("late proc started at %v", startedAt)
+	}
+	if events != 10 {
+		t.Fatalf("events = %d at end", events)
+	}
+}
+
+func TestChanLenAndOrderAfterPartialDrain(t *testing.T) {
+	k := NewKernel()
+	ch := NewChan[int](k, "ch")
+	for i := 0; i < 5; i++ {
+		ch.Send(i)
+	}
+	if ch.Len() != 5 {
+		t.Fatalf("len = %d", ch.Len())
+	}
+	v, _ := ch.TryRecv()
+	if v != 0 || ch.Len() != 4 {
+		t.Fatalf("drain order broken: %d, len %d", v, ch.Len())
+	}
+}

@@ -1,0 +1,307 @@
+// Package sim provides a deterministic discrete-event simulation kernel.
+//
+// The kernel multiplexes cooperative processes (goroutines that hold a
+// scheduler token one at a time) over a virtual clock. Exactly one
+// goroutine — either the kernel itself or a single process — runs at any
+// moment, so simulation state needs no locking and runs are bit-for-bit
+// reproducible for a given spawn order and seed.
+//
+// Processes advance virtual time with Proc.Sleep and communicate through
+// virtual-time channels (Chan). Network links, switches, and training
+// workers in the iSwitch reproduction are all sim processes.
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+	"time"
+)
+
+// Time is virtual time measured as an offset from the start of the run.
+type Time = time.Duration
+
+// event is a scheduled occurrence: at time t, run fn (kernel context)
+// and/or resume proc. seq breaks ties so ordering is deterministic.
+type event struct {
+	t    Time
+	seq  uint64
+	fn   func()
+	proc *Proc
+}
+
+type eventQueue []*event
+
+func (q eventQueue) Len() int { return len(q) }
+func (q eventQueue) Less(i, j int) bool {
+	if q[i].t != q[j].t {
+		return q[i].t < q[j].t
+	}
+	return q[i].seq < q[j].seq
+}
+func (q eventQueue) Swap(i, j int) { q[i], q[j] = q[j], q[i] }
+func (q *eventQueue) Push(x any)   { *q = append(*q, x.(*event)) }
+func (q *eventQueue) Pop() any {
+	old := *q
+	n := len(old)
+	e := old[n-1]
+	old[n-1] = nil
+	*q = old[:n-1]
+	return e
+}
+func (q eventQueue) peek() *event { return q[0] }
+
+// Kernel owns the virtual clock and the event queue.
+//
+// The zero value is not usable; construct with NewKernel.
+type Kernel struct {
+	now      Time
+	seq      uint64
+	queue    eventQueue
+	parkCh   chan struct{} // processes signal "parked or finished"
+	stopped  bool
+	panicVal any
+	procs    int // live (spawned, unfinished) processes
+}
+
+// NewKernel returns a kernel with the clock at zero.
+func NewKernel() *Kernel {
+	return &Kernel{parkCh: make(chan struct{})}
+}
+
+// Now reports the current virtual time. Valid from kernel callbacks and
+// between Run calls; processes should use Proc.Now.
+func (k *Kernel) Now() Time { return k.now }
+
+// Stop halts the run loop after the current event completes. Pending
+// events are retained, so a later Run resumes where the clock stopped.
+func (k *Kernel) Stop() { k.stopped = true }
+
+// Procs reports the number of live (spawned, unfinished) processes.
+func (k *Kernel) Procs() int { return k.procs }
+
+// After schedules fn to run in kernel context d from now. fn must not
+// block; it may schedule further events and send on channels.
+func (k *Kernel) After(d Time, fn func()) {
+	if d < 0 {
+		d = 0
+	}
+	k.seq++
+	heap.Push(&k.queue, &event{t: k.now + d, seq: k.seq, fn: fn})
+}
+
+// Spawn creates a process named name running fn, starting at the current
+// virtual time. It may be called before Run or from kernel callbacks and
+// other processes.
+func (k *Kernel) Spawn(name string, fn func(*Proc)) *Proc {
+	p := &Proc{k: k, name: name, resumeCh: make(chan struct{})}
+	k.procs++
+	go func() {
+		<-p.resumeCh // wait for the start event
+		defer func() {
+			if r := recover(); r != nil {
+				p.k.panicVal = fmt.Sprintf("sim: process %q panicked: %v", p.name, r)
+			}
+			p.done = true
+			p.k.procs--
+			p.k.parkCh <- struct{}{}
+		}()
+		fn(p)
+	}()
+	k.seq++
+	heap.Push(&k.queue, &event{t: k.now, seq: k.seq, proc: p})
+	p.wakeSeq = k.seq
+	return p
+}
+
+// Run processes events until the queue is empty or Stop is called.
+// Processes still parked on channels when the queue drains simply never
+// resume (this is how long-lived server loops end a simulation).
+func (k *Kernel) Run() { k.run(-1) }
+
+// RunUntil processes events with timestamps <= t, then sets the clock to
+// t. Events after t stay queued for a subsequent Run/RunUntil.
+func (k *Kernel) RunUntil(t Time) { k.run(t) }
+
+func (k *Kernel) run(limit Time) {
+	k.stopped = false
+	for len(k.queue) > 0 && !k.stopped {
+		if limit >= 0 && k.queue.peek().t > limit {
+			k.now = limit
+			return
+		}
+		ev := heap.Pop(&k.queue).(*event)
+		if ev.t > k.now {
+			k.now = ev.t
+		}
+		if ev.fn != nil {
+			ev.fn()
+		}
+		if ev.proc != nil && !ev.proc.done && !ev.proc.cancelWake(ev.seq) {
+			ev.proc.resumeCh <- struct{}{}
+			<-k.parkCh
+		}
+		if k.panicVal != nil {
+			panic(k.panicVal)
+		}
+	}
+	if limit >= 0 && limit > k.now {
+		k.now = limit
+	}
+}
+
+// Proc is a simulated process. All methods must be called from the
+// process's own goroutine while it holds the scheduler token (i.e., from
+// inside the fn passed to Spawn).
+type Proc struct {
+	k        *Kernel
+	name     string
+	resumeCh chan struct{}
+	done     bool
+
+	// wakeSeq, when nonzero, identifies the single event allowed to wake
+	// this proc; events carrying any other seq are stale (for example a
+	// timeout that lost the race against a channel delivery).
+	wakeSeq uint64
+}
+
+// Name returns the name given at Spawn.
+func (p *Proc) Name() string { return p.name }
+
+// Now reports the current virtual time.
+func (p *Proc) Now() Time { return p.k.now }
+
+// Kernel returns the kernel this process runs under.
+func (p *Proc) Kernel() *Kernel { return p.k }
+
+// Spawn starts a sibling process at the current virtual time.
+func (p *Proc) Spawn(name string, fn func(*Proc)) *Proc { return p.k.Spawn(name, fn) }
+
+// park yields the token to the kernel and blocks until resumed.
+func (p *Proc) park() {
+	p.k.parkCh <- struct{}{}
+	<-p.resumeCh
+}
+
+// scheduleWake arranges for this proc to resume at now+d and records the
+// event's seq so stale wakes can be cancelled.
+func (p *Proc) scheduleWake(d Time) uint64 {
+	if d < 0 {
+		d = 0
+	}
+	p.k.seq++
+	seq := p.k.seq
+	heap.Push(&p.k.queue, &event{t: p.k.now + d, seq: seq, proc: p})
+	p.wakeSeq = seq
+	return seq
+}
+
+// cancelWake reports whether the wake identified by seq is stale. Only
+// the most recently armed wake may resume the process.
+func (p *Proc) cancelWake(seq uint64) bool {
+	if p.wakeSeq == seq && seq != 0 {
+		p.wakeSeq = 0
+		return false
+	}
+	return true
+}
+
+// Sleep advances this process's local time by d.
+func (p *Proc) Sleep(d Time) {
+	p.scheduleWake(d)
+	p.park()
+}
+
+// Chan is an unbounded virtual-time channel. Senders never block;
+// receivers block in virtual time until a value is available. Delivery
+// order is FIFO and deterministic.
+type Chan[T any] struct {
+	k       *Kernel
+	name    string
+	buf     []T
+	waiters []*chanWaiter[T]
+}
+
+type chanWaiter[T any] struct {
+	p       *Proc
+	got     bool
+	v       T
+	expired bool // timeout fired before a value arrived
+}
+
+// NewChan creates a channel on kernel k. name is for diagnostics.
+func NewChan[T any](k *Kernel, name string) *Chan[T] {
+	return &Chan[T]{k: k, name: name}
+}
+
+// Len reports the number of buffered (undelivered) values.
+func (c *Chan[T]) Len() int { return len(c.buf) }
+
+// Send enqueues v at the current virtual time. Callable from kernel
+// callbacks or from the running process.
+func (c *Chan[T]) Send(v T) { c.deliver(v) }
+
+// SendAfter enqueues v after a virtual delay of d. This is the primitive
+// network links use to model latency without a dedicated process.
+func (c *Chan[T]) SendAfter(d Time, v T) {
+	c.k.After(d, func() { c.deliver(v) })
+}
+
+func (c *Chan[T]) deliver(v T) {
+	// Hand to the longest-waiting live receiver, if any.
+	for len(c.waiters) > 0 {
+		w := c.waiters[0]
+		c.waiters = c.waiters[1:]
+		if w.expired {
+			continue
+		}
+		w.got = true
+		w.v = v
+		w.p.scheduleWake(0)
+		return
+	}
+	c.buf = append(c.buf, v)
+}
+
+// Recv blocks the process in virtual time until a value is available.
+func (c *Chan[T]) Recv(p *Proc) T {
+	if len(c.buf) > 0 {
+		v := c.buf[0]
+		c.buf = c.buf[1:]
+		return v
+	}
+	w := &chanWaiter[T]{p: p}
+	c.waiters = append(c.waiters, w)
+	p.wakeSeq = 0 // the deliver call will arm the wake
+	p.park()
+	return w.v
+}
+
+// TryRecv returns a buffered value without blocking.
+func (c *Chan[T]) TryRecv() (T, bool) {
+	var zero T
+	if len(c.buf) == 0 {
+		return zero, false
+	}
+	v := c.buf[0]
+	c.buf = c.buf[1:]
+	return v, true
+}
+
+// RecvTimeout waits up to d for a value. ok is false on timeout.
+func (c *Chan[T]) RecvTimeout(p *Proc, d Time) (v T, ok bool) {
+	if len(c.buf) > 0 {
+		v := c.buf[0]
+		c.buf = c.buf[1:]
+		return v, true
+	}
+	w := &chanWaiter[T]{p: p}
+	c.waiters = append(c.waiters, w)
+	p.scheduleWake(d) // timeout wake; a deliver overrides it via scheduleWake(0)
+	p.park()
+	if !w.got {
+		w.expired = true
+		var zero T
+		return zero, false
+	}
+	return w.v, true
+}

@@ -1,0 +1,78 @@
+package sim
+
+// Barrier blocks N processes until all have arrived, then releases them
+// simultaneously (same virtual timestamp). It is reusable across rounds,
+// mirroring the global barrier placed after gradient aggregation in
+// synchronous distributed training.
+type Barrier struct {
+	k       *Kernel
+	n       int
+	arrived int
+	waiting []*Proc
+	round   uint64
+}
+
+// NewBarrier creates a barrier for n parties.
+func NewBarrier(k *Kernel, n int) *Barrier {
+	if n < 1 {
+		panic("sim: barrier requires n >= 1")
+	}
+	return &Barrier{k: k, n: n}
+}
+
+// Round reports how many times the barrier has released.
+func (b *Barrier) Round() uint64 { return b.round }
+
+// Wait blocks p until n processes (including p) have called Wait.
+func (b *Barrier) Wait(p *Proc) {
+	b.arrived++
+	if b.arrived == b.n {
+		b.arrived = 0
+		b.round++
+		for _, w := range b.waiting {
+			w.scheduleWake(0)
+		}
+		b.waiting = b.waiting[:0]
+		return
+	}
+	b.waiting = append(b.waiting, p)
+	p.wakeSeq = 0 // release arms the wake
+	p.park()
+}
+
+// WaitGroup counts outstanding work in virtual time.
+type WaitGroup struct {
+	k       *Kernel
+	count   int
+	waiting []*Proc
+}
+
+// NewWaitGroup creates an empty wait group.
+func NewWaitGroup(k *Kernel) *WaitGroup { return &WaitGroup{k: k} }
+
+// Add increments the counter by delta.
+func (wg *WaitGroup) Add(delta int) {
+	wg.count += delta
+	if wg.count < 0 {
+		panic("sim: negative WaitGroup counter")
+	}
+	if wg.count == 0 {
+		for _, w := range wg.waiting {
+			w.scheduleWake(0)
+		}
+		wg.waiting = wg.waiting[:0]
+	}
+}
+
+// Done decrements the counter by one.
+func (wg *WaitGroup) Done() { wg.Add(-1) }
+
+// Wait blocks p until the counter reaches zero.
+func (wg *WaitGroup) Wait(p *Proc) {
+	if wg.count == 0 {
+		return
+	}
+	wg.waiting = append(wg.waiting, p)
+	p.wakeSeq = 0
+	p.park()
+}

@@ -1,0 +1,120 @@
+package switchnet
+
+import (
+	"iswitch/internal/netsim"
+	"iswitch/internal/protocol"
+	"iswitch/internal/sim"
+)
+
+// Cluster builders that pair the plain network topologies with iSwitch
+// extensions on every switch.
+
+// SwitchPort is the UDP port iSwitch control planes listen on.
+const SwitchPort = 9990
+
+// StarAddr returns the switch address used by single-switch clusters.
+func StarAddr() protocol.Addr { return protocol.AddrFrom(10, 0, 0, 1, SwitchPort) }
+
+// ToRAddr returns rack r's ToR switch address.
+func ToRAddr(r int) protocol.Addr { return protocol.AddrFrom(10, 255, byte(r+1), 1, SwitchPort) }
+
+// RootAddr returns the core switch address.
+func RootAddr() protocol.Addr { return protocol.AddrFrom(10, 255, 0, 1, SwitchPort) }
+
+// StarCluster is n workers under one iSwitch-enabled switch — the
+// paper's main testbed shape (Figure 1c).
+type StarCluster struct {
+	Net     *netsim.Star
+	IS      *ISwitch
+	Workers []*netsim.Host
+}
+
+// BuildStar wires nWorkers hosts to one iSwitch over identical links.
+func BuildStar(k *sim.Kernel, nWorkers int, link netsim.LinkConfig) *StarCluster {
+	star := netsim.BuildStar(k, nWorkers, link)
+	is := Attach(star.Switch, StarAddr())
+	return &StarCluster{Net: star, IS: is, Workers: star.Hosts}
+}
+
+// TreeCluster is the rack-scale shape (Figure 10): a root iSwitch over
+// per-rack ToR iSwitches, three (or so) workers per rack.
+type TreeCluster struct {
+	Net     *netsim.Tree
+	Root    *ISwitch
+	ToRs    []*ISwitch
+	Workers []*netsim.Host
+}
+
+// BuildTree builds nRacks racks of perRack workers with iSwitch enabled
+// at every level. ToRs forward completed local aggregates to the root;
+// the root broadcasts global aggregates back down through the ToRs.
+func BuildTree(k *sim.Kernel, nRacks, perRack int, edge, uplink netsim.LinkConfig) *TreeCluster {
+	return attachTree(netsim.BuildRacks(k, nRacks, perRack, edge, uplink))
+}
+
+// BuildTreeN builds a tree holding totalWorkers workers in racks of up
+// to perRack (last rack may be partial), matching the paper's
+// scalability emulation where a 4-node job spans two 3-port racks.
+func BuildTreeN(k *sim.Kernel, totalWorkers, perRack int, edge, uplink netsim.LinkConfig) *TreeCluster {
+	return attachTree(netsim.BuildRacksN(k, totalWorkers, perRack, edge, uplink))
+}
+
+func attachTree(tr *netsim.Tree) *TreeCluster {
+	root := Attach(tr.Root, RootAddr())
+	tc := &TreeCluster{Net: tr, Root: root, Workers: tr.Hosts}
+	for r, torSw := range tr.ToRs {
+		tor := Attach(torSw, ToRAddr(r), WithParent(RootAddr(), tr.Uplinks[r]))
+		tc.ToRs = append(tc.ToRs, tor)
+		root.RegisterChildSwitch(ToRAddr(r))
+		// The root must be able to route broadcasts to each ToR address.
+		rootDown := tr.Uplinks[r].Peer()
+		tr.Root.AddRoute(protocol.Addr{IP: ToRAddr(r).IP}, rootDown)
+	}
+	return tc
+}
+
+// ToROf returns the ToR iSwitch responsible for worker index i.
+func (tc *TreeCluster) ToROf(i int) *ISwitch { return tc.ToRs[tc.Net.RackOf[i]] }
+
+// AGGAddr returns aggregation switch a's address.
+func AGGAddr(a int) protocol.Addr { return protocol.AddrFrom(10, 254, byte(a+1), 1, SwitchPort) }
+
+// ThreeTierCluster is the full ToR→AGG→Core hierarchy of Figure 10 with
+// iSwitch enabled at all three levels: ToRs aggregate their rack
+// (H = workers/rack), AGGs aggregate their pod (H = ToRs/AGG), and the
+// core performs the global aggregation (H = number of AGGs) before
+// broadcasting back down through the levels.
+type ThreeTierCluster struct {
+	Net     *netsim.ThreeTier
+	Core    *ISwitch
+	AGGs    []*ISwitch
+	ToRs    []*ISwitch
+	Workers []*netsim.Host
+}
+
+// BuildThreeTier enables iSwitch on every switch of a three-tier fabric.
+func BuildThreeTier(k *sim.Kernel, nAGGs, torsPerAGG, hostsPerToR int, edge, aggLink, coreLink netsim.LinkConfig) *ThreeTierCluster {
+	net := netsim.BuildThreeTier(k, nAGGs, torsPerAGG, hostsPerToR, edge, aggLink, coreLink)
+	core := Attach(net.Core, RootAddr())
+	tc := &ThreeTierCluster{Net: net, Core: core, Workers: net.Hosts}
+
+	for a, aggSw := range net.AGGs {
+		agg := Attach(aggSw, AGGAddr(a), WithParent(RootAddr(), net.AGGUplinks[a]))
+		tc.AGGs = append(tc.AGGs, agg)
+		core.RegisterChildSwitch(AGGAddr(a))
+		coreDown := net.AGGUplinks[a].Peer()
+		net.Core.AddRoute(protocol.Addr{IP: AGGAddr(a).IP}, coreDown)
+	}
+	for t, torSw := range net.ToRs {
+		a := net.AGGOf[t]
+		tor := Attach(torSw, ToRAddr(t), WithParent(AGGAddr(a), net.ToRUplinks[t]))
+		tc.ToRs = append(tc.ToRs, tor)
+		tc.AGGs[a].RegisterChildSwitch(ToRAddr(t))
+		aggDown := net.ToRUplinks[t].Peer()
+		net.AGGs[a].AddRoute(protocol.Addr{IP: ToRAddr(t).IP}, aggDown)
+	}
+	return tc
+}
+
+// ToROf3 returns the ToR iSwitch of worker i in a three-tier cluster.
+func (tc *ThreeTierCluster) ToROf3(i int) *ISwitch { return tc.ToRs[tc.Net.ToROf[i]] }

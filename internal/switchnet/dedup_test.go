@@ -1,0 +1,69 @@
+package switchnet
+
+import (
+	"testing"
+
+	"iswitch/internal/sim"
+)
+
+func TestForceThresholdPinsH(t *testing.T) {
+	k := sim.NewKernel()
+	c := BuildStar(k, 4, testLink())
+	if err := c.IS.ForceThreshold(2); err != nil {
+		t.Fatal(err)
+	}
+	// Joins must no longer re-auto the threshold.
+	for _, w := range c.Workers {
+		h := w
+		k.Spawn("join", func(p *sim.Proc) { join(p, h, c.IS.Addr(), 10, t) })
+	}
+	k.Run()
+	if got := c.IS.Accelerator().Threshold(); got != 2 {
+		t.Fatalf("H = %d after joins, want pinned 2", got)
+	}
+	if err := c.IS.ForceThreshold(0); err == nil {
+		t.Fatal("H=0 accepted")
+	}
+}
+
+func TestDedupDropsDuplicateContribution(t *testing.T) {
+	k := sim.NewKernel()
+	c := BuildStar(k, 2, testLink())
+	c.IS.SetDedup(true)
+	if !c.IS.Accelerator().Dedup() {
+		t.Fatal("dedup not enabled")
+	}
+	acc := c.IS.Accelerator()
+	_ = acc.SetThreshold(2)
+
+	// Same contributor twice: second ingest must not advance the count.
+	if _, done, _ := acc.IngestFrom(0, "w1", []float32{5}); done {
+		t.Fatal("emitted after one contribution")
+	}
+	if _, done, _ := acc.IngestFrom(0, "w1", []float32{5}); done {
+		t.Fatal("duplicate advanced the counter")
+	}
+	if acc.Stats().DupDropped != 1 {
+		t.Fatalf("dup dropped = %d", acc.Stats().DupDropped)
+	}
+	sum, done, _ := acc.IngestFrom(0, "w2", []float32{7})
+	if !done || sum[0] != 12 {
+		t.Fatalf("sum = %v done = %v (w1's duplicate double-counted?)", sum, done)
+	}
+	// The bitmap clears with the emission: a new round accepts w1 again.
+	if _, done, _ := acc.IngestFrom(0, "w1", []float32{1}); done {
+		t.Fatal("stale bitmap blocked a new round")
+	}
+}
+
+func TestDedupOffAllowsRepeatContributions(t *testing.T) {
+	k := sim.NewKernel()
+	c := BuildStar(k, 2, testLink())
+	acc := c.IS.Accelerator() // dedup defaults off (async semantics)
+	_ = acc.SetThreshold(2)
+	acc.IngestFrom(0, "fast-worker", []float32{1})
+	sum, done, _ := acc.IngestFrom(0, "fast-worker", []float32{2})
+	if !done || sum[0] != 3 {
+		t.Fatalf("async-style double contribution rejected: %v %v", sum, done)
+	}
+}

@@ -1,0 +1,320 @@
+package switchnet
+
+import (
+	"time"
+
+	"iswitch/internal/accel"
+	"iswitch/internal/netsim"
+	"iswitch/internal/protocol"
+)
+
+// ISwitch augments a netsim.Switch with the iSwitch control plane and
+// the in-switch aggregation accelerator. The augmentation is a
+// "bump-in-the-wire": it installs a data-plane tap that diverts only
+// ToS-tagged packets; everything else follows the normal lookup tables.
+//
+// In a hierarchy, each switch aggregates the contributions of its
+// children (workers and lower switches). When its local threshold H is
+// reached for a segment, a non-root switch forwards one partially
+// aggregated packet to its parent; the root broadcasts the globally
+// aggregated segment back down, and lower switches replicate broadcasts
+// to their children (paper §3.4).
+type ISwitch struct {
+	sw   *netsim.Switch
+	acc  *accel.Accelerator
+	mem  *Membership
+	addr protocol.Addr
+
+	parent     protocol.Addr // zero => root
+	hasParent  bool
+	uplink     *netsim.Port // ingress from the parent (broadcasts arrive here)
+	autoH      bool         // H tracks member count until SetH overrides
+	lastSender protocol.Addr
+
+	// emitCache holds the most recently emitted aggregate per segment
+	// key so a lost broadcast copy can be re-served directly to the
+	// requester of a Help — without this, a worker that loses the last
+	// broadcast of a job has no live peers left to recover through.
+	// Bounded FIFO sized for one full model's worth of segments.
+	emitCache    map[uint64][]float32
+	emitOrder    []uint64
+	emitCacheCap int
+	// HelpServed counts Helps answered from the cache.
+	HelpServed uint64
+
+	// Stats
+	ControlIn   uint64
+	DataIn      uint64
+	Broadcasts  uint64
+	UpForwards  uint64
+	HelpRelayed uint64
+}
+
+// Option configures an ISwitch.
+type Option func(*ISwitch)
+
+// WithParent makes the switch a non-root level that forwards completed
+// local aggregates to parentAddr via uplink. Broadcast packets arriving
+// on uplink are replicated to children.
+func WithParent(parentAddr protocol.Addr, uplink *netsim.Port) Option {
+	return func(is *ISwitch) {
+		is.parent = parentAddr
+		is.hasParent = true
+		is.uplink = uplink
+	}
+}
+
+// Attach builds the iSwitch extension on top of sw. addr is the
+// switch's own protocol address (used as the source of aggregated
+// packets and as the destination its children send to).
+func Attach(sw *netsim.Switch, addr protocol.Addr, opts ...Option) *ISwitch {
+	cfg := accel.DefaultConfig()
+	is := &ISwitch{
+		sw:           sw,
+		acc:          accel.New(cfg),
+		mem:          NewMembership(),
+		addr:         addr,
+		autoH:        true,
+		emitCache:    make(map[uint64][]float32),
+		emitCacheCap: 8192,
+	}
+	for _, o := range opts {
+		o(is)
+	}
+	sw.SetTap(is.tap)
+	return is
+}
+
+// Addr returns the switch's protocol address.
+func (is *ISwitch) Addr() protocol.Addr { return is.addr }
+
+// Accelerator exposes the aggregation unit (tests, experiments).
+func (is *ISwitch) Accelerator() *accel.Accelerator { return is.acc }
+
+// Membership exposes the control-plane table.
+func (is *ISwitch) Membership() *Membership { return is.mem }
+
+// Switch returns the underlying forwarding switch.
+func (is *ISwitch) Switch() *netsim.Switch { return is.sw }
+
+// IsRoot reports whether this switch performs the final (global)
+// aggregation.
+func (is *ISwitch) IsRoot() bool { return !is.hasParent }
+
+// tap is the data-plane intercept. It runs in kernel context after the
+// switch's forwarding-pipeline delay.
+func (is *ISwitch) tap(pkt *protocol.Packet, in *netsim.Port) bool {
+	switch {
+	case pkt.IsControl():
+		is.ControlIn++
+		is.handleControl(pkt)
+		return true
+	case pkt.IsData():
+		is.DataIn++
+		is.handleData(pkt, in)
+		return true
+	default:
+		return false // regular traffic: forward normally
+	}
+}
+
+func (is *ISwitch) handleControl(pkt *protocol.Packet) {
+	// Control packets not addressed to this switch are forwarded along
+	// the normal path (e.g. Halt relayed down, Ack back to a worker).
+	if pkt.Dst != is.addr {
+		is.sw.Forward(pkt)
+		return
+	}
+	switch pkt.Action {
+	case protocol.ActionJoin:
+		floats, err := protocol.ParseJoin(pkt.Value)
+		if err != nil {
+			is.ack(pkt.Src, false)
+			return
+		}
+		is.mem.Join(pkt.Src, MemberWorker, 0, floats)
+		is.refreshAutoH()
+		is.ack(pkt.Src, true)
+	case protocol.ActionLeave:
+		ok := is.mem.Leave(pkt.Src)
+		is.refreshAutoH()
+		// Rounds that were only waiting on the departed worker are now
+		// satisfied at the lowered H: emit them so nobody stalls.
+		segs, sums := is.acc.DrainSatisfied()
+		for i, seg := range segs {
+			out := &protocol.Packet{Src: is.addr, ToS: protocol.ToSData, Seg: seg, Data: sums[i]}
+			if is.hasParent {
+				out.Dst = is.parent
+				is.UpForwards++
+				is.uplink.Send(out)
+			} else {
+				is.broadcast(out)
+			}
+		}
+		is.ack(pkt.Src, ok)
+	case protocol.ActionReset:
+		is.acc.Reset()
+		is.ack(pkt.Src, true)
+	case protocol.ActionSetH:
+		h, err := protocol.ParseSetH(pkt.Value)
+		if err != nil || is.acc.SetThreshold(h) != nil {
+			is.ack(pkt.Src, false)
+			return
+		}
+		is.autoH = false
+		is.ack(pkt.Src, true)
+	case protocol.ActionFBcast:
+		// Force-broadcast every partially aggregated segment downstream.
+		for _, seg := range is.acc.PendingSegs() {
+			is.FlushAndBroadcast(seg)
+		}
+		is.ack(pkt.Src, true)
+	case protocol.ActionHelp:
+		// Loss recovery. If the requested segment's aggregate was
+		// already emitted, re-serve it from the emission cache — the
+		// requester simply lost its broadcast copy. Otherwise relay the
+		// Help to the other workers so they retransmit their
+		// contributions (paper §3.3: the switch otherwise only
+		// accepts/forwards such control messages).
+		if seg, err := protocol.ParseHelp(pkt.Value); err == nil {
+			if sum, ok := is.emitCache[seg]; ok {
+				is.HelpServed++
+				is.unicast(&protocol.Packet{Src: is.addr, Dst: pkt.Src,
+					ToS: protocol.ToSData, Seg: seg, Data: sum})
+				return
+			}
+		}
+		is.HelpRelayed++
+		for _, m := range is.mem.Workers() {
+			if m.Addr == pkt.Src {
+				continue
+			}
+			is.unicast(protocol.NewControl(is.addr, m.Addr, protocol.ActionHelp, pkt.Value))
+		}
+	case protocol.ActionHalt:
+		for _, m := range is.mem.Members() {
+			is.unicast(protocol.NewControl(is.addr, m.Addr, protocol.ActionHalt, nil))
+		}
+	default:
+		is.ack(pkt.Src, false)
+	}
+}
+
+// refreshAutoH keeps H equal to the number of children while in
+// automatic mode (the paper's default: H = number of child nodes).
+func (is *ISwitch) refreshAutoH() {
+	if is.autoH && is.mem.Count() > 0 {
+		_ = is.acc.SetThreshold(uint32(is.mem.Count()))
+	}
+}
+
+// SetDedup toggles the accelerator's contributor bitmap (idempotent
+// retransmissions for synchronous loss recovery).
+func (is *ISwitch) SetDedup(on bool) { is.acc.SetDedup(on) }
+
+// ForceThreshold pins the aggregation threshold H, disabling the
+// auto-H that tracks membership — the programmatic equivalent of a SetH
+// control message issued by the operator.
+func (is *ISwitch) ForceThreshold(h uint32) error {
+	if err := is.acc.SetThreshold(h); err != nil {
+		return err
+	}
+	is.autoH = false
+	return nil
+}
+
+// RegisterChildSwitch records a lower-level switch as a contributor
+// (used by the hierarchical topology builder instead of a Join round
+// trip, since switches are configured by the operator, not the job).
+func (is *ISwitch) RegisterChildSwitch(addr protocol.Addr) {
+	is.mem.Join(addr, MemberSwitch, 0, 0)
+	is.refreshAutoH()
+}
+
+func (is *ISwitch) handleData(pkt *protocol.Packet, in *netsim.Port) {
+	// A data packet arriving from the parent is a downstream broadcast
+	// of a globally aggregated segment: replicate to children.
+	if is.hasParent && in == is.uplink {
+		is.broadcast(pkt)
+		return
+	}
+	// Otherwise it is an upstream contribution: run it through the
+	// accelerator (keyed by source for the optional dedup bitmap),
+	// charging the datapath latency before any output.
+	sum, done, lat := is.acc.IngestFrom(pkt.Seg, pkt.Src.String(), pkt.Data)
+	if !done {
+		return
+	}
+	seg := pkt.Seg
+	is.sw.Kernel().After(lat, func() {
+		out := &protocol.Packet{Src: is.addr, ToS: protocol.ToSData, Seg: seg, Data: sum}
+		if is.hasParent {
+			is.UpForwards++
+			out.Dst = is.parent
+			is.uplink.Send(out)
+			return
+		}
+		is.broadcast(out)
+	})
+}
+
+// cacheEmission records an emitted aggregate for Help re-serving.
+func (is *ISwitch) cacheEmission(seg uint64, sum []float32) {
+	if _, exists := is.emitCache[seg]; !exists {
+		if len(is.emitOrder) >= is.emitCacheCap {
+			evict := is.emitOrder[0]
+			is.emitOrder = is.emitOrder[1:]
+			delete(is.emitCache, evict)
+		}
+		is.emitOrder = append(is.emitOrder, seg)
+	}
+	is.emitCache[seg] = append([]float32(nil), sum...)
+}
+
+// broadcast replicates a data packet to every member (workers and child
+// switches), one unicast copy per child so each egress link serializes
+// independently, exactly as port-replication hardware behaves.
+func (is *ISwitch) broadcast(pkt *protocol.Packet) {
+	is.Broadcasts++
+	is.cacheEmission(pkt.Seg, pkt.Data)
+	for _, m := range is.mem.Members() {
+		cp := pkt.Clone()
+		cp.Src = is.addr
+		cp.Dst = m.Addr
+		is.sw.Forward(cp)
+	}
+}
+
+// unicast sends one packet along the normal forwarding path.
+func (is *ISwitch) unicast(pkt *protocol.Packet) { is.sw.Forward(pkt) }
+
+func (is *ISwitch) ack(dst protocol.Addr, ok bool) {
+	v := protocol.AckOK
+	if !ok {
+		v = protocol.AckFail
+	}
+	is.unicast(protocol.NewControl(is.addr, dst, protocol.ActionAck, v))
+}
+
+// FlushAndBroadcast force-broadcasts one partial segment (FBcast data
+// path), returning false if the segment held no contributions.
+func (is *ISwitch) FlushAndBroadcast(seg uint64) bool {
+	sum, _, ok := is.acc.Flush(seg)
+	if !ok {
+		return false
+	}
+	out := &protocol.Packet{Src: is.addr, ToS: protocol.ToSData, Seg: seg, Data: sum}
+	if is.hasParent {
+		out.Dst = is.parent
+		is.uplink.Send(out)
+		return true
+	}
+	is.broadcast(out)
+	return true
+}
+
+// AggregationLatency reports the accelerator's per-packet datapath time
+// for a full-MTU gradient packet; exposed for the analytic timing model.
+func (is *ISwitch) AggregationLatency() time.Duration {
+	return is.acc.PacketLatency(protocol.FloatsPerPacket)
+}

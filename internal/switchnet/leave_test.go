@@ -1,0 +1,78 @@
+package switchnet
+
+import (
+	"testing"
+	"time"
+
+	"iswitch/internal/protocol"
+	"iswitch/internal/sim"
+)
+
+// A worker leaving mid-round must not stall the survivors: the switch
+// lowers H and immediately emits any round that was only waiting on the
+// departed worker.
+func TestLeaveReleasesPendingRound(t *testing.T) {
+	k := sim.NewKernel()
+	c := BuildStar(k, 3, testLink())
+	var got *protocol.Packet
+
+	// Workers 0 and 1 contribute; worker 2 joins then leaves without
+	// contributing. The partial (count 2) must release once H drops to 2.
+	for i := 0; i < 3; i++ {
+		i := i
+		w := c.Workers[i]
+		k.Spawn("worker", func(p *sim.Proc) {
+			join(p, w, c.IS.Addr(), 4, t)
+			p.Sleep(time.Millisecond) // let all joins land (H=3)
+			if i < 2 {
+				w.Send(protocol.NewData(w.Addr, c.IS.Addr(), 0, []float32{float32(i + 1), 0, 0, 0}))
+				for {
+					pkt, ok := w.RecvTimeout(p, 20*time.Millisecond)
+					if !ok {
+						return
+					}
+					if pkt.IsData() {
+						if i == 0 {
+							got = pkt
+						}
+						return
+					}
+				}
+			}
+			p.Sleep(2 * time.Millisecond) // after the contributions
+			w.Send(protocol.NewControl(w.Addr, c.IS.Addr(), protocol.ActionLeave, nil))
+		})
+	}
+	k.Run()
+	if got == nil {
+		t.Fatal("survivors stalled after the leave")
+	}
+	if got.Data[0] != 3 { // 1 + 2
+		t.Fatalf("released aggregate = %v, want 3", got.Data[0])
+	}
+	if h := c.IS.Accelerator().Threshold(); h != 2 {
+		t.Fatalf("H after leave = %d, want 2", h)
+	}
+}
+
+func TestLeaveWithNoPendingRounds(t *testing.T) {
+	k := sim.NewKernel()
+	c := BuildStar(k, 2, testLink())
+	acked := false
+	w0, w1 := c.Workers[0], c.Workers[1]
+	k.Spawn("w0", func(p *sim.Proc) { join(p, w0, c.IS.Addr(), 4, t) })
+	k.Spawn("w1", func(p *sim.Proc) {
+		join(p, w1, c.IS.Addr(), 4, t)
+		p.Sleep(time.Millisecond)
+		w1.Send(protocol.NewControl(w1.Addr, c.IS.Addr(), protocol.ActionLeave, nil))
+		pkt := w1.Recv(p)
+		acked = pkt.IsControl() && pkt.Action == protocol.ActionAck && pkt.Value[0] == 1
+	})
+	k.Run()
+	if !acked {
+		t.Fatal("leave not acked")
+	}
+	if c.IS.Membership().Count() != 1 {
+		t.Fatalf("members = %d", c.IS.Membership().Count())
+	}
+}

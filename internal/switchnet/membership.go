@@ -1,0 +1,126 @@
+// Package switchnet implements the iSwitch programmable-switch
+// extensions (paper §3.2–3.4): a control plane holding a lightweight
+// membership table, and a data plane that taps ToS-tagged packets out
+// of the normal forwarding path into the aggregation accelerator,
+// forwarding partial aggregates up the switch hierarchy and
+// broadcasting completed aggregates back down — all without disturbing
+// regular traffic.
+package switchnet
+
+import (
+	"fmt"
+
+	"iswitch/internal/protocol"
+)
+
+// MemberType distinguishes the two kinds of membership entries
+// (Figure 9).
+type MemberType int
+
+const (
+	// MemberWorker is a training worker attached below this switch.
+	MemberWorker MemberType = iota
+	// MemberSwitch is a lower-level switch whose aggregates feed this
+	// switch (hierarchical aggregation).
+	MemberSwitch
+)
+
+// String names the member type as the paper's table does.
+func (t MemberType) String() string {
+	if t == MemberSwitch {
+		return "Switch"
+	}
+	return "Worker"
+}
+
+// Member is one row of the membership table: ID, IP address, UDP port,
+// type, and the parent entry in the network topology.
+type Member struct {
+	ID     int
+	Addr   protocol.Addr
+	Type   MemberType
+	Parent int // parent member ID, or -1 for the root entry
+	// ModelFloats is the gradient length announced at Join.
+	ModelFloats uint64
+}
+
+// Membership is the control plane's member table. Iteration order is
+// join order, keeping simulations deterministic.
+type Membership struct {
+	members []Member
+	byAddr  map[protocol.Addr]int // addr -> index in members
+	nextID  int
+}
+
+// NewMembership returns an empty table.
+func NewMembership() *Membership {
+	return &Membership{byAddr: make(map[protocol.Addr]int)}
+}
+
+// Join adds (or refreshes) an entry and returns its ID. Joining twice
+// from the same address updates the row instead of duplicating it.
+func (m *Membership) Join(addr protocol.Addr, typ MemberType, parent int, modelFloats uint64) int {
+	if i, ok := m.byAddr[addr]; ok {
+		m.members[i].Type = typ
+		m.members[i].Parent = parent
+		m.members[i].ModelFloats = modelFloats
+		return m.members[i].ID
+	}
+	id := m.nextID
+	m.nextID++
+	m.byAddr[addr] = len(m.members)
+	m.members = append(m.members, Member{
+		ID: id, Addr: addr, Type: typ, Parent: parent, ModelFloats: modelFloats,
+	})
+	return id
+}
+
+// Leave removes the entry for addr. It reports whether one existed.
+func (m *Membership) Leave(addr protocol.Addr) bool {
+	i, ok := m.byAddr[addr]
+	if !ok {
+		return false
+	}
+	delete(m.byAddr, addr)
+	m.members = append(m.members[:i], m.members[i+1:]...)
+	for j := i; j < len(m.members); j++ {
+		m.byAddr[m.members[j].Addr] = j
+	}
+	return true
+}
+
+// Lookup returns the entry for addr.
+func (m *Membership) Lookup(addr protocol.Addr) (Member, bool) {
+	i, ok := m.byAddr[addr]
+	if !ok {
+		return Member{}, false
+	}
+	return m.members[i], true
+}
+
+// Members returns all entries in join order. The slice is shared; do
+// not mutate.
+func (m *Membership) Members() []Member { return m.members }
+
+// Count returns the number of entries.
+func (m *Membership) Count() int { return len(m.members) }
+
+// Workers returns the entries of worker type, in join order.
+func (m *Membership) Workers() []Member {
+	var w []Member
+	for _, e := range m.members {
+		if e.Type == MemberWorker {
+			w = append(w, e)
+		}
+	}
+	return w
+}
+
+// String renders the table like the paper's Figure 9.
+func (m *Membership) String() string {
+	s := "ID\tIP:Port\tType\tParent\n"
+	for _, e := range m.members {
+		s += fmt.Sprintf("%d\t%s\t%s\t%d\n", e.ID, e.Addr, e.Type, e.Parent)
+	}
+	return s
+}

@@ -1,0 +1,56 @@
+package tensor
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func benchMat(rows, cols int) (*Mat, Vec, Vec) {
+	rng := rand.New(rand.NewSource(1))
+	m := NewMat(rows, cols)
+	m.XavierInit(rng)
+	x := NewVec(cols)
+	y := NewVec(rows)
+	for i := range x {
+		x[i] = rng.Float32()
+	}
+	return m, x, y
+}
+
+func BenchmarkMatVec64x64(b *testing.B) {
+	m, x, y := benchMat(64, 64)
+	b.SetBytes(int64(4 * 64 * 64))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m.MatVec(y, x)
+	}
+}
+
+func BenchmarkMatTVec64x64(b *testing.B) {
+	m, x, _ := benchMat(64, 64)
+	dst := NewVec(64)
+	b.SetBytes(int64(4 * 64 * 64))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m.MatTVec(dst, x)
+	}
+}
+
+func BenchmarkAddOuter64x64(b *testing.B) {
+	m, x, y := benchMat(64, 64)
+	b.SetBytes(int64(4 * 64 * 64))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m.AddOuter(1, y, x)
+	}
+}
+
+func BenchmarkAxpyLarge(b *testing.B) {
+	v := NewVec(1 << 16)
+	w := NewVec(1 << 16)
+	b.SetBytes(int64(4 * len(v)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		v.Axpy(0.5, w)
+	}
+}

@@ -1,0 +1,227 @@
+// Package tensor provides the float32 vector and matrix math the
+// neural-network and RL packages build on. Gradients travel the network
+// as raw float32, matching the paper's in-switch adders, so the whole
+// stack stays in float32.
+package tensor
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+)
+
+// Vec is a dense float32 vector.
+type Vec []float32
+
+// NewVec returns a zero vector of length n.
+func NewVec(n int) Vec { return make(Vec, n) }
+
+// Clone returns a copy of v.
+func (v Vec) Clone() Vec { return append(Vec(nil), v...) }
+
+// Zero sets every element to 0.
+func (v Vec) Zero() {
+	for i := range v {
+		v[i] = 0
+	}
+}
+
+// Fill sets every element to x.
+func (v Vec) Fill(x float32) {
+	for i := range v {
+		v[i] = x
+	}
+}
+
+// Add accumulates w into v element-wise. Lengths must match.
+func (v Vec) Add(w Vec) {
+	assertLen(len(v), len(w))
+	for i := range v {
+		v[i] += w[i]
+	}
+}
+
+// Sub subtracts w from v element-wise.
+func (v Vec) Sub(w Vec) {
+	assertLen(len(v), len(w))
+	for i := range v {
+		v[i] -= w[i]
+	}
+}
+
+// Scale multiplies every element by a.
+func (v Vec) Scale(a float32) {
+	for i := range v {
+		v[i] *= a
+	}
+}
+
+// Axpy computes v += a*w.
+func (v Vec) Axpy(a float32, w Vec) {
+	assertLen(len(v), len(w))
+	for i := range v {
+		v[i] += a * w[i]
+	}
+}
+
+// Dot returns the inner product of v and w.
+func (v Vec) Dot(w Vec) float32 {
+	assertLen(len(v), len(w))
+	var s float32
+	for i := range v {
+		s += v[i] * w[i]
+	}
+	return s
+}
+
+// Norm2 returns the Euclidean norm.
+func (v Vec) Norm2() float32 {
+	var s float64
+	for _, x := range v {
+		s += float64(x) * float64(x)
+	}
+	return float32(math.Sqrt(s))
+}
+
+// ClipNorm rescales v in place so its Euclidean norm is at most c,
+// returning the scale applied (1 when no clipping occurred). Gradient
+// clipping keeps RL training numerically stable.
+func (v Vec) ClipNorm(c float32) float32 {
+	if c <= 0 {
+		panic("tensor: clip bound must be positive")
+	}
+	n := v.Norm2()
+	if n <= c || n == 0 {
+		return 1
+	}
+	s := c / n
+	v.Scale(s)
+	return s
+}
+
+// ArgMax returns the index of the largest element (first on ties).
+func (v Vec) ArgMax() int {
+	if len(v) == 0 {
+		panic("tensor: ArgMax of empty vector")
+	}
+	best := 0
+	for i := 1; i < len(v); i++ {
+		if v[i] > v[best] {
+			best = i
+		}
+	}
+	return best
+}
+
+// Max returns the largest element.
+func (v Vec) Max() float32 { return v[v.ArgMax()] }
+
+// Softmax writes the softmax of v into dst (which may alias v) using
+// the max-subtraction trick for stability.
+func Softmax(dst, v Vec) {
+	assertLen(len(dst), len(v))
+	m := v.Max()
+	var sum float32
+	for i, x := range v {
+		e := float32(math.Exp(float64(x - m)))
+		dst[i] = e
+		sum += e
+	}
+	for i := range dst {
+		dst[i] /= sum
+	}
+}
+
+// Mat is a dense row-major float32 matrix.
+type Mat struct {
+	Rows, Cols int
+	Data       []float32
+}
+
+// NewMat returns a zero matrix.
+func NewMat(rows, cols int) *Mat {
+	return &Mat{Rows: rows, Cols: cols, Data: make([]float32, rows*cols)}
+}
+
+// MatFrom wraps existing storage (len must be rows*cols).
+func MatFrom(rows, cols int, data []float32) *Mat {
+	assertLen(rows*cols, len(data))
+	return &Mat{Rows: rows, Cols: cols, Data: data}
+}
+
+// At returns element (r, c).
+func (m *Mat) At(r, c int) float32 { return m.Data[r*m.Cols+c] }
+
+// Set assigns element (r, c).
+func (m *Mat) Set(r, c int, x float32) { m.Data[r*m.Cols+c] = x }
+
+// Row returns row r as a slice into the matrix storage.
+func (m *Mat) Row(r int) Vec { return Vec(m.Data[r*m.Cols : (r+1)*m.Cols]) }
+
+// Zero clears the matrix.
+func (m *Mat) Zero() { Vec(m.Data).Zero() }
+
+// MatVec computes dst = m · x. dst must have length m.Rows and must not
+// alias x.
+func (m *Mat) MatVec(dst, x Vec) {
+	assertLen(len(dst), m.Rows)
+	assertLen(len(x), m.Cols)
+	for r := 0; r < m.Rows; r++ {
+		row := m.Data[r*m.Cols : (r+1)*m.Cols]
+		var s float32
+		for c, w := range row {
+			s += w * x[c]
+		}
+		dst[r] = s
+	}
+}
+
+// MatTVec computes dst = mᵀ · x (used for backpropagating through a
+// linear layer). dst must have length m.Cols and must not alias x.
+func (m *Mat) MatTVec(dst, x Vec) {
+	assertLen(len(dst), m.Cols)
+	assertLen(len(x), m.Rows)
+	dst.Zero()
+	for r := 0; r < m.Rows; r++ {
+		row := m.Data[r*m.Cols : (r+1)*m.Cols]
+		xr := x[r]
+		if xr == 0 {
+			continue
+		}
+		for c, w := range row {
+			dst[c] += w * xr
+		}
+	}
+}
+
+// AddOuter accumulates the rank-1 update m += a · u vᵀ (the weight
+// gradient of a linear layer: dW += dy xᵀ).
+func (m *Mat) AddOuter(a float32, u, v Vec) {
+	assertLen(len(u), m.Rows)
+	assertLen(len(v), m.Cols)
+	for r := 0; r < m.Rows; r++ {
+		row := m.Data[r*m.Cols : (r+1)*m.Cols]
+		ur := a * u[r]
+		if ur == 0 {
+			continue
+		}
+		for c := range row {
+			row[c] += ur * v[c]
+		}
+	}
+}
+
+// XavierInit fills m with Glorot-uniform samples appropriate for a
+// layer with m.Cols inputs and m.Rows outputs.
+func (m *Mat) XavierInit(rng *rand.Rand) {
+	limit := float32(math.Sqrt(6.0 / float64(m.Rows+m.Cols)))
+	for i := range m.Data {
+		m.Data[i] = (rng.Float32()*2 - 1) * limit
+	}
+}
+
+func assertLen(got, want int) {
+	if got != want {
+		panic(fmt.Sprintf("tensor: length mismatch %d != %d", got, want))
+	}
+}

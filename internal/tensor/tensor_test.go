@@ -1,0 +1,242 @@
+package tensor
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestVecBasics(t *testing.T) {
+	v := Vec{1, 2, 3}
+	w := Vec{4, 5, 6}
+	c := v.Clone()
+	v.Add(w)
+	if v[0] != 5 || v[1] != 7 || v[2] != 9 {
+		t.Fatalf("Add = %v", v)
+	}
+	if c[0] != 1 {
+		t.Fatal("Clone aliases")
+	}
+	v.Sub(w)
+	if v[0] != 1 || v[2] != 3 {
+		t.Fatalf("Sub = %v", v)
+	}
+	v.Scale(2)
+	if v[1] != 4 {
+		t.Fatalf("Scale = %v", v)
+	}
+	v.Zero()
+	if v.Norm2() != 0 {
+		t.Fatal("Zero failed")
+	}
+	v.Fill(3)
+	if v[0] != 3 || v[2] != 3 {
+		t.Fatalf("Fill = %v", v)
+	}
+}
+
+func TestDotAxpyNorm(t *testing.T) {
+	v := Vec{1, 2, 3}
+	w := Vec{4, 5, 6}
+	if got := v.Dot(w); got != 32 {
+		t.Fatalf("Dot = %v", got)
+	}
+	v.Axpy(2, w)
+	if v[0] != 9 || v[1] != 12 || v[2] != 15 {
+		t.Fatalf("Axpy = %v", v)
+	}
+	u := Vec{3, 4}
+	if got := u.Norm2(); got != 5 {
+		t.Fatalf("Norm2 = %v", got)
+	}
+}
+
+func TestClipNorm(t *testing.T) {
+	v := Vec{3, 4}
+	if s := v.ClipNorm(10); s != 1 || v[0] != 3 {
+		t.Fatalf("no-op clip changed vector: s=%v v=%v", s, v)
+	}
+	if s := v.ClipNorm(1); math.Abs(float64(s)-0.2) > 1e-6 {
+		t.Fatalf("clip scale = %v", s)
+	}
+	if n := v.Norm2(); math.Abs(float64(n)-1) > 1e-6 {
+		t.Fatalf("clipped norm = %v", n)
+	}
+	z := Vec{0, 0}
+	if s := z.ClipNorm(1); s != 1 {
+		t.Fatalf("zero-vector clip = %v", s)
+	}
+}
+
+func TestArgMax(t *testing.T) {
+	if got := (Vec{1, 5, 5, 2}).ArgMax(); got != 1 {
+		t.Fatalf("ArgMax tie = %d, want first max", got)
+	}
+	if got := (Vec{-3, -1, -2}).Max(); got != -1 {
+		t.Fatalf("Max = %v", got)
+	}
+}
+
+func TestSoftmax(t *testing.T) {
+	v := Vec{1, 2, 3}
+	out := NewVec(3)
+	Softmax(out, v)
+	var sum float32
+	for _, x := range out {
+		if x <= 0 || x >= 1 {
+			t.Fatalf("softmax out of range: %v", out)
+		}
+		sum += x
+	}
+	if math.Abs(float64(sum)-1) > 1e-5 {
+		t.Fatalf("softmax sum = %v", sum)
+	}
+	if !(out[2] > out[1] && out[1] > out[0]) {
+		t.Fatalf("softmax not monotone: %v", out)
+	}
+	// Large logits must not overflow.
+	big := Vec{1000, 1001}
+	Softmax(big, big)
+	if math.IsNaN(float64(big[0])) || math.IsInf(float64(big[1]), 0) {
+		t.Fatalf("softmax unstable: %v", big)
+	}
+}
+
+func TestMatVec(t *testing.T) {
+	m := MatFrom(2, 3, []float32{1, 2, 3, 4, 5, 6})
+	x := Vec{1, 1, 1}
+	dst := NewVec(2)
+	m.MatVec(dst, x)
+	if dst[0] != 6 || dst[1] != 15 {
+		t.Fatalf("MatVec = %v", dst)
+	}
+}
+
+func TestMatTVec(t *testing.T) {
+	m := MatFrom(2, 3, []float32{1, 2, 3, 4, 5, 6})
+	x := Vec{1, 2}
+	dst := NewVec(3)
+	m.MatTVec(dst, x)
+	if dst[0] != 9 || dst[1] != 12 || dst[2] != 15 {
+		t.Fatalf("MatTVec = %v", dst)
+	}
+}
+
+func TestAddOuter(t *testing.T) {
+	m := NewMat(2, 2)
+	m.AddOuter(2, Vec{1, 2}, Vec{3, 4})
+	want := []float32{6, 8, 12, 16}
+	for i, x := range m.Data {
+		if x != want[i] {
+			t.Fatalf("AddOuter = %v", m.Data)
+		}
+	}
+}
+
+func TestMatAccessors(t *testing.T) {
+	m := NewMat(3, 2)
+	m.Set(2, 1, 7)
+	if m.At(2, 1) != 7 {
+		t.Fatal("Set/At mismatch")
+	}
+	r := m.Row(2)
+	if r[1] != 7 {
+		t.Fatalf("Row = %v", r)
+	}
+	r[0] = 5
+	if m.At(2, 0) != 5 {
+		t.Fatal("Row is not a view")
+	}
+	m.Zero()
+	if m.At(2, 1) != 0 {
+		t.Fatal("Zero failed")
+	}
+}
+
+func TestXavierInitBounds(t *testing.T) {
+	m := NewMat(10, 20)
+	m.XavierInit(rand.New(rand.NewSource(1)))
+	limit := float32(math.Sqrt(6.0 / 30.0))
+	var nonzero int
+	for _, x := range m.Data {
+		if x < -limit || x > limit {
+			t.Fatalf("init %v outside ±%v", x, limit)
+		}
+		if x != 0 {
+			nonzero++
+		}
+	}
+	if nonzero < 150 {
+		t.Fatalf("suspiciously many zeros: %d nonzero of 200", nonzero)
+	}
+}
+
+func TestLengthMismatchPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic on mismatched Add")
+		}
+	}()
+	(Vec{1}).Add(Vec{1, 2})
+}
+
+// Property: (mᵀ)·(m·x) agrees with a float64 reference within tolerance.
+func TestMatVecQuick(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		rows, cols := rng.Intn(8)+1, rng.Intn(8)+1
+		m := NewMat(rows, cols)
+		x := NewVec(cols)
+		for i := range m.Data {
+			m.Data[i] = rng.Float32()*2 - 1
+		}
+		for i := range x {
+			x[i] = rng.Float32()*2 - 1
+		}
+		y := NewVec(rows)
+		m.MatVec(y, x)
+		for r := 0; r < rows; r++ {
+			var ref float64
+			for c := 0; c < cols; c++ {
+				ref += float64(m.At(r, c)) * float64(x[c])
+			}
+			if math.Abs(ref-float64(y[r])) > 1e-4 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: Dot is symmetric and Axpy is linear in its scalar.
+func TestVecAlgebraQuick(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := rng.Intn(16) + 1
+		v, w := NewVec(n), NewVec(n)
+		for i := 0; i < n; i++ {
+			v[i] = rng.Float32()
+			w[i] = rng.Float32()
+		}
+		if math.Abs(float64(v.Dot(w)-w.Dot(v))) > 1e-4 {
+			return false
+		}
+		a := rng.Float32()
+		u1 := v.Clone()
+		u1.Axpy(a, w)
+		for i := 0; i < n; i++ {
+			ref := float64(v[i]) + float64(a)*float64(w[i])
+			if math.Abs(ref-float64(u1[i])) > 1e-4 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}

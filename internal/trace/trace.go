@@ -1,0 +1,114 @@
+// Package trace records timestamped simulation events — packet
+// transmissions, deliveries, drops — into a bounded in-memory timeline
+// that renders as an aligned text waterfall. It is the debugging
+// companion to the discrete-event network simulation: attach a Recorder
+// to the ports of interest and read off exactly how an aggregation
+// round moved through the fabric.
+package trace
+
+import (
+	"fmt"
+	"io"
+	"strings"
+	"time"
+)
+
+// Event is one recorded occurrence.
+type Event struct {
+	// Time is the virtual timestamp.
+	Time time.Duration
+	// Source identifies where it happened (port, switch, worker).
+	Source string
+	// Kind classifies it (e.g. "tx", "rx", "drop", "agg").
+	Kind string
+	// Detail is free-form context (packet type, segment, size).
+	Detail string
+}
+
+// Recorder collects events up to a cap (oldest kept; overflow counted).
+type Recorder struct {
+	events  []Event
+	max     int
+	dropped int
+}
+
+// New creates a recorder holding up to max events (≤ 0 means 64k).
+func New(max int) *Recorder {
+	if max <= 0 {
+		max = 1 << 16
+	}
+	return &Recorder{max: max}
+}
+
+// Record appends an event if capacity remains.
+func (r *Recorder) Record(at time.Duration, source, kind, detail string) {
+	if len(r.events) >= r.max {
+		r.dropped++
+		return
+	}
+	r.events = append(r.events, Event{Time: at, Source: source, Kind: kind, Detail: detail})
+}
+
+// Len reports the number of retained events.
+func (r *Recorder) Len() int { return len(r.events) }
+
+// Overflowed reports how many events exceeded the cap.
+func (r *Recorder) Overflowed() int { return r.dropped }
+
+// Events returns the retained events in record order.
+func (r *Recorder) Events() []Event { return r.events }
+
+// Filter returns the events of one kind, preserving order.
+func (r *Recorder) Filter(kind string) []Event {
+	var out []Event
+	for _, e := range r.events {
+		if e.Kind == kind {
+			out = append(out, e)
+		}
+	}
+	return out
+}
+
+// Between returns events with lo <= Time < hi.
+func (r *Recorder) Between(lo, hi time.Duration) []Event {
+	var out []Event
+	for _, e := range r.events {
+		if e.Time >= lo && e.Time < hi {
+			out = append(out, e)
+		}
+	}
+	return out
+}
+
+// Render writes an aligned waterfall: one line per event with the
+// virtual timestamp, source, kind, and detail.
+func (r *Recorder) Render(w io.Writer) error {
+	srcW, kindW := 6, 4
+	for _, e := range r.events {
+		if len(e.Source) > srcW {
+			srcW = len(e.Source)
+		}
+		if len(e.Kind) > kindW {
+			kindW = len(e.Kind)
+		}
+	}
+	for _, e := range r.events {
+		if _, err := fmt.Fprintf(w, "%12s  %-*s  %-*s  %s\n",
+			e.Time.Round(time.Nanosecond), srcW, e.Source, kindW, e.Kind, e.Detail); err != nil {
+			return err
+		}
+	}
+	if r.dropped > 0 {
+		if _, err := fmt.Fprintf(w, "(+%d events beyond the %d-event cap)\n", r.dropped, r.max); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// String renders the timeline to a string.
+func (r *Recorder) String() string {
+	var b strings.Builder
+	_ = r.Render(&b)
+	return b.String()
+}

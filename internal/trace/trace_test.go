@@ -1,0 +1,48 @@
+package trace
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestRecordAndRender(t *testing.T) {
+	r := New(10)
+	r.Record(100*time.Nanosecond, "w0/nic", "tx", "data seg=0")
+	r.Record(550*time.Nanosecond, "sw0/p0", "rx", "data seg=0")
+	if r.Len() != 2 {
+		t.Fatalf("len = %d", r.Len())
+	}
+	out := r.String()
+	for _, want := range []string{"100ns", "w0/nic", "tx", "data seg=0", "sw0/p0", "rx"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("render missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestCapAndOverflow(t *testing.T) {
+	r := New(3)
+	for i := 0; i < 5; i++ {
+		r.Record(time.Duration(i), "s", "tx", "")
+	}
+	if r.Len() != 3 || r.Overflowed() != 2 {
+		t.Fatalf("len=%d overflow=%d", r.Len(), r.Overflowed())
+	}
+	if !strings.Contains(r.String(), "+2 events beyond") {
+		t.Fatalf("overflow not rendered:\n%s", r.String())
+	}
+}
+
+func TestFilterAndBetween(t *testing.T) {
+	r := New(0)
+	r.Record(1, "a", "tx", "")
+	r.Record(2, "b", "rx", "")
+	r.Record(3, "c", "tx", "")
+	if got := len(r.Filter("tx")); got != 2 {
+		t.Fatalf("tx events = %d", got)
+	}
+	if got := len(r.Between(2, 3)); got != 1 {
+		t.Fatalf("between = %d", got)
+	}
+}

@@ -1,0 +1,220 @@
+package transport
+
+import (
+	"math/rand"
+	"sync"
+	"testing"
+
+	"iswitch/internal/protocol"
+)
+
+func startSwitch(t *testing.T) *Switch {
+	t.Helper()
+	sw, err := ListenSwitch("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	go func() { _ = sw.Serve() }()
+	t.Cleanup(func() { sw.Close() })
+	return sw
+}
+
+func TestEncodeDecodeRoundTrip(t *testing.T) {
+	pkts := []*protocol.Packet{
+		{ToS: protocol.ToSControl, Action: protocol.ActionJoin, Value: protocol.JoinValue(100)},
+		{ToS: protocol.ToSData, Seg: 3, Data: []float32{1.5, -2.5}},
+	}
+	for _, p := range pkts {
+		buf, err := Encode(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		q, err := Decode(protocol.Addr{}, protocol.Addr{}, buf)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if q.ToS != p.ToS {
+			t.Fatalf("ToS %#02x vs %#02x", q.ToS, p.ToS)
+		}
+		if p.IsData() && (q.Seg != p.Seg || q.Data[1] != p.Data[1]) {
+			t.Fatalf("data mismatch %+v", q)
+		}
+	}
+	if _, err := Decode(protocol.Addr{}, protocol.Addr{}, nil); err == nil {
+		t.Fatal("empty datagram accepted")
+	}
+}
+
+func TestJoinAndMembership(t *testing.T) {
+	sw := startSwitch(t)
+	const n = 50
+	var clients []*Client
+	for i := 0; i < 3; i++ {
+		c, err := Dial(sw.Addr(), n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer c.Close()
+		if err := c.Join(); err != nil {
+			t.Fatal(err)
+		}
+		clients = append(clients, c)
+	}
+	if got := sw.Members(); got != 3 {
+		t.Fatalf("members = %d", got)
+	}
+	// Re-join is idempotent.
+	if err := clients[0].Join(); err != nil {
+		t.Fatal(err)
+	}
+	if got := sw.Members(); got != 3 {
+		t.Fatalf("members after re-join = %d", got)
+	}
+}
+
+func TestAggregateOverRealUDP(t *testing.T) {
+	sw := startSwitch(t)
+	const workers = 3
+	const n = protocol.FloatsPerPacket*2 + 17 // multi-packet with tail
+
+	grads := make([][]float32, workers)
+	rng := rand.New(rand.NewSource(1))
+	want := make([]float32, n)
+	for w := range grads {
+		grads[w] = make([]float32, n)
+		for i := range grads[w] {
+			grads[w][i] = float32(rng.Intn(100))
+			want[i] += grads[w][i]
+		}
+	}
+
+	clients := make([]*Client, workers)
+	for i := range clients {
+		c, err := Dial(sw.Addr(), n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer c.Close()
+		if err := c.Join(); err != nil {
+			t.Fatal(err)
+		}
+		clients[i] = c
+	}
+
+	for round := 0; round < 3; round++ {
+		var wg sync.WaitGroup
+		results := make([][]float32, workers)
+		errs := make([]error, workers)
+		for i := range clients {
+			wg.Add(1)
+			go func(i int) {
+				defer wg.Done()
+				results[i], errs[i] = clients[i].Aggregate(grads[i])
+			}(i)
+		}
+		wg.Wait()
+		for i := range clients {
+			if errs[i] != nil {
+				t.Fatalf("round %d worker %d: %v", round, i, errs[i])
+			}
+			for j := range want {
+				if results[i][j] != want[j] {
+					t.Fatalf("round %d worker %d elem %d: %v want %v",
+						round, i, j, results[i][j], want[j])
+				}
+			}
+		}
+	}
+	if sw.Broadcasts == 0 || sw.DataIn == 0 {
+		t.Fatalf("switch stats empty: %+v", sw)
+	}
+}
+
+func TestSetHOverUDP(t *testing.T) {
+	sw := startSwitch(t)
+	const n = 8
+	a, err := Dial(sw.Addr(), n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer a.Close()
+	if err := a.Join(); err != nil {
+		t.Fatal(err)
+	}
+	// With H pinned to 1, a single worker's contribution aggregates
+	// immediately.
+	if err := a.SetH(1); err != nil {
+		t.Fatal(err)
+	}
+	grad := []float32{1, 2, 3, 4, 5, 6, 7, 8}
+	sum, err := a.Aggregate(grad)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range grad {
+		if sum[i] != grad[i] {
+			t.Fatalf("H=1 aggregate = %v", sum)
+		}
+	}
+}
+
+func TestAggregateWrongLengthRejected(t *testing.T) {
+	sw := startSwitch(t)
+	c, err := Dial(sw.Addr(), 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	if _, err := c.Aggregate(make([]float32, 5)); err == nil {
+		t.Fatal("wrong-length gradient accepted")
+	}
+}
+
+func TestRealTrainingOverUDP(t *testing.T) {
+	// End-to-end: the switch emulator aggregates genuine float math and
+	// replicas stay in lockstep over real sockets.
+	sw := startSwitch(t)
+	const workers = 2
+	const n = 200
+	clients := make([]*Client, workers)
+	params := make([][]float32, workers)
+	for i := range clients {
+		c, err := Dial(sw.Addr(), n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer c.Close()
+		if err := c.Join(); err != nil {
+			t.Fatal(err)
+		}
+		clients[i] = c
+		params[i] = make([]float32, n)
+	}
+	for iter := 0; iter < 5; iter++ {
+		var wg sync.WaitGroup
+		for i := range clients {
+			wg.Add(1)
+			go func(i int) {
+				defer wg.Done()
+				grad := make([]float32, n)
+				for j := range grad {
+					grad[j] = float32((i + 1) * (iter + 1) % 7)
+				}
+				sum, err := clients[i].Aggregate(grad)
+				if err != nil {
+					t.Errorf("worker %d: %v", i, err)
+					return
+				}
+				for j := range params[i] {
+					params[i][j] -= 0.1 * sum[j] / workers
+				}
+			}(i)
+		}
+		wg.Wait()
+	}
+	for j := range params[0] {
+		if params[0][j] != params[1][j] {
+			t.Fatalf("replicas diverged at %d: %v vs %v", j, params[0][j], params[1][j])
+		}
+	}
+}
