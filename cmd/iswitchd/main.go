@@ -33,8 +33,9 @@ func main() {
 		ch := make(chan os.Signal, 1)
 		signal.Notify(ch, os.Interrupt)
 		<-ch
+		dataIn, broadcasts, _ := sw.Counters()
 		log.Printf("iswitchd: members=%d data-in=%d broadcasts=%d; shutting down",
-			sw.Members(), sw.DataIn, sw.Broadcasts)
+			sw.Members(), dataIn, broadcasts)
 		sw.Close()
 	}()
 	if err := sw.Serve(); err != nil {

@@ -15,12 +15,21 @@
 // packet-arrival order, as a hardware adder pipeline would produce) and
 // the timing (cycles consumed per packet at the published 200 MHz clock
 // and 256-bit bus width).
+//
+// Performance contract: Ingest is the simulation's innermost loop, so
+// its steady-state path is allocation-free — payload bursts are summed
+// by the vectorized tensor kernels, and segment buffers come from a
+// sync.Pool-backed free list that emitted aggregates can be returned to
+// via Recycle. bench_test.go enforces 0 allocs/op on this path.
 package accel
 
 import (
 	"fmt"
 	"sort"
+	"sync"
 	"time"
+
+	"iswitch/internal/tensor"
 )
 
 // Config describes the accelerator datapath. The defaults mirror the
@@ -69,6 +78,12 @@ type Accelerator struct {
 	segs  map[uint64]*segState
 	dedup bool
 
+	// pool recycles segState records (and their float32 buffers) so
+	// steady-state aggregation never allocates: emission hands the
+	// buffer to the caller and banks the record; Recycle returns the
+	// buffer for the next round.
+	pool sync.Pool
+
 	stats Stats
 }
 
@@ -114,8 +129,64 @@ func (a *Accelerator) Stats() Stats { return a.stats }
 
 // Reset applies a Reset control action: clear all buffers and counters.
 func (a *Accelerator) Reset() {
-	a.segs = make(map[uint64]*segState)
+	for seg, st := range a.segs {
+		delete(a.segs, seg)
+		a.recycleState(st)
+	}
 	a.stats.Resets++
+}
+
+// newSegState takes a segment record from the pool (or allocates one)
+// with a zeroed n-element buffer and a cleared contributor bitmap.
+func (a *Accelerator) newSegState(n int) *segState {
+	st, _ := a.pool.Get().(*segState)
+	if st == nil {
+		return &segState{buf: make([]float32, n)}
+	}
+	if cap(st.buf) >= n {
+		st.buf = st.buf[:n]
+		tensor.Zero(st.buf)
+	} else {
+		st.buf = make([]float32, n)
+	}
+	st.count = 0
+	clear(st.seen)
+	return st
+}
+
+// recycleState banks a record, buffer included, for reuse.
+func (a *Accelerator) recycleState(st *segState) {
+	clear(st.seen)
+	a.pool.Put(st)
+}
+
+// takeBuf detaches a completed segment's buffer for the caller and
+// banks the bufferless record.
+func (a *Accelerator) takeBuf(st *segState) []float32 {
+	buf := st.buf
+	st.buf = nil
+	a.recycleState(st)
+	return buf
+}
+
+// Recycle returns an aggregate buffer previously handed out by Ingest,
+// IngestFrom, DrainSatisfied, or Flush to the segment-buffer pool. Call
+// it once the aggregate has been consumed (e.g. serialized onto the
+// wire) and do not use buf afterwards; the accelerator will reuse the
+// storage for a future segment. Recycling is optional — buffers that
+// are retained instead are simply replaced by fresh allocations.
+func (a *Accelerator) Recycle(buf []float32) {
+	if buf == nil {
+		return
+	}
+	st, _ := a.pool.Get().(*segState)
+	if st == nil {
+		st = &segState{}
+	}
+	if cap(buf) >= cap(st.buf) {
+		st.buf = buf[:0]
+	}
+	a.pool.Put(st)
 }
 
 // Pending reports how many segments hold partial (uncommitted) sums.
@@ -138,7 +209,9 @@ func (a *Accelerator) Dedup() bool { return a.dedup }
 // the buffer is zeroed, and the counter reset — the "on-the-fly"
 // behaviour of Figure 8b. latency is the datapath time consumed.
 //
-// The returned slice is freshly allocated and safe to retain.
+// Ownership of the returned slice transfers to the caller: the
+// accelerator never touches it again unless it is handed back via
+// Recycle, so it is safe to retain.
 func (a *Accelerator) Ingest(seg uint64, data []float32) (sum []float32, done bool, latency time.Duration) {
 	return a.IngestFrom(seg, "", data)
 }
@@ -149,7 +222,7 @@ func (a *Accelerator) IngestFrom(seg uint64, contributor string, data []float32)
 	a.stats.PacketsIn++
 	st := a.segs[seg]
 	if st == nil {
-		st = &segState{buf: make([]float32, len(data))}
+		st = a.newSegState(len(data))
 		a.segs[seg] = st
 	}
 	if a.dedup && contributor != "" {
@@ -172,17 +245,14 @@ func (a *Accelerator) IngestFrom(seg uint64, contributor string, data []float32)
 			st.buf = grown
 		}
 	}
-	for i, v := range data {
-		st.buf[i] += v
-	}
+	tensor.Add(st.buf[:len(data)], data)
 	st.count++
 	latency = a.packetLatency(len(data))
 
 	if st.count >= a.h {
-		out := st.buf
 		delete(a.segs, seg)
 		a.stats.PacketsOut++
-		return out, true, latency
+		return a.takeBuf(st), true, latency
 	}
 	return nil, false, latency
 }
@@ -197,7 +267,8 @@ func (a *Accelerator) Flush(seg uint64) (sum []float32, count uint32, ok bool) {
 	}
 	delete(a.segs, seg)
 	a.stats.Flushes++
-	return st.buf, st.count, true
+	count = st.count
+	return a.takeBuf(st), count, true
 }
 
 // DrainSatisfied emits every pending segment whose counter already
@@ -209,8 +280,8 @@ func (a *Accelerator) DrainSatisfied() (segs []uint64, sums [][]float32) {
 		st := a.segs[s]
 		if st.count >= a.h {
 			segs = append(segs, s)
-			sums = append(sums, st.buf)
 			delete(a.segs, s)
+			sums = append(sums, a.takeBuf(st))
 			a.stats.PacketsOut++
 		}
 	}
@@ -228,15 +299,15 @@ func (a *Accelerator) PendingSegs() []uint64 {
 }
 
 // FlushAll force-broadcasts every partial segment, in ascending segment
-// order, returning the segment indices flushed.
+// order (via PendingSegs, the one place the sorted enumeration lives),
+// returning the segment indices flushed. The discarded partial sums'
+// buffers are recycled.
 func (a *Accelerator) FlushAll() []uint64 {
-	segs := make([]uint64, 0, len(a.segs))
-	for s := range a.segs {
-		segs = append(segs, s)
-	}
-	sort.Slice(segs, func(i, j int) bool { return segs[i] < segs[j] })
+	segs := a.PendingSegs()
 	for _, s := range segs {
+		st := a.segs[s]
 		delete(a.segs, s)
+		a.recycleState(st)
 		a.stats.Flushes++
 	}
 	return segs

@@ -15,9 +15,32 @@ func BenchmarkIngestFullPacket(b *testing.B) {
 		data[i] = float32(i)
 	}
 	b.SetBytes(int64(4 * len(data)))
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		a.Ingest(uint64(i%1024), data)
+	}
+}
+
+// BenchmarkAccelIngest1024 measures steady-state accumulation of a
+// 1024-float payload across a warm working set of segments. All segment
+// buffers are pre-created before the timer starts, so this pins the
+// zero-alloc contract on the pure accumulate path.
+func BenchmarkAccelIngest1024(b *testing.B) {
+	a := New(Config{BusWidthBits: 256, ClockHz: 200e6, PipelineDepth: 8, Threshold: 1 << 30})
+	data := make([]float32, 1024)
+	for i := range data {
+		data[i] = float32(i) * 0.25
+	}
+	const segs = 64
+	for s := uint64(0); s < segs; s++ {
+		a.Ingest(s, data)
+	}
+	b.SetBytes(int64(4 * len(data)))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		a.Ingest(uint64(i%segs), data)
 	}
 }
 
@@ -29,10 +52,37 @@ func BenchmarkIngestEmitCycle(b *testing.B) {
 	a := New(cfg)
 	data := make([]float32, protocol.FloatsPerPacket)
 	b.SetBytes(int64(4 * 4 * len(data)))
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		for w := 0; w < 4; w++ {
 			a.Ingest(0, data)
+		}
+	}
+}
+
+// BenchmarkIngestEmitCycleRecycle is the emit cycle with the consumer
+// returning each aggregate via Recycle — the switch datapath's steady
+// state, which must be allocation-free.
+func BenchmarkIngestEmitCycleRecycle(b *testing.B) {
+	cfg := DefaultConfig()
+	cfg.Threshold = 4
+	a := New(cfg)
+	data := make([]float32, protocol.FloatsPerPacket)
+	// Warm one full cycle so the pool holds the segment record + buffer.
+	for w := 0; w < 4; w++ {
+		if sum, done, _ := a.Ingest(0, data); done {
+			a.Recycle(sum)
+		}
+	}
+	b.SetBytes(int64(4 * 4 * len(data)))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for w := 0; w < 4; w++ {
+			if sum, done, _ := a.Ingest(0, data); done {
+				a.Recycle(sum)
+			}
 		}
 	}
 }

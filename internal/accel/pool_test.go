@@ -1,0 +1,97 @@
+package accel
+
+import (
+	"math"
+	"testing"
+)
+
+// TestIngestSteadyStateZeroAlloc pins the package's performance
+// contract: once a segment's buffer exists, accumulating into it must
+// not allocate.
+func TestIngestSteadyStateZeroAlloc(t *testing.T) {
+	if raceEnabled {
+		t.Skip("allocation counting is unreliable under -race")
+	}
+	a := New(Config{BusWidthBits: 256, ClockHz: 200e6, PipelineDepth: 8, Threshold: 1 << 30})
+	data := make([]float32, 1024)
+	for i := range data {
+		data[i] = float32(i)
+	}
+	a.Ingest(7, data) // create the segment buffer
+	if n := testing.AllocsPerRun(50, func() { a.Ingest(7, data) }); n != 0 {
+		t.Fatalf("steady-state Ingest allocates %v allocs/op, want 0", n)
+	}
+}
+
+// TestEmitRecycleCycleZeroAlloc covers the full aggregate→emit→Recycle
+// loop: after one warm cycle, subsequent cycles must reuse the pooled
+// segment record and buffer without allocating.
+func TestEmitRecycleCycleZeroAlloc(t *testing.T) {
+	if raceEnabled {
+		t.Skip("allocation counting is unreliable under -race")
+	}
+	cfg := DefaultConfig()
+	cfg.Threshold = 4
+	a := New(cfg)
+	data := make([]float32, 366)
+	cycle := func() {
+		for w := 0; w < 4; w++ {
+			if sum, done, _ := a.Ingest(0, data); done {
+				a.Recycle(sum)
+			}
+		}
+	}
+	cycle() // warm the pool
+	if n := testing.AllocsPerRun(50, cycle); n != 0 {
+		t.Fatalf("emit/Recycle cycle allocates %v allocs/op, want 0", n)
+	}
+}
+
+// TestRecycledBufferZeroed verifies a recycled buffer is indistinguishable
+// from a fresh allocation: the next segment that reuses it starts from
+// exact +0 bits, so sums stay bit-identical to the unpooled seed.
+func TestRecycledBufferZeroed(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Threshold = 1
+	a := New(cfg)
+	dirty := []float32{1.5, -2.25, float32(math.NaN()), float32(math.Inf(1))}
+	sum, done, _ := a.Ingest(0, dirty)
+	if !done {
+		t.Fatal("expected emission at H=1")
+	}
+	a.Recycle(sum)
+
+	// A -0 contribution exposes stale state: +0 + (-0) = +0, but
+	// dirty + (-0) != +0 bit pattern.
+	negZero := []float32{float32(math.Copysign(0, -1)), float32(math.Copysign(0, -1)),
+		float32(math.Copysign(0, -1)), float32(math.Copysign(0, -1))}
+	sum2, done, _ := a.Ingest(1, negZero)
+	if !done {
+		t.Fatal("expected emission at H=1")
+	}
+	for i, v := range sum2 {
+		if math.Float32bits(v) != 0 {
+			t.Fatalf("element %d = %v (bits %x), want exact +0 from a zeroed recycled buffer",
+				i, v, math.Float32bits(v))
+		}
+	}
+}
+
+// TestRecycleKeepsLargerBuffer checks the pool prefers the larger of the
+// recycled and banked buffers so capacity ratchets up, not down.
+func TestRecycleKeepsLargerBuffer(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Threshold = 1
+	a := New(cfg)
+	big := make([]float32, 2048)
+	sum, done, _ := a.Ingest(0, big)
+	if !done {
+		t.Fatal("expected emission at H=1")
+	}
+	a.Recycle(sum)
+	small := make([]float32, 8)
+	sum2, _, _ := a.Ingest(1, small)
+	if cap(sum2) < 2048 {
+		t.Fatalf("recycled capacity %d, want the banked 2048-element buffer reused", cap(sum2))
+	}
+}

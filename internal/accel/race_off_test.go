@@ -1,0 +1,7 @@
+//go:build !race
+
+package accel
+
+// raceEnabled reports whether the race detector is active (allocation
+// counts are unreliable under -race, so alloc tests skip).
+const raceEnabled = false

@@ -6,6 +6,7 @@ import (
 	"iswitch/internal/perfmodel"
 	"iswitch/internal/protocol"
 	"iswitch/internal/sim"
+	"iswitch/internal/tensor"
 )
 
 // Ring-AllReduce aggregation (Figure 1b): the N workers form a logical
@@ -151,9 +152,7 @@ func (ac *arClient) Aggregate(p *sim.Proc, grad []float32) []float32 {
 		in := ac.recvChunk(p, recvCi)
 		lo, _ := chunkRange(ac.cluster.n, nw, recvCi)
 		p.Sleep(accel.SumLatency(len(in), 1, ac.cluster.cfg.SumRate))
-		for i, v := range in {
-			vec[lo+i] += v
-		}
+		tensor.Add(vec[lo:lo+len(in)], in)
 	}
 	// Allgather: circulate the fully reduced chunks.
 	for s := 0; s < nw-1; s++ {

@@ -24,8 +24,12 @@ func AblationStaleness() Result {
 	w, _ := perfmodel.WorkloadByName("DQN")
 	var b strings.Builder
 	fmt.Fprintf(&b, "%-4s %-12s %-12s %-16s %-14s\n", "S", "committed", "discarded", "mean staleness", "per-iter ms")
-	for _, s := range []int64{0, 1, 3, 8} {
-		stats := simAsync(w, StratISW, 4, 0, 40, s)
+	bounds := []int64{0, 1, 3, 8}
+	cells := parMap(len(bounds), func(i int) *core.AsyncStats {
+		return simAsync(w, StratISW, 4, 0, 40, bounds[i])
+	})
+	for i, s := range bounds {
+		stats := cells[i]
 		fmt.Fprintf(&b, "%-4d %-12d %-12d %-16.2f %-14s\n",
 			s, stats.Committed, stats.Discarded, stats.MeanStaleness(), ms(stats.MeanIter()))
 	}
@@ -41,9 +45,17 @@ func AblationStaleness() Result {
 func AblationHierarchical() Result {
 	w, _ := perfmodel.WorkloadByName("DQN")
 	var b strings.Builder
-	flat := simSync(w, StratISW, 12, 0, 2)
-	tree := simSync(w, StratISW, 12, 3, 2)
-	three := simSyncThreeTier(w, 2, 2, 3, 2)
+	sims := parMap(3, func(i int) *core.RunStats {
+		switch i {
+		case 0:
+			return simSync(w, StratISW, 12, 0, 2)
+		case 1:
+			return simSync(w, StratISW, 12, 3, 2)
+		default:
+			return simSyncThreeTier(w, 2, 2, 3, 2)
+		}
+	})
+	flat, tree, three := sims[0], sims[1], sims[2]
 	fmt.Fprintf(&b, "12 workers, %s-sized gradients (%.2f MB):\n", w.Name, float64(w.ModelBytes)/1e6)
 	fmt.Fprintf(&b, "  flat single iSwitch (hypothetical 12-port)  per-iter %8s ms (agg %8s ms)\n",
 		ms(flat.MeanIter()), ms(flat.MeanAgg()))
@@ -123,20 +135,22 @@ func AblationMTU() Result {
 	var b strings.Builder
 	w, _ := perfmodel.WorkloadByName("A2C")
 	fmt.Fprintf(&b, "%-18s %-14s\n", "floats/packet", "iSW agg ms")
-	for _, frac := range []int{1, 2, 4, 8} {
-		perPkt := protocol.FloatsPerPacket / frac
+	fracs := []int{1, 2, 4, 8}
+	cells := parMap(len(fracs), func(fi int) *core.RunStats {
 		k := sim.NewKernel()
 		cfg := core.DefaultISWConfig()
-		cfg.FloatsPerPacket = perPkt
+		cfg.FloatsPerPacket = protocol.FloatsPerPacket / fracs[fi]
 		c := core.NewISWStar(k, 4, w.Floats(), netsim.TenGbE(), cfg)
 		agents := make([]rl.Agent, 4)
 		services := make([]core.Service, 4)
 		for i := range agents {
 			agents[i], services[i] = core.NewSyntheticAgent(w.Floats()), c.Client(i)
 		}
-		stats := core.RunSync(k, agents, services, core.SyncConfig{Iterations: 2,
+		return core.RunSync(k, agents, services, core.SyncConfig{Iterations: 2,
 			LocalCompute: w.LocalCompute, WeightUpdate: w.WeightUpdate})
-		fmt.Fprintf(&b, "%-18d %-14s\n", perPkt, ms(stats.MeanAgg()))
+	})
+	for fi, frac := range fracs {
+		fmt.Fprintf(&b, "%-18d %-14s\n", protocol.FloatsPerPacket/frac, ms(cells[fi].MeanAgg()))
 	}
 	b.WriteString("(smaller packets pay per-packet overheads more often; the paper fills MTU frames)\n")
 	return Result{ID: "ablation-mtu", Title: "Packet payload size sweep", Text: b.String()}

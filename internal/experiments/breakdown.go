@@ -5,6 +5,7 @@ import (
 	"strings"
 	"time"
 
+	"iswitch/internal/core"
 	"iswitch/internal/perfmodel"
 )
 
@@ -77,10 +78,15 @@ func abbrevStage(name string) string {
 func Figure4() Result {
 	var b strings.Builder
 	lo, hi := 100.0, 0.0
-	for _, strategy := range []string{StratPS, StratAR} {
+	strats := []string{StratPS, StratAR}
+	ws := perfmodel.Workloads()
+	cells := parMap(len(strats)*len(ws), func(i int) *core.RunStats {
+		return simSync(ws[i%len(ws)], strats[i/len(ws)], 4, 0, 3)
+	})
+	for si, strategy := range strats {
 		fmt.Fprintf(&b, "(%s)\n", strategy)
-		for _, w := range perfmodel.Workloads() {
-			stats := simSync(w, strategy, 4, 0, 3)
+		for wi, w := range ws {
+			stats := cells[si*len(ws)+wi]
 			sb := breakdownFor(w, w.LocalCompute, stats.MeanAgg(), w.WeightUpdate, stats.MeanIter())
 			sb.render(&b, w.Name)
 			if p := sb.aggPercent(); p < lo {
@@ -102,11 +108,16 @@ func Figure4() Result {
 // normalized to PS.
 func Figure12() Result {
 	var b strings.Builder
-	for _, w := range perfmodel.Workloads() {
+	ws := perfmodel.Workloads()
+	strats := SyncStrategies()
+	cells := parMap(len(ws)*len(strats), func(i int) *core.RunStats {
+		return simSync(ws[i/len(strats)], strats[i%len(strats)], 4, 0, 3)
+	})
+	for wi, w := range ws {
 		fmt.Fprintf(&b, "%s:\n", w.Name)
 		var psIter time.Duration
-		for _, strategy := range SyncStrategies() {
-			stats := simSync(w, strategy, 4, 0, 3)
+		for si, strategy := range strats {
+			stats := cells[wi*len(strats)+si]
 			if strategy == StratPS {
 				psIter = stats.MeanIter()
 			}

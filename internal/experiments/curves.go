@@ -11,6 +11,7 @@ import (
 	"iswitch/internal/perfmodel"
 	"iswitch/internal/rl"
 	"iswitch/internal/sim"
+	"iswitch/internal/tensor"
 )
 
 // Training-curve experiments (Figures 13 and 14): reward versus
@@ -82,14 +83,10 @@ func Figure13(opts CurveOpts) Result {
 	var rewards []float64
 	step := opts.SyncIters / opts.Points
 	for it := 1; it <= opts.SyncIters; it++ {
-		for i := range sum {
-			sum[i] = 0
-		}
+		tensor.Zero(sum)
 		for _, a := range agents {
 			a.ComputeGradient(g)
-			for i := range sum {
-				sum[i] += g[i]
-			}
+			tensor.Add(sum, g)
 		}
 		for _, a := range agents {
 			a.ApplyAggregated(sum, workers)
@@ -100,11 +97,16 @@ func Figure13(opts CurveOpts) Result {
 		}
 	}
 
-	// Wall-clock scale per strategy from the timing simulation.
+	// Wall-clock scale per strategy from the timing simulation, one
+	// pooled cell per strategy.
 	w, _ := perfmodel.WorkloadByName("DQN")
+	strats := SyncStrategies()
+	iters := parMap(len(strats), func(i int) time.Duration {
+		return simSync(w, strats[i], workers, 0, 3).MeanIter()
+	})
 	perIter := map[string]time.Duration{}
-	for _, s := range SyncStrategies() {
-		perIter[s] = simSync(w, s, workers, 0, 3).MeanIter()
+	for i, s := range strats {
+		perIter[s] = iters[i]
 	}
 
 	var b strings.Builder
@@ -156,8 +158,22 @@ func Figure14(opts CurveOpts) Result {
 		return stats, asyncPerIter(full)
 	}
 
-	psStats, psIter := run(StratPS, opts.AsyncUpdatesPS)
-	iswStats, iswIter := run(StratISW, opts.AsyncUpdatesISW)
+	// The PS and iSwitch runs are fully independent (separate kernels,
+	// separate seeds); run both on the worker pool.
+	type asyncRun struct {
+		stats   *core.AsyncStats
+		perIter time.Duration
+	}
+	runs := parMap(2, func(i int) asyncRun {
+		if i == 0 {
+			s, d := run(StratPS, opts.AsyncUpdatesPS)
+			return asyncRun{s, d}
+		}
+		s, d := run(StratISW, opts.AsyncUpdatesISW)
+		return asyncRun{s, d}
+	})
+	psStats, psIter := runs[0].stats, runs[0].perIter
+	iswStats, iswIter := runs[1].stats, runs[1].perIter
 
 	var b strings.Builder
 	fmt.Fprintf(&b, "%-10s | %-26s | %-26s\n", "", "Async PS", "Async iSW")

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"math"
 	"strings"
+	"time"
 
 	"iswitch/internal/fp16"
 	"iswitch/internal/perfmodel"
@@ -23,13 +24,19 @@ import (
 func AblationFP16() Result {
 	var b strings.Builder
 
-	// Latency side, per workload.
+	// Latency side, per workload: the full- and half-width runs of every
+	// workload are independent cells for the worker pool.
 	fmt.Fprintf(&b, "%-6s %-16s %-16s %-8s\n", "Bench", "fp32 agg ms", "fp16 agg ms", "saving")
-	for _, w := range perfmodel.Workloads() {
-		full := simSync(w, StratISW, 4, 0, 2).MeanAgg()
-		halfW := w
-		halfW.ModelBytes = w.ModelBytes / 2
-		half := simSync(halfW, StratISW, 4, 0, 2).MeanAgg()
+	ws := perfmodel.Workloads()
+	aggs := parMap(2*len(ws), func(i int) time.Duration {
+		w := ws[i/2]
+		if i%2 == 1 {
+			w.ModelBytes = w.ModelBytes / 2
+		}
+		return simSync(w, StratISW, 4, 0, 2).MeanAgg()
+	})
+	for wi, w := range ws {
+		full, half := aggs[2*wi], aggs[2*wi+1]
 		fmt.Fprintf(&b, "%-6s %-16s %-16s %6.2fx\n",
 			w.Name, ms(full), ms(half), float64(full)/float64(half))
 	}

@@ -1,0 +1,33 @@
+package experiments
+
+import (
+	"runtime"
+
+	"iswitch/internal/parallel"
+)
+
+// maxWorkers bounds how many simulation cells one experiment generator
+// runs concurrently. The default of 1 keeps generators sequential (the
+// seed behaviour); SetParallelism raises it. Every cell is an isolated
+// sim.Kernel with its own seeded RNGs, so concurrency cannot change a
+// single output byte — results are always assembled in submission order.
+var maxWorkers = 1
+
+// SetParallelism sets the per-experiment worker bound. Values below 1
+// select GOMAXPROCS. Not safe to call while experiments are running.
+func SetParallelism(n int) {
+	if n < 1 {
+		n = runtime.GOMAXPROCS(0)
+	}
+	maxWorkers = n
+}
+
+// Parallelism reports the current per-experiment worker bound.
+func Parallelism() int { return maxWorkers }
+
+// parMap evaluates fn(0..n-1) across the experiment worker pool and
+// returns the results in index order, re-panicking on worker panics so
+// generators keep the seed's panic semantics.
+func parMap[T any](n int, fn func(int) T) []T {
+	return parallel.MustMap(maxWorkers, n, fn)
+}

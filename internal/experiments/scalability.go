@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"strings"
 
+	"iswitch/internal/core"
 	"iswitch/internal/perfmodel"
 )
 
@@ -35,16 +36,19 @@ func Figure15() Result {
 			fmt.Fprintf(&b, " %6d", n)
 		}
 		b.WriteByte('\n')
-		base := map[string]float64{}
+		// All strategy × node-count cells run on the worker pool;
+		// normalization against each strategy's own 4-node time happens
+		// afterwards, in deterministic order.
+		strats := SyncStrategies()
+		perIters := parMap(len(strats)*len(nodes), func(i int) float64 {
+			return simSync(w, strats[i/len(nodes)], nodes[i%len(nodes)], perRack, 2).MeanIter().Seconds()
+		})
 		cells := map[string][]float64{}
-		for _, s := range SyncStrategies() {
-			for _, n := range nodes {
-				perIter := simSync(w, s, n, perRack, 2).MeanIter().Seconds()
-				if n == nodes[0] {
-					base[s] = perIter
-				}
-				speedup := float64(n) / 4 * base[s] / perIter
-				cells[s] = append(cells[s], speedup)
+		for si, s := range strats {
+			base := perIters[si*len(nodes)]
+			for ni, n := range nodes {
+				perIter := perIters[si*len(nodes)+ni]
+				cells[s] = append(cells[s], float64(n)/4*base/perIter)
 			}
 		}
 		for _, s := range SyncStrategies() {
@@ -66,19 +70,23 @@ func Figure15() Result {
 			fmt.Fprintf(&b, " %6d", n)
 		}
 		b.WriteByte('\n')
-		for _, s := range []string{StratPS, StratISW} {
-			var basePS float64
+		asyncStrats := []string{StratPS, StratISW}
+		asyncCells := parMap(len(asyncStrats)*len(nodes), func(i int) *core.AsyncStats {
+			return simAsync(w, asyncStrats[i/len(nodes)], nodes[i%len(nodes)], perRack, 50, 3)
+		})
+		for si, s := range asyncStrats {
+			var base float64
 			fmt.Fprintf(&b, "            %-6s", s)
-			for _, n := range nodes {
-				stats := simAsync(w, s, n, perRack, 50, 3)
+			for ni, n := range nodes {
+				stats := asyncCells[si*len(nodes)+ni]
 				cost := asyncPerIter(stats).Seconds() * (1 + stats.MeanStaleness())
 				if s == StratISW {
 					cost /= float64(n) // each update consumes N gradients
 				}
 				if n == nodes[0] {
-					basePS = cost
+					base = cost
 				}
-				fmt.Fprintf(&b, " %6.2f", basePS/cost)
+				fmt.Fprintf(&b, " %6.2f", base/cost)
 			}
 			b.WriteByte('\n')
 		}

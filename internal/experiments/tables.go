@@ -5,6 +5,7 @@ import (
 	"strings"
 	"time"
 
+	"iswitch/internal/core"
 	"iswitch/internal/perfmodel"
 )
 
@@ -16,17 +17,23 @@ type SyncRow struct {
 }
 
 // syncRows runs the Table 4 simulations once; Table3, Table4 and
-// EXPERIMENTS.md reuse them.
+// EXPERIMENTS.md reuse them. The workload × strategy grid is flattened
+// so every cell (an isolated kernel) can run on the worker pool.
 func syncRows() []SyncRow {
+	ws := perfmodel.Workloads()
+	strats := SyncStrategies()
+	perIter := parMap(len(ws)*len(strats), func(i int) time.Duration {
+		return simSync(ws[i/len(strats)], strats[i%len(strats)], 4, 0, 3).MeanIter()
+	})
 	var rows []SyncRow
-	for _, w := range perfmodel.Workloads() {
+	for wi, w := range ws {
 		row := SyncRow{Workload: w,
 			PerIter:   map[string]time.Duration{},
 			EndToEndH: map[string]float64{}}
-		for _, s := range SyncStrategies() {
-			stats := simSync(w, s, 4, 0, 3)
-			row.PerIter[s] = stats.MeanIter()
-			row.EndToEndH[s] = hours(w.SyncIters, stats.MeanIter())
+		for si, s := range strats {
+			mi := perIter[wi*len(strats)+si]
+			row.PerIter[s] = mi
+			row.EndToEndH[s] = hours(w.SyncIters, mi)
 		}
 		rows = append(rows, row)
 	}
@@ -41,16 +48,22 @@ type AsyncRow struct {
 	Staleness map[string]float64
 }
 
-// asyncRows runs the Table 5 simulations (4 workers, S=3).
+// asyncRows runs the Table 5 simulations (4 workers, S=3), one pooled
+// cell per workload × strategy.
 func asyncRows() []AsyncRow {
+	ws := perfmodel.Workloads()
+	strats := []string{StratPS, StratISW}
+	cells := parMap(len(ws)*len(strats), func(i int) *core.AsyncStats {
+		return simAsync(ws[i/len(strats)], strats[i%len(strats)], 4, 0, 60, 3)
+	})
 	var rows []AsyncRow
-	for _, w := range perfmodel.Workloads() {
+	for wi, w := range ws {
 		row := AsyncRow{Workload: w,
 			PerIter:   map[string]time.Duration{},
 			EndToEndH: map[string]float64{},
 			Staleness: map[string]float64{}}
-		for _, s := range []string{StratPS, StratISW} {
-			stats := simAsync(w, s, 4, 0, 60, 3)
+		for si, s := range strats {
+			stats := cells[wi*len(strats)+si]
 			row.PerIter[s] = asyncPerIter(stats)
 			row.Staleness[s] = stats.MeanStaleness()
 			iters := w.AsyncItersPS

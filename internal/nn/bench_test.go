@@ -33,7 +33,9 @@ func BenchmarkAdamStep(b *testing.B) {
 	for i := range grads {
 		grads[i] = 0.01
 	}
+	opt.Step(m.Params(), grads) // size optimizer state before timing
 	b.SetBytes(int64(4 * m.ParamCount()))
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		opt.Step(m.Params(), grads)

@@ -1,0 +1,140 @@
+package nn
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// Scalar reference optimizers: the seed's original loops, kept
+// verbatim. The golden tests pin the unrolled Step implementations to
+// these bit-for-bit, so distributed replicas stay bit-identical across
+// the optimization.
+
+type refSGD struct {
+	lr, momentum float32
+	vel          []float32
+}
+
+func (s *refSGD) Step(params, grads []float32) {
+	if s.momentum == 0 {
+		for i := range params {
+			params[i] -= s.lr * grads[i]
+		}
+		return
+	}
+	if s.vel == nil {
+		s.vel = make([]float32, len(params))
+	}
+	for i := range params {
+		s.vel[i] = s.momentum*s.vel[i] + grads[i]
+		params[i] -= s.lr * s.vel[i]
+	}
+}
+
+type refAdam struct {
+	lr, beta1, beta2, eps float32
+	m, v                  []float32
+	t                     int
+}
+
+func (a *refAdam) Step(params, grads []float32) {
+	if a.m == nil {
+		a.m = make([]float32, len(params))
+		a.v = make([]float32, len(params))
+	}
+	a.t++
+	b1c := 1 - float32(math.Pow(float64(a.beta1), float64(a.t)))
+	b2c := 1 - float32(math.Pow(float64(a.beta2), float64(a.t)))
+	for i := range params {
+		g := grads[i]
+		a.m[i] = a.beta1*a.m[i] + (1-a.beta1)*g
+		a.v[i] = a.beta2*a.v[i] + (1-a.beta2)*g*g
+		mHat := a.m[i] / b1c
+		vHat := a.v[i] / b2c
+		params[i] -= a.lr * mHat / (float32(math.Sqrt(float64(vHat))) + a.eps)
+	}
+}
+
+// goldenVectors builds params/grads with awkward values (NaN, ±Inf,
+// signed zero, denormals) up front and pseudorandom tails.
+func goldenVectors(n int, seed int64) (params, grads []float32) {
+	specials := []float32{
+		float32(math.NaN()), float32(math.Inf(1)), float32(math.Inf(-1)),
+		float32(math.Copysign(0, -1)), 0,
+		math.SmallestNonzeroFloat32, -math.SmallestNonzeroFloat32,
+	}
+	rng := rand.New(rand.NewSource(seed))
+	params = make([]float32, n)
+	grads = make([]float32, n)
+	for i := range params {
+		if i < len(specials) {
+			grads[i] = specials[i]
+		} else {
+			grads[i] = (rng.Float32() - 0.5) * 2
+		}
+		params[i] = rng.Float32() - 0.5
+	}
+	return params, grads
+}
+
+func bitsEqual(t *testing.T, name string, n int, got, want []float32) {
+	t.Helper()
+	for i := range want {
+		if math.Float32bits(got[i]) != math.Float32bits(want[i]) {
+			t.Fatalf("%s len=%d step: element %d = %v (%x), reference %v (%x)",
+				name, n, i, got[i], math.Float32bits(got[i]),
+				want[i], math.Float32bits(want[i]))
+		}
+	}
+}
+
+func TestSGDStepBitIdenticalToReference(t *testing.T) {
+	for _, n := range []int{0, 1, 3, 4, 7, 64, 367, 1025} {
+		for _, mom := range []float32{0, 0.9} {
+			opt := NewSGD(0.05, mom)
+			ref := &refSGD{lr: 0.05, momentum: mom}
+			p1, g := goldenVectors(n, 11)
+			p2 := append([]float32(nil), p1...)
+			for step := 0; step < 3; step++ {
+				opt.Step(p1, g)
+				ref.Step(p2, g)
+				bitsEqual(t, "SGD", n, p1, p2)
+				if mom != 0 {
+					bitsEqual(t, "SGD.vel", n, opt.vel, ref.vel)
+				}
+			}
+		}
+	}
+}
+
+func TestAdamStepBitIdenticalToReference(t *testing.T) {
+	for _, n := range []int{0, 1, 3, 4, 7, 64, 367, 1025} {
+		opt := NewAdam(1e-3)
+		ref := &refAdam{lr: 1e-3, beta1: 0.9, beta2: 0.999, eps: 1e-8}
+		p1, g := goldenVectors(n, 13)
+		p2 := append([]float32(nil), p1...)
+		for step := 0; step < 3; step++ {
+			opt.Step(p1, g)
+			ref.Step(p2, g)
+			bitsEqual(t, "Adam", n, p1, p2)
+			bitsEqual(t, "Adam.m", n, opt.m, ref.m)
+			bitsEqual(t, "Adam.v", n, opt.v, ref.v)
+		}
+	}
+}
+
+// TestAdamStepSteadyStateAllocFree pins the zero-alloc expectation on
+// the optimizer hot path: after the first call sizes m/v, Step must not
+// allocate.
+func TestAdamStepSteadyStateAllocFree(t *testing.T) {
+	if raceEnabled {
+		t.Skip("allocation counting is unreliable under -race")
+	}
+	opt := NewAdam(1e-3)
+	p, g := goldenVectors(1024, 17)
+	opt.Step(p, g) // size optimizer state
+	if n := testing.AllocsPerRun(50, func() { opt.Step(p, g) }); n != 0 {
+		t.Fatalf("Adam.Step steady state allocates %v allocs/op, want 0", n)
+	}
+}

@@ -3,6 +3,8 @@ package nn
 import (
 	"fmt"
 	"math"
+
+	"iswitch/internal/tensor"
 )
 
 // ParamSet groups the networks an agent trains (e.g. DDPG's actor and
@@ -105,10 +107,7 @@ func (ps *ParamSet) ClipEachNorm(buf []float32, c float32) {
 		}
 		norm := float32(math.Sqrt(s))
 		if norm > c && norm > 0 {
-			scale := c / norm
-			for i := range seg {
-				seg[i] *= scale
-			}
+			tensor.Scale(c/norm, seg)
 		}
 		off += n.ParamCount()
 	}

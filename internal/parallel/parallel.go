@@ -1,0 +1,134 @@
+// Package parallel provides a bounded worker pool for fanning out
+// independent pieces of work while keeping results deterministic.
+//
+// Every table and figure of the reproduction is built from many
+// isolated simulation runs (each with its own sim.Kernel and seeded
+// RNGs), so they can execute concurrently without changing a single
+// output byte — as long as results are assembled in submission order.
+// Map and MapOrdered guarantee exactly that: execution order is
+// arbitrary, result order is by submission index.
+//
+// Panics inside workers are recovered and surfaced as *PanicError so a
+// single failing experiment cannot take down the whole batch without a
+// summary (callers decide whether to re-panic or report and exit).
+package parallel
+
+import (
+	"errors"
+	"fmt"
+	"runtime"
+	"runtime/debug"
+	"sync"
+	"sync/atomic"
+)
+
+// Workers normalizes a requested worker count: values below 1 select
+// GOMAXPROCS, everything else is returned unchanged.
+func Workers(n int) int {
+	if n < 1 {
+		return runtime.GOMAXPROCS(0)
+	}
+	return n
+}
+
+// PanicError records a panic recovered from a worker.
+type PanicError struct {
+	// Index is the submission index of the work item that panicked.
+	Index int
+	// Value is the value passed to panic.
+	Value any
+	// Stack is the worker goroutine's stack at recovery time.
+	Stack []byte
+}
+
+// Error implements error.
+func (e *PanicError) Error() string {
+	return fmt.Sprintf("parallel: task %d panicked: %v\n%s", e.Index, e.Value, e.Stack)
+}
+
+// MapOrdered runs fn(i) for every i in [0, n) on at most `workers`
+// goroutines (clamped via Workers) and calls emit(i, result) strictly
+// in submission-index order, each as soon as that result and all
+// earlier ones are available. emit runs on the calling goroutine and
+// may be nil. Items whose fn panicked are skipped by emit; their
+// panics are returned joined as *PanicError values. All items run to
+// completion even when some panic.
+func MapOrdered[T any](workers, n int, fn func(int) T, emit func(int, T)) error {
+	if n <= 0 {
+		return nil
+	}
+	workers = Workers(workers)
+	if workers > n {
+		workers = n
+	}
+
+	out := make([]T, n)
+	errs := make([]error, n)
+	ready := make([]chan struct{}, n)
+	for i := range ready {
+		ready[i] = make(chan struct{})
+	}
+
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				func() {
+					defer func() {
+						if r := recover(); r != nil {
+							errs[i] = &PanicError{Index: i, Value: r, Stack: debug.Stack()}
+						}
+						close(ready[i])
+					}()
+					out[i] = fn(i)
+				}()
+			}
+		}()
+	}
+
+	var failures []error
+	for i := 0; i < n; i++ {
+		<-ready[i]
+		if errs[i] != nil {
+			failures = append(failures, errs[i])
+			continue
+		}
+		if emit != nil {
+			emit(i, out[i])
+		}
+	}
+	wg.Wait()
+	return errors.Join(failures...)
+}
+
+// Map runs fn(i) for every i in [0, n) on at most `workers` goroutines
+// and returns the n results ordered by submission index. Entries whose
+// fn panicked hold the zero value; the panics come back joined as
+// *PanicError values in err.
+func Map[T any](workers, n int, fn func(int) T) ([]T, error) {
+	out := make([]T, n)
+	err := MapOrdered(workers, n, fn, func(i int, v T) { out[i] = v })
+	return out, err
+}
+
+// MustMap is Map for callers that keep panic semantics: if any item
+// panicked, MustMap re-panics with the first *PanicError (which carries
+// the original panic value and worker stack).
+func MustMap[T any](workers, n int, fn func(int) T) []T {
+	out, err := Map(workers, n, fn)
+	if err != nil {
+		var pe *PanicError
+		if errors.As(err, &pe) {
+			panic(pe)
+		}
+		panic(err)
+	}
+	return out
+}

@@ -1,0 +1,150 @@
+package parallel
+
+import (
+	"errors"
+	"runtime"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func TestMapOrdersResultsBySubmissionIndex(t *testing.T) {
+	const n = 64
+	out, err := Map(8, n, func(i int) int {
+		// Skew the execution order: later items finish first.
+		time.Sleep(time.Duration(n-i) * 10 * time.Microsecond)
+		return i * i
+	})
+	if err != nil {
+		t.Fatalf("Map error: %v", err)
+	}
+	if len(out) != n {
+		t.Fatalf("got %d results, want %d", len(out), n)
+	}
+	for i, v := range out {
+		if v != i*i {
+			t.Fatalf("out[%d] = %d, want %d", i, v, i*i)
+		}
+	}
+}
+
+func TestMapOrderedEmitsInOrder(t *testing.T) {
+	const n = 32
+	var got []int
+	err := MapOrdered(4, n, func(i int) int {
+		time.Sleep(time.Duration((i*7)%5) * time.Millisecond)
+		return i
+	}, func(i, v int) {
+		if i != v {
+			t.Errorf("emit(%d, %d) mismatched", i, v)
+		}
+		got = append(got, i)
+	})
+	if err != nil {
+		t.Fatalf("MapOrdered error: %v", err)
+	}
+	for i, v := range got {
+		if v != i {
+			t.Fatalf("emit order %v not ascending", got)
+		}
+	}
+	if len(got) != n {
+		t.Fatalf("emitted %d, want %d", len(got), n)
+	}
+}
+
+func TestMapBoundsConcurrency(t *testing.T) {
+	const workers = 3
+	var inFlight, peak atomic.Int64
+	_, err := Map(workers, 24, func(i int) int {
+		cur := inFlight.Add(1)
+		for {
+			p := peak.Load()
+			if cur <= p || peak.CompareAndSwap(p, cur) {
+				break
+			}
+		}
+		time.Sleep(2 * time.Millisecond)
+		inFlight.Add(-1)
+		return i
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p := peak.Load(); p > workers {
+		t.Fatalf("peak concurrency %d exceeds pool size %d", p, workers)
+	}
+}
+
+func TestMapRecoversPanicsAndCompletesRest(t *testing.T) {
+	const n = 16
+	var ran atomic.Int64
+	out, err := Map(4, n, func(i int) int {
+		ran.Add(1)
+		if i == 5 || i == 11 {
+			panic("boom")
+		}
+		return i
+	})
+	if err == nil {
+		t.Fatal("want error from panicking tasks")
+	}
+	var pe *PanicError
+	if !errors.As(err, &pe) {
+		t.Fatalf("error %v does not unwrap to *PanicError", err)
+	}
+	if !strings.Contains(err.Error(), "boom") {
+		t.Fatalf("error %v missing panic value", err)
+	}
+	if ran.Load() != n {
+		t.Fatalf("only %d/%d tasks ran; all must complete despite panics", ran.Load(), n)
+	}
+	// Non-panicking results intact.
+	for _, i := range []int{0, 4, 6, 10, 12, n - 1} {
+		if out[i] != i {
+			t.Errorf("out[%d] = %d, want %d", i, out[i], i)
+		}
+	}
+}
+
+func TestMustMapRepanics(t *testing.T) {
+	defer func() {
+		r := recover()
+		if r == nil {
+			t.Fatal("MustMap did not re-panic")
+		}
+		pe, ok := r.(*PanicError)
+		if !ok {
+			t.Fatalf("re-panic value %T, want *PanicError", r)
+		}
+		if pe.Value != "kaboom" {
+			t.Fatalf("panic value %v, want kaboom", pe.Value)
+		}
+	}()
+	MustMap(2, 4, func(i int) int {
+		if i == 2 {
+			panic("kaboom")
+		}
+		return i
+	})
+}
+
+func TestWorkersClamp(t *testing.T) {
+	if got := Workers(0); got != runtime.GOMAXPROCS(0) {
+		t.Fatalf("Workers(0) = %d, want GOMAXPROCS %d", got, runtime.GOMAXPROCS(0))
+	}
+	if got := Workers(-3); got != runtime.GOMAXPROCS(0) {
+		t.Fatalf("Workers(-3) = %d, want GOMAXPROCS %d", got, runtime.GOMAXPROCS(0))
+	}
+	if got := Workers(7); got != 7 {
+		t.Fatalf("Workers(7) = %d", got)
+	}
+}
+
+func TestMapZeroItems(t *testing.T) {
+	out, err := Map(4, 0, func(i int) int { return i })
+	if err != nil || len(out) != 0 {
+		t.Fatalf("Map(…, 0, …) = %v, %v", out, err)
+	}
+}

@@ -105,25 +105,29 @@ func Unmarshal(frame []byte) (*Packet, error) {
 // 1-byte Action plus Value, for data packets the 8-byte Seg plus raw
 // float32 data. Regular packets have an empty payload.
 func MarshalPayload(p *Packet) ([]byte, error) {
+	return AppendPayload(nil, p)
+}
+
+// AppendPayload appends the UDP payload encoding of p to dst and returns
+// the extended slice, letting callers on the transport hot path reuse
+// one scratch buffer instead of allocating per packet.
+func AppendPayload(dst []byte, p *Packet) ([]byte, error) {
 	switch {
 	case p.IsControl():
-		buf := make([]byte, 1+len(p.Value))
-		buf[0] = byte(p.Action)
-		copy(buf[1:], p.Value)
-		return buf, nil
+		dst = append(dst, byte(p.Action))
+		return append(dst, p.Value...), nil
 	case p.IsData():
 		if len(p.Data) > FloatsPerPacket {
 			return nil, fmt.Errorf("protocol: %d floats exceed packet capacity %d",
 				len(p.Data), FloatsPerPacket)
 		}
-		buf := make([]byte, SegFieldLen+4*len(p.Data))
-		binary.LittleEndian.PutUint64(buf[0:8], p.Seg)
-		for i, f := range p.Data {
-			binary.LittleEndian.PutUint32(buf[8+4*i:], math.Float32bits(f))
+		dst = binary.LittleEndian.AppendUint64(dst, p.Seg)
+		for _, f := range p.Data {
+			dst = binary.LittleEndian.AppendUint32(dst, math.Float32bits(f))
 		}
-		return buf, nil
+		return dst, nil
 	default:
-		return nil, nil
+		return dst, nil
 	}
 }
 

@@ -146,9 +146,10 @@ func (is *ISwitch) handleControl(pkt *protocol.Packet) {
 			if is.hasParent {
 				out.Dst = is.parent
 				is.UpForwards++
-				is.uplink.Send(out)
+				is.uplink.Send(out) // the packet retains the buffer
 			} else {
-				is.broadcast(out)
+				is.broadcast(out) // broadcast copies per child: buffer is free
+				is.acc.Recycle(sums[i])
 			}
 		}
 		is.ack(pkt.Src, ok)
@@ -251,10 +252,14 @@ func (is *ISwitch) handleData(pkt *protocol.Packet, in *netsim.Port) {
 		if is.hasParent {
 			is.UpForwards++
 			out.Dst = is.parent
-			is.uplink.Send(out)
+			is.uplink.Send(out) // the packet retains the buffer
 			return
 		}
+		// broadcast clones the payload per child and the emission cache
+		// keeps its own copy, so the aggregate buffer can go back to the
+		// accelerator's pool.
 		is.broadcast(out)
+		is.acc.Recycle(sum)
 	})
 }
 
@@ -306,10 +311,11 @@ func (is *ISwitch) FlushAndBroadcast(seg uint64) bool {
 	out := &protocol.Packet{Src: is.addr, ToS: protocol.ToSData, Seg: seg, Data: sum}
 	if is.hasParent {
 		out.Dst = is.parent
-		is.uplink.Send(out)
+		is.uplink.Send(out) // the packet retains the buffer
 		return true
 	}
 	is.broadcast(out)
+	is.acc.Recycle(sum)
 	return true
 }
 

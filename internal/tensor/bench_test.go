@@ -49,8 +49,64 @@ func BenchmarkAxpyLarge(b *testing.B) {
 	v := NewVec(1 << 16)
 	w := NewVec(1 << 16)
 	b.SetBytes(int64(4 * len(v)))
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		v.Axpy(0.5, w)
+	}
+}
+
+// Kernel benchmarks at the 1024-float size the transport's payload
+// pooling targets; all must report 0 allocs/op.
+
+func benchPair(n int) (dst, src []float32) {
+	rng := rand.New(rand.NewSource(2))
+	dst = make([]float32, n)
+	src = make([]float32, n)
+	for i := range dst {
+		dst[i], src[i] = rng.Float32(), rng.Float32()
+	}
+	return dst, src
+}
+
+func BenchmarkAdd1024(b *testing.B) {
+	dst, src := benchPair(1024)
+	b.SetBytes(int64(4 * len(dst)))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Add(dst, src)
+	}
+}
+
+func BenchmarkAxpy1024(b *testing.B) {
+	dst, src := benchPair(1024)
+	b.SetBytes(int64(4 * len(dst)))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Axpy(0.5, dst, src)
+	}
+}
+
+func BenchmarkScale1024(b *testing.B) {
+	dst, _ := benchPair(1024)
+	b.SetBytes(int64(4 * len(dst)))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		// -1 keeps magnitudes stable across iterations; a shrinking
+		// factor would drive values denormal and skew the timing.
+		Scale(-1, dst)
+	}
+}
+
+func BenchmarkZero1024(b *testing.B) {
+	dst, _ := benchPair(1024)
+	b.SetBytes(int64(4 * len(dst)))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Zero(dst)
 	}
 }

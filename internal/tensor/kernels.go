@@ -1,0 +1,69 @@
+// Vectorized float32 kernels for the gradient hot path.
+//
+// These are the element-wise primitives the whole gradient datapath
+// funnels through: the accelerator's adder array (accel.Ingest), the
+// optimizers, backward-pass accumulation, and AllReduce's
+// reduce-scatter. Each kernel processes four lanes per loop iteration
+// with the slice-reslicing idiom that lets the compiler drop bounds
+// checks — the software analog of the paper's eight parallel float32
+// adders consuming a 256-bit burst per cycle.
+//
+// Unrolling must never change results: every kernel performs exactly
+// the same per-element operations in exactly the same order as its
+// scalar reference, so simulation outputs stay bit-identical (NaN, Inf
+// and signed-zero propagation included). kernels_test.go enforces this
+// bit-for-bit, and the steady-state path allocates nothing.
+package tensor
+
+// Add accumulates src into dst element-wise: dst[i] += src[i].
+// Lengths must match.
+func Add(dst, src []float32) {
+	assertLen(len(dst), len(src))
+	for len(dst) >= 4 && len(src) >= 4 {
+		dst[0] += src[0]
+		dst[1] += src[1]
+		dst[2] += src[2]
+		dst[3] += src[3]
+		dst = dst[4:]
+		src = src[4:]
+	}
+	for i := range dst {
+		dst[i] += src[i]
+	}
+}
+
+// Axpy computes dst[i] += a * src[i]. Lengths must match.
+func Axpy(a float32, dst, src []float32) {
+	assertLen(len(dst), len(src))
+	for len(dst) >= 4 && len(src) >= 4 {
+		dst[0] += a * src[0]
+		dst[1] += a * src[1]
+		dst[2] += a * src[2]
+		dst[3] += a * src[3]
+		dst = dst[4:]
+		src = src[4:]
+	}
+	for i := range dst {
+		dst[i] += a * src[i]
+	}
+}
+
+// Scale multiplies every element of dst by a.
+func Scale(a float32, dst []float32) {
+	for len(dst) >= 4 {
+		dst[0] *= a
+		dst[1] *= a
+		dst[2] *= a
+		dst[3] *= a
+		dst = dst[4:]
+	}
+	for i := range dst {
+		dst[i] *= a
+	}
+}
+
+// Zero clears dst. The clear builtin compiles to the runtime's bulk
+// memclr, which outruns any explicit unrolling.
+func Zero(dst []float32) {
+	clear(dst)
+}

@@ -1,0 +1,173 @@
+package tensor
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// Scalar reference implementations: the seed's original loops, kept
+// verbatim so the golden tests pin the unrolled kernels to them
+// bit-for-bit.
+
+func addScalar(dst, src []float32) {
+	for i := range dst {
+		dst[i] += src[i]
+	}
+}
+
+func axpyScalar(a float32, dst, src []float32) {
+	for i := range dst {
+		dst[i] += a * src[i]
+	}
+}
+
+func scaleScalar(a float32, dst []float32) {
+	for i := range dst {
+		dst[i] *= a
+	}
+}
+
+// testVector builds a length-n vector whose head cycles through the
+// awkward IEEE-754 cases (NaN, ±Inf, signed zero, denormals) and whose
+// tail is pseudorandom.
+func testVector(n int, seed int64) []float32 {
+	specials := []float32{
+		float32(math.NaN()),
+		float32(math.Inf(1)),
+		float32(math.Inf(-1)),
+		float32(math.Copysign(0, -1)), // -0
+		0,
+		math.SmallestNonzeroFloat32, // denormal
+		-math.SmallestNonzeroFloat32,
+		math.MaxFloat32,
+		-math.MaxFloat32,
+		1.5, -2.25, 3e-20,
+	}
+	rng := rand.New(rand.NewSource(seed))
+	v := make([]float32, n)
+	for i := range v {
+		if i < len(specials) && i < n {
+			v[i] = specials[i]
+		} else {
+			v[i] = (rng.Float32() - 0.5) * float32(math.Exp(float64(rng.Intn(40)-20)))
+		}
+	}
+	return v
+}
+
+// kernelLens covers empty, sub-unroll, exact multiples of 4, every
+// non-multiple-of-4 remainder, and large sizes.
+var kernelLens = []int{0, 1, 2, 3, 4, 5, 6, 7, 8, 9, 11, 12, 13, 15, 16, 17, 31, 64, 255, 366, 1023, 1024, 1025}
+
+// expectBitIdentical fails unless got and want match bit-for-bit
+// (distinguishing -0 from +0 and comparing NaN payloads).
+func expectBitIdentical(t *testing.T, kernel string, n int, got, want []float32) {
+	t.Helper()
+	for i := range want {
+		if math.Float32bits(got[i]) != math.Float32bits(want[i]) {
+			t.Fatalf("%s len=%d: element %d = %x (%v), scalar reference %x (%v)",
+				kernel, n, i, math.Float32bits(got[i]), got[i],
+				math.Float32bits(want[i]), want[i])
+		}
+	}
+}
+
+func TestAddBitIdenticalToScalar(t *testing.T) {
+	for _, n := range kernelLens {
+		dst := testVector(n, 1)
+		src := testVector(n, 2)
+		want := append([]float32(nil), dst...)
+		addScalar(want, src)
+		Add(dst, src)
+		expectBitIdentical(t, "Add", n, dst, want)
+	}
+}
+
+func TestAxpyBitIdenticalToScalar(t *testing.T) {
+	for _, n := range kernelLens {
+		for _, a := range []float32{0, 1, -1, 0.37, float32(math.NaN()), float32(math.Inf(1))} {
+			dst := testVector(n, 3)
+			src := testVector(n, 4)
+			want := append([]float32(nil), dst...)
+			axpyScalar(a, want, src)
+			Axpy(a, dst, src)
+			expectBitIdentical(t, "Axpy", n, dst, want)
+		}
+	}
+}
+
+func TestScaleBitIdenticalToScalar(t *testing.T) {
+	for _, n := range kernelLens {
+		for _, a := range []float32{0, -1, 2.5, float32(math.NaN()), float32(math.Inf(-1))} {
+			dst := testVector(n, 5)
+			want := append([]float32(nil), dst...)
+			scaleScalar(a, want)
+			Scale(a, dst)
+			expectBitIdentical(t, "Scale", n, dst, want)
+		}
+	}
+}
+
+func TestZeroClears(t *testing.T) {
+	for _, n := range kernelLens {
+		dst := testVector(n, 6)
+		Zero(dst)
+		for i, x := range dst {
+			if math.Float32bits(x) != 0 {
+				t.Fatalf("Zero len=%d: element %d = %v, want +0", n, i, x)
+			}
+		}
+	}
+}
+
+// TestAddAliased pins the self-aliasing case (v.Add(v)) to the scalar
+// semantics: each element doubles.
+func TestAddAliased(t *testing.T) {
+	for _, n := range kernelLens {
+		dst := testVector(n, 7)
+		want := append([]float32(nil), dst...)
+		addScalar(want, want)
+		Add(dst, dst)
+		expectBitIdentical(t, "Add(aliased)", n, dst, want)
+	}
+}
+
+// TestVecMethodsUseKernels sanity-checks that the Vec wrappers produce
+// the kernel results (they now delegate).
+func TestVecMethodsUseKernels(t *testing.T) {
+	v := Vec(testVector(37, 8))
+	w := Vec(testVector(37, 9))
+	ref := append(Vec(nil), v...)
+	addScalar(ref, w)
+	axpyScalar(0.25, ref, w)
+	scaleScalar(-3, ref)
+
+	v.Add(w)
+	v.Axpy(0.25, w)
+	v.Scale(-3)
+	expectBitIdentical(t, "Vec methods", len(v), v, ref)
+
+	v.Zero()
+	for i := range v {
+		if v[i] != 0 {
+			t.Fatalf("Vec.Zero left element %d = %v", i, v[i])
+		}
+	}
+}
+
+func TestKernelLengthMismatchPanics(t *testing.T) {
+	for _, f := range []func(){
+		func() { Add(make([]float32, 3), make([]float32, 4)) },
+		func() { Axpy(1, make([]float32, 5), make([]float32, 4)) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatal("length mismatch did not panic")
+				}
+			}()
+			f()
+		}()
+	}
+}

@@ -20,11 +20,7 @@ func NewVec(n int) Vec { return make(Vec, n) }
 func (v Vec) Clone() Vec { return append(Vec(nil), v...) }
 
 // Zero sets every element to 0.
-func (v Vec) Zero() {
-	for i := range v {
-		v[i] = 0
-	}
-}
+func (v Vec) Zero() { Zero(v) }
 
 // Fill sets every element to x.
 func (v Vec) Fill(x float32) {
@@ -34,12 +30,7 @@ func (v Vec) Fill(x float32) {
 }
 
 // Add accumulates w into v element-wise. Lengths must match.
-func (v Vec) Add(w Vec) {
-	assertLen(len(v), len(w))
-	for i := range v {
-		v[i] += w[i]
-	}
-}
+func (v Vec) Add(w Vec) { Add(v, w) }
 
 // Sub subtracts w from v element-wise.
 func (v Vec) Sub(w Vec) {
@@ -50,19 +41,10 @@ func (v Vec) Sub(w Vec) {
 }
 
 // Scale multiplies every element by a.
-func (v Vec) Scale(a float32) {
-	for i := range v {
-		v[i] *= a
-	}
-}
+func (v Vec) Scale(a float32) { Scale(a, v) }
 
 // Axpy computes v += a*w.
-func (v Vec) Axpy(a float32, w Vec) {
-	assertLen(len(v), len(w))
-	for i := range v {
-		v[i] += a * w[i]
-	}
-}
+func (v Vec) Axpy(a float32, w Vec) { Axpy(a, v, w) }
 
 // Dot returns the inner product of v and w.
 func (v Vec) Dot(w Vec) float32 {
@@ -168,9 +150,19 @@ func (m *Mat) MatVec(dst, x Vec) {
 	assertLen(len(x), m.Cols)
 	for r := 0; r < m.Rows; r++ {
 		row := m.Data[r*m.Cols : (r+1)*m.Cols]
+		// Single-accumulator 4x unroll: same additions in the same
+		// order as the scalar loop, so dot products stay bit-identical.
 		var s float32
+		xs := x
+		for len(row) >= 4 && len(xs) >= 4 {
+			s += row[0] * xs[0]
+			s += row[1] * xs[1]
+			s += row[2] * xs[2]
+			s += row[3] * xs[3]
+			row, xs = row[4:], xs[4:]
+		}
 		for c, w := range row {
-			s += w * x[c]
+			s += w * xs[c]
 		}
 		dst[r] = s
 	}
@@ -188,9 +180,7 @@ func (m *Mat) MatTVec(dst, x Vec) {
 		if xr == 0 {
 			continue
 		}
-		for c, w := range row {
-			dst[c] += w * xr
-		}
+		Axpy(xr, dst, row)
 	}
 }
 
@@ -205,9 +195,7 @@ func (m *Mat) AddOuter(a float32, u, v Vec) {
 		if ur == 0 {
 			continue
 		}
-		for c := range row {
-			row[c] += ur * v[c]
-		}
+		Axpy(ur, row, v)
 	}
 }
 

@@ -26,14 +26,14 @@ const maxDatagram = 1 + protocol.SegFieldLen + 4*protocol.FloatsPerPacket + 64
 
 // Encode frames a packet for UDP transport: [ToS][payload].
 func Encode(p *protocol.Packet) ([]byte, error) {
-	payload, err := protocol.MarshalPayload(p)
-	if err != nil {
-		return nil, err
-	}
-	buf := make([]byte, 1+len(payload))
-	buf[0] = p.ToS
-	copy(buf[1:], payload)
-	return buf, nil
+	return appendEncoded(nil, p)
+}
+
+// appendEncoded appends the UDP framing of p to dst, so per-packet send
+// paths can reuse one scratch buffer instead of allocating.
+func appendEncoded(dst []byte, p *protocol.Packet) ([]byte, error) {
+	dst = append(dst, p.ToS)
+	return protocol.AppendPayload(dst, p)
 }
 
 // Decode parses a UDP datagram produced by Encode. src/dst describe the
@@ -66,6 +66,7 @@ type Switch struct {
 	members map[string]*net.UDPAddr // key: addr.String()
 	order   []string                // join order for deterministic broadcast
 	autoH   bool
+	encBuf  []byte // sendLocked scratch, guarded by mu
 
 	// Stats (read under mu).
 	DataIn, Broadcasts, ControlIn uint64
@@ -111,7 +112,9 @@ func (s *Switch) Serve() error {
 			}
 			return nil // closed
 		}
-		pkt, err := Decode(udpToAddr(peer), protocol.Addr{}, append([]byte(nil), buf[:n]...))
+		// Decode copies Value/Data out of the datagram, so buf can be
+		// reused for the next read without a defensive copy.
+		pkt, err := Decode(udpToAddr(peer), protocol.Addr{}, buf[:n])
 		if err != nil {
 			continue
 		}
@@ -175,6 +178,7 @@ func (s *Switch) handleControl(pkt *protocol.Packet, peer *net.UDPAddr) {
 		for _, seg := range s.acc.PendingSegs() {
 			if sum, _, ok := s.acc.Flush(seg); ok {
 				s.broadcastLocked(seg, sum)
+				s.acc.Recycle(sum)
 			}
 		}
 		s.ackLocked(peer, true)
@@ -205,6 +209,9 @@ func (s *Switch) handleData(pkt *protocol.Packet, peer *net.UDPAddr) {
 	sum, done, _ := s.acc.IngestFrom(pkt.Seg, peer.String(), pkt.Data)
 	if done {
 		s.broadcastLocked(pkt.Seg, sum)
+		// The broadcast serialized sum onto the wire; hand the buffer
+		// back to the accelerator's pool.
+		s.acc.Recycle(sum)
 	}
 }
 
@@ -226,10 +233,11 @@ func (s *Switch) ackLocked(peer *net.UDPAddr, ok bool) {
 }
 
 func (s *Switch) sendLocked(peer *net.UDPAddr, pkt *protocol.Packet) {
-	buf, err := Encode(pkt)
+	buf, err := appendEncoded(s.encBuf[:0], pkt)
 	if err != nil {
 		return
 	}
+	s.encBuf = buf[:0]
 	_, _ = s.conn.WriteToUDP(buf, peer)
 }
 
@@ -240,12 +248,23 @@ func (s *Switch) Members() int {
 	return len(s.members)
 }
 
+// Counters returns a consistent snapshot of the activity counters
+// (safe to call while Serve is running).
+func (s *Switch) Counters() (dataIn, broadcasts, controlIn uint64) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.DataIn, s.Broadcasts, s.ControlIn
+}
+
 // Client is a worker-side handle: it joins a switch and aggregates
-// gradient vectors through it.
+// gradient vectors through it. A Client is single-goroutine: send and
+// recv share scratch buffers.
 type Client struct {
-	conn *net.UDPConn
-	n    int
-	asm  *protocol.Assembler
+	conn    *net.UDPConn
+	n       int
+	asm     *protocol.Assembler
+	encBuf  []byte
+	recvBuf []byte
 	// Timeout bounds each receive while collecting an aggregate.
 	Timeout time.Duration
 }
@@ -261,7 +280,9 @@ func Dial(switchAddr string, modelFloats int) (*Client, error) {
 		return nil, err
 	}
 	return &Client{conn: conn, n: modelFloats,
-		asm: protocol.NewAssembler(modelFloats), Timeout: 5 * time.Second}, nil
+		asm:     protocol.NewAssembler(modelFloats),
+		recvBuf: make([]byte, maxDatagram),
+		Timeout: 5 * time.Second}, nil
 }
 
 // Close releases the socket.
@@ -269,10 +290,11 @@ func (c *Client) Close() error { return c.conn.Close() }
 
 // send frames and writes one packet.
 func (c *Client) send(pkt *protocol.Packet) error {
-	buf, err := Encode(pkt)
+	buf, err := appendEncoded(c.encBuf[:0], pkt)
 	if err != nil {
 		return err
 	}
+	c.encBuf = buf[:0]
 	_, err = c.conn.Write(buf)
 	return err
 }
@@ -282,12 +304,11 @@ func (c *Client) recv() (*protocol.Packet, error) {
 	if err := c.conn.SetReadDeadline(time.Now().Add(c.Timeout)); err != nil {
 		return nil, err
 	}
-	buf := make([]byte, maxDatagram)
-	n, err := c.conn.Read(buf)
+	n, err := c.conn.Read(c.recvBuf)
 	if err != nil {
 		return nil, err
 	}
-	return Decode(protocol.Addr{}, protocol.Addr{}, buf[:n])
+	return Decode(protocol.Addr{}, protocol.Addr{}, c.recvBuf[:n])
 }
 
 // Join registers with the switch and waits for the Ack.
