@@ -55,13 +55,19 @@ func AblationFP16() Result {
 	exact := make([]float64, n)
 	quant := make([]float32, n)
 	g := make([]float32, n)
+	// One wire buffer and one decode buffer, reused across workers: the
+	// pack/unpack round trip is the thing being modeled, and the
+	// zero-alloc AppendPack/UnpackInto forms keep the loop allocation-free
+	// after setup.
+	q := make([]float32, n)
+	wire := make([]byte, 0, 2*n)
 	for _, a := range agents {
 		a.ComputeGradient(g)
 		for i, v := range g {
 			exact[i] += float64(v)
 		}
-		q := append([]float32(nil), g...)
-		fp16.QuantizeInPlace(q)
+		wire = fp16.AppendPack(wire[:0], g)
+		fp16.UnpackInto(q, wire)
 		for i, v := range q {
 			quant[i] += v
 		}

@@ -8,7 +8,10 @@
 // experiments.AblationFP16).
 package fp16
 
-import "math"
+import (
+	"encoding/binary"
+	"math"
+)
 
 // FromFloat32 converts a float32 to its nearest half-precision bit
 // pattern (round-to-nearest-even), handling subnormals, infinities and
@@ -79,31 +82,80 @@ func ToFloat32(h uint16) float32 {
 	}
 }
 
-// Pack converts a float32 vector to packed half-precision bytes
-// (little-endian).
-func Pack(src []float32) []byte {
-	out := make([]byte, 2*len(src))
-	for i, f := range src {
-		h := FromFloat32(f)
-		out[2*i] = byte(h)
-		out[2*i+1] = byte(h >> 8)
+// AppendPack appends the packed half-precision encoding of src
+// (little-endian, 2 bytes per element) to dst and returns the extended
+// slice. With a pre-sized dst it allocates nothing, so hot paths can
+// reuse one buffer across rounds: buf = fp16.AppendPack(buf[:0], grads).
+// Four halves are assembled into one uint64 word per store.
+func AppendPack(dst []byte, src []float32) []byte {
+	need := 2 * len(src)
+	if cap(dst)-len(dst) < need {
+		grown := make([]byte, len(dst), len(dst)+need)
+		copy(grown, dst)
+		dst = grown
 	}
-	return out
+	out := dst[len(dst) : len(dst)+need]
+	for len(src) >= 4 {
+		w := uint64(FromFloat32(src[0])) |
+			uint64(FromFloat32(src[1]))<<16 |
+			uint64(FromFloat32(src[2]))<<32 |
+			uint64(FromFloat32(src[3]))<<48
+		binary.LittleEndian.PutUint64(out, w)
+		src, out = src[4:], out[8:]
+	}
+	for i, f := range src {
+		binary.LittleEndian.PutUint16(out[2*i:], FromFloat32(f))
+	}
+	return dst[:len(dst)+need]
+}
+
+// UnpackInto expands packed half-precision bytes into dst, which must
+// hold len(src)/2 elements. It allocates nothing; src is consumed four
+// halves (one uint64 load) at a time.
+func UnpackInto(dst []float32, src []byte) {
+	n := len(src) / 2
+	if len(dst) != n {
+		panic("fp16: UnpackInto length mismatch")
+	}
+	for len(src) >= 8 {
+		w := binary.LittleEndian.Uint64(src)
+		dst[0] = ToFloat32(uint16(w))
+		dst[1] = ToFloat32(uint16(w >> 16))
+		dst[2] = ToFloat32(uint16(w >> 32))
+		dst[3] = ToFloat32(uint16(w >> 48))
+		dst, src = dst[4:], src[8:]
+	}
+	for i := range dst {
+		dst[i] = ToFloat32(binary.LittleEndian.Uint16(src[2*i:]))
+	}
+}
+
+// Pack converts a float32 vector to packed half-precision bytes
+// (little-endian). Allocating form of AppendPack.
+func Pack(src []float32) []byte {
+	return AppendPack(make([]byte, 0, 2*len(src)), src)
 }
 
 // Unpack expands packed half-precision bytes back to float32.
+// Allocating form of UnpackInto.
 func Unpack(src []byte) []float32 {
 	out := make([]float32, len(src)/2)
-	for i := range out {
-		h := uint16(src[2*i]) | uint16(src[2*i+1])<<8
-		out[i] = ToFloat32(h)
-	}
+	UnpackInto(out, src)
 	return out
 }
 
 // QuantizeInPlace rounds every element of v through half precision —
-// what a worker would observe after an fp16 wire round trip.
+// what a worker would observe after an fp16 wire round trip. Four
+// elements per iteration; round-tripping is element-independent so the
+// results are unchanged.
 func QuantizeInPlace(v []float32) {
+	for len(v) >= 4 {
+		v[0] = ToFloat32(FromFloat32(v[0]))
+		v[1] = ToFloat32(FromFloat32(v[1]))
+		v[2] = ToFloat32(FromFloat32(v[2]))
+		v[3] = ToFloat32(FromFloat32(v[3]))
+		v = v[4:]
+	}
 	for i, f := range v {
 		v[i] = ToFloat32(FromFloat32(f))
 	}

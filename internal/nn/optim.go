@@ -4,6 +4,7 @@ import (
 	"math"
 
 	"iswitch/internal/tensor"
+	"iswitch/internal/tensor/kernels"
 )
 
 // Optimizer updates a flat parameter vector from a flat gradient
@@ -13,10 +14,11 @@ import (
 // storage argument of paper §4.1).
 //
 // Step implementations run on the training hot path: after the first
-// call (which sizes optimizer state) they allocate nothing, and their
-// unrolled loops perform exactly the same per-element float32
-// operations as the straightforward scalar form, keeping replicas
-// bit-identical (enforced by optim_golden_test.go).
+// call (which sizes optimizer state) they allocate nothing, and the
+// fused kernels they dispatch to perform exactly the same per-element
+// float32 operations as the straightforward scalar form on every
+// backend, keeping replicas bit-identical (enforced by
+// optim_golden_test.go and the kernels package's parity fuzz).
 type Optimizer interface {
 	// Step applies one update in place. len(params) == len(grads).
 	Step(params, grads []float32)
@@ -44,23 +46,7 @@ func (s *SGD) Step(params, grads []float32) {
 	if s.vel == nil {
 		s.vel = make([]float32, len(params))
 	}
-	mom, lr := s.Momentum, s.LR
-	p, g, v := params, grads[:len(params)], s.vel[:len(params)]
-	for len(p) >= 4 && len(g) >= 4 && len(v) >= 4 {
-		v[0] = mom*v[0] + g[0]
-		p[0] -= lr * v[0]
-		v[1] = mom*v[1] + g[1]
-		p[1] -= lr * v[1]
-		v[2] = mom*v[2] + g[2]
-		p[2] -= lr * v[2]
-		v[3] = mom*v[3] + g[3]
-		p[3] -= lr * v[3]
-		p, g, v = p[4:], g[4:], v[4:]
-	}
-	for i := range p {
-		v[i] = mom*v[i] + g[i]
-		p[i] -= lr * v[i]
-	}
+	kernels.SGDMomentum(params, s.vel, grads, s.LR, s.Momentum)
 }
 
 // Adam is the Adam optimizer (Kingma & Ba) with bias correction.
@@ -75,17 +61,8 @@ func NewAdam(lr float32) *Adam {
 	return &Adam{LR: lr, Beta1: 0.9, Beta2: 0.999, Eps: 1e-8}
 }
 
-// adamElem is one element's Adam update; the unrolled Step body inlines
-// it four times per iteration. The expression order matches the scalar
-// reference exactly.
-func adamElem(p, m, v *float32, g, b1, b2, ob1, ob2, b1c, b2c, lr, eps float32) {
-	mi := b1**m + ob1*g
-	vi := b2**v + ob2*g*g
-	*m, *v = mi, vi
-	*p -= lr * (mi / b1c) / (float32(math.Sqrt(float64(vi/b2c))) + eps)
-}
-
-// Step implements Optimizer.
+// Step implements Optimizer. The per-step bias corrections are computed
+// here; the per-element update is the kernels.AdamStep fused kernel.
 func (a *Adam) Step(params, grads []float32) {
 	if a.m == nil {
 		a.m = make([]float32, len(params))
@@ -94,19 +71,6 @@ func (a *Adam) Step(params, grads []float32) {
 	a.t++
 	b1c := 1 - float32(math.Pow(float64(a.Beta1), float64(a.t)))
 	b2c := 1 - float32(math.Pow(float64(a.Beta2), float64(a.t)))
-	b1, b2 := a.Beta1, a.Beta2
-	ob1, ob2 := 1-b1, 1-b2
-	lr, eps := a.LR, a.Eps
-	p, g := params, grads[:len(params)]
-	m, v := a.m[:len(params)], a.v[:len(params)]
-	for len(p) >= 4 && len(g) >= 4 && len(m) >= 4 && len(v) >= 4 {
-		adamElem(&p[0], &m[0], &v[0], g[0], b1, b2, ob1, ob2, b1c, b2c, lr, eps)
-		adamElem(&p[1], &m[1], &v[1], g[1], b1, b2, ob1, ob2, b1c, b2c, lr, eps)
-		adamElem(&p[2], &m[2], &v[2], g[2], b1, b2, ob1, ob2, b1c, b2c, lr, eps)
-		adamElem(&p[3], &m[3], &v[3], g[3], b1, b2, ob1, ob2, b1c, b2c, lr, eps)
-		p, g, m, v = p[4:], g[4:], m[4:], v[4:]
-	}
-	for i := range p {
-		adamElem(&p[i], &m[i], &v[i], g[i], b1, b2, ob1, ob2, b1c, b2c, lr, eps)
-	}
+	kernels.AdamStep(params, a.m, a.v, grads,
+		a.Beta1, a.Beta2, 1-a.Beta1, 1-a.Beta2, b1c, b2c, a.LR, a.Eps)
 }

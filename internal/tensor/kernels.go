@@ -3,67 +3,48 @@
 // These are the element-wise primitives the whole gradient datapath
 // funnels through: the accelerator's adder array (accel.Ingest), the
 // optimizers, backward-pass accumulation, and AllReduce's
-// reduce-scatter. Each kernel processes four lanes per loop iteration
-// with the slice-reslicing idiom that lets the compiler drop bounds
-// checks — the software analog of the paper's eight parallel float32
+// reduce-scatter. They delegate to the runtime-dispatched backend in
+// internal/tensor/kernels — hand-written AVX2 (amd64) or NEON (arm64)
+// assembly when the host supports it, 4×-unrolled pure-Go loops
+// otherwise — the software analog of the paper's eight parallel float32
 // adders consuming a 256-bit burst per cycle.
 //
-// Unrolling must never change results: every kernel performs exactly
-// the same per-element operations in exactly the same order as its
-// scalar reference, so simulation outputs stay bit-identical (NaN, Inf
-// and signed-zero propagation included). kernels_test.go enforces this
-// bit-for-bit, and the steady-state path allocates nothing.
+// Vectorization must never change results: every backend performs
+// exactly the same per-element operations in exactly the same order as
+// the scalar reference, so simulation outputs stay bit-identical (NaN,
+// Inf and signed-zero propagation included). kernels_test.go and the
+// kernels package's parity fuzz enforce this bit-for-bit, and the
+// steady-state path allocates nothing. Set TENSOR_BACKEND=scalar|simd
+// to override the automatic choice; kernels.Backend() reports it.
 package tensor
+
+import "iswitch/internal/tensor/kernels"
 
 // Add accumulates src into dst element-wise: dst[i] += src[i].
 // Lengths must match.
-func Add(dst, src []float32) {
-	assertLen(len(dst), len(src))
-	for len(dst) >= 4 && len(src) >= 4 {
-		dst[0] += src[0]
-		dst[1] += src[1]
-		dst[2] += src[2]
-		dst[3] += src[3]
-		dst = dst[4:]
-		src = src[4:]
-	}
-	for i := range dst {
-		dst[i] += src[i]
-	}
-}
+func Add(dst, src []float32) { kernels.Add(dst, src) }
+
+// Sub subtracts src from dst element-wise: dst[i] -= src[i].
+// Lengths must match.
+func Sub(dst, src []float32) { kernels.Sub(dst, src) }
 
 // Axpy computes dst[i] += a * src[i]. Lengths must match.
-func Axpy(a float32, dst, src []float32) {
-	assertLen(len(dst), len(src))
-	for len(dst) >= 4 && len(src) >= 4 {
-		dst[0] += a * src[0]
-		dst[1] += a * src[1]
-		dst[2] += a * src[2]
-		dst[3] += a * src[3]
-		dst = dst[4:]
-		src = src[4:]
-	}
-	for i := range dst {
-		dst[i] += a * src[i]
-	}
-}
+func Axpy(a float32, dst, src []float32) { kernels.Axpy(a, dst, src) }
 
 // Scale multiplies every element of dst by a.
-func Scale(a float32, dst []float32) {
-	for len(dst) >= 4 {
-		dst[0] *= a
-		dst[1] *= a
-		dst[2] *= a
-		dst[3] *= a
-		dst = dst[4:]
-	}
-	for i := range dst {
-		dst[i] *= a
-	}
-}
+func Scale(a float32, dst []float32) { kernels.Scale(a, dst) }
+
+// Fill sets every element of dst to a.
+func Fill(a float32, dst []float32) { kernels.Fill(a, dst) }
 
 // Zero clears dst. The clear builtin compiles to the runtime's bulk
 // memclr, which outruns any explicit unrolling.
-func Zero(dst []float32) {
-	clear(dst)
-}
+func Zero(dst []float32) { kernels.Zero(dst) }
+
+// Dot returns the inner product of a and b. SIMD backends reassociate
+// the accumulation (≤1 ulp/element from the scalar order).
+func Dot(a, b []float32) float32 { return kernels.Dot(a, b) }
+
+// Backend reports the active kernel backend ("scalar", "avx2", ...);
+// see the kernels package for selection rules.
+func Backend() string { return kernels.Backend() }

@@ -1,0 +1,9 @@
+//go:build noasm || (!amd64 && !arm64)
+
+package kernels
+
+// archInit is the fallback for platforms without an assembly backend
+// and for `-tags noasm` builds (the CI leg that proves the scalar
+// reference stands alone): no SIMD table is registered and every kernel
+// dispatches to the portable scalar loops.
+func archInit() *funcs { return nil }

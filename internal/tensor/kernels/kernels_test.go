@@ -1,0 +1,172 @@
+package kernels
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// withBackend runs f once per available backend, restoring the original
+// selection afterwards.
+func withBackend(t *testing.T, f func(t *testing.T, backend string)) {
+	t.Helper()
+	orig := Backend()
+	defer func() {
+		if err := SetBackend(orig); err != nil {
+			t.Fatalf("restoring backend %q: %v", orig, err)
+		}
+	}()
+	for _, b := range Backends() {
+		if err := SetBackend(b); err != nil {
+			t.Fatalf("SetBackend(%q): %v", b, err)
+		}
+		t.Run(b, func(t *testing.T) { f(t, b) })
+	}
+}
+
+func TestBackendSelection(t *testing.T) {
+	orig := Backend()
+	defer SetBackend(orig)
+
+	if err := SetBackend("scalar"); err != nil {
+		t.Fatalf("scalar backend must always exist: %v", err)
+	}
+	if got := Backend(); got != "scalar" {
+		t.Fatalf("Backend() = %q after SetBackend(scalar)", got)
+	}
+	if err := SetBackend("no-such-backend"); err == nil {
+		t.Fatal("unknown backend accepted")
+	}
+	if got := Backend(); got != "scalar" {
+		t.Fatalf("failed SetBackend changed selection to %q", got)
+	}
+	if simdFuncs != nil {
+		if err := SetBackend("simd"); err != nil {
+			t.Fatalf("simd alias: %v", err)
+		}
+		if got := Backend(); got != simdFuncs.name {
+			t.Fatalf("Backend() = %q, want %q", got, simdFuncs.name)
+		}
+	} else if err := SetBackend("simd"); err == nil {
+		t.Fatal("simd alias accepted with no SIMD table registered")
+	}
+	bs := Backends()
+	if len(bs) == 0 || bs[0] > bs[len(bs)-1] {
+		t.Fatalf("Backends() = %v, want non-empty sorted", bs)
+	}
+	t.Logf("available backends: %v (default %s)", bs, orig)
+}
+
+func TestBasicResults(t *testing.T) {
+	withBackend(t, func(t *testing.T, backend string) {
+		dst := []float32{1, 2, 3, 4, 5, 6, 7, 8, 9}
+		Add(dst, []float32{1, 1, 1, 1, 1, 1, 1, 1, 1})
+		for i, want := range []float32{2, 3, 4, 5, 6, 7, 8, 9, 10} {
+			if dst[i] != want {
+				t.Fatalf("Add[%d] = %v, want %v", i, dst[i], want)
+			}
+		}
+		Sub(dst, []float32{1, 1, 1, 1, 1, 1, 1, 1, 1})
+		if dst[0] != 1 || dst[8] != 9 {
+			t.Fatalf("Sub = %v", dst)
+		}
+		Axpy(2, dst, []float32{1, 1, 1, 1, 1, 1, 1, 1, 1})
+		if dst[0] != 3 || dst[8] != 11 {
+			t.Fatalf("Axpy = %v", dst)
+		}
+		Scale(2, dst)
+		if dst[0] != 6 || dst[8] != 22 {
+			t.Fatalf("Scale = %v", dst)
+		}
+		Fill(7, dst)
+		Zero(dst[:4])
+		if dst[0] != 0 || dst[3] != 0 || dst[4] != 7 || dst[8] != 7 {
+			t.Fatalf("Fill/Zero = %v", dst)
+		}
+
+		a := []float32{1, 2, 3, 4, 5, 6, 7, 8, 9}
+		b := []float32{9, 8, 7, 6, 5, 4, 3, 2, 1}
+		if got, want := Dot(a, b), float32(165); got != want {
+			t.Fatalf("Dot = %v, want %v", got, want)
+		}
+		if got := SumSquares([]float32{3, 4}); got != 25 {
+			t.Fatalf("SumSquares = %v, want 25", got)
+		}
+	})
+}
+
+func TestLengthMismatchPanics(t *testing.T) {
+	for name, f := range map[string]func(){
+		"Add":  func() { Add(make([]float32, 3), make([]float32, 4)) },
+		"Sub":  func() { Sub(make([]float32, 3), make([]float32, 4)) },
+		"Axpy": func() { Axpy(1, make([]float32, 5), make([]float32, 4)) },
+		"Dot":  func() { Dot(make([]float32, 5), make([]float32, 4)) },
+		"SGD":  func() { SGDMomentum(make([]float32, 4), make([]float32, 3), make([]float32, 4), 1, 1) },
+		"Adam": func() {
+			AdamStep(make([]float32, 4), make([]float32, 4), make([]float32, 2), make([]float32, 4), 1, 1, 1, 1, 1, 1, 1, 1)
+		},
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("%s length mismatch did not panic", name)
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+// TestEmptyAndTiny pins the degenerate sizes every wrapper must handle
+// without touching the assembly (n < 8 never reaches the block kernels).
+func TestEmptyAndTiny(t *testing.T) {
+	withBackend(t, func(t *testing.T, backend string) {
+		for n := 0; n < 9; n++ {
+			dst := make([]float32, n)
+			src := make([]float32, n)
+			for i := range dst {
+				dst[i] = float32(i + 1)
+				src[i] = float32(2 * (i + 1))
+			}
+			Add(dst, src)
+			Sub(dst, src)
+			Axpy(0.5, dst, src)
+			Scale(2, dst)
+			Fill(1, dst)
+			Zero(dst)
+			_ = Dot(dst, src)
+			_ = SumSquares(src)
+			for i := range dst {
+				if dst[i] != 0 {
+					t.Fatalf("n=%d: dst[%d] = %v after Zero", n, i, dst[i])
+				}
+			}
+		}
+	})
+}
+
+// TestDotMatchesFloat64Reference bounds every backend's Dot against an
+// exact-order float64 reference.
+func TestDotMatchesFloat64Reference(t *testing.T) {
+	withBackend(t, func(t *testing.T, backend string) {
+		rng := rand.New(rand.NewSource(7))
+		for _, n := range []int{0, 1, 7, 8, 9, 31, 32, 33, 255, 1024, 4097} {
+			a := make([]float32, n)
+			b := make([]float32, n)
+			var ref, mag float64
+			for i := range a {
+				a[i] = rng.Float32()*2 - 1
+				b[i] = rng.Float32()*2 - 1
+				p := float64(a[i]) * float64(b[i])
+				ref += p
+				mag += math.Abs(p)
+			}
+			got := float64(Dot(a, b))
+			tol := (float64(n) + 8) * (1.0 / (1 << 23)) * (mag + 1e-30)
+			if math.Abs(got-ref) > tol {
+				t.Fatalf("%s Dot n=%d: got %v, float64 ref %v (|Δ|=%g > tol %g)",
+					backend, n, got, ref, math.Abs(got-ref), tol)
+			}
+		}
+	})
+}

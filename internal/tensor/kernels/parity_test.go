@@ -1,0 +1,320 @@
+package kernels
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// Cross-backend parity: every SIMD backend is pinned against the scalar
+// oracle over fuzzed vectors. Order-preserving kernels (Add, Sub, Axpy,
+// Scale, Fill, SGDMomentum, AdamStep) must match bit-for-bit — NaN,
+// ±Inf, signed zero and denormals included. Reassociating reductions
+// (Dot, SumSquares) must stay within a per-element ulp budget.
+//
+// Under `-tags noasm` only the scalar backend exists and the parity
+// loop degenerates to scalar-vs-scalar — which still exercises the full
+// kernel surface, so the noasm CI leg runs these tests meaningfully.
+
+// fuzzVector fills a length-n vector with adversarial IEEE-754 values:
+// the quiet NaN (single canonical payload, so results cannot depend on
+// which operand's payload an instruction prefers), ±Inf, ±0, denormals,
+// extreme magnitudes, and a pseudorandom wide-dynamic-range tail.
+func fuzzVector(rng *rand.Rand, n int) []float32 {
+	specials := []float32{
+		float32(math.NaN()),
+		float32(math.Inf(1)),
+		float32(math.Inf(-1)),
+		float32(math.Copysign(0, -1)),
+		0,
+		math.SmallestNonzeroFloat32,
+		-math.SmallestNonzeroFloat32,
+		5.877e-39, // subnormal
+		-1.2e-41,  // subnormal
+		math.MaxFloat32,
+		-math.MaxFloat32,
+		1.1754944e-38, // smallest normal
+	}
+	v := make([]float32, n)
+	for i := range v {
+		switch rng.Intn(4) {
+		case 0:
+			v[i] = specials[rng.Intn(len(specials))]
+		default:
+			v[i] = (rng.Float32() - 0.5) * float32(math.Exp(float64(rng.Intn(60)-30)))
+		}
+	}
+	return v
+}
+
+func bitsDiffer(got, want []float32) (int, bool) {
+	for i := range want {
+		if math.Float32bits(got[i]) != math.Float32bits(want[i]) {
+			return i, true
+		}
+	}
+	return 0, false
+}
+
+func requireBitIdentical(t *testing.T, kernel, backend string, n int, got, want []float32) {
+	t.Helper()
+	if i, diff := bitsDiffer(got, want); diff {
+		t.Fatalf("%s backend=%s len=%d: element %d = %x (%v), scalar oracle %x (%v)",
+			kernel, backend, n, i, math.Float32bits(got[i]), got[i],
+			math.Float32bits(want[i]), want[i])
+	}
+}
+
+// simdBackends returns every non-scalar backend (empty under noasm or
+// on hosts without SIMD support — the parity tests then self-check the
+// scalar path against itself).
+func simdBackends() []string {
+	var out []string
+	for _, b := range Backends() {
+		if b != "scalar" {
+			out = append(out, b)
+		}
+	}
+	if len(out) == 0 {
+		out = append(out, "scalar")
+	}
+	return out
+}
+
+// fuzzLens yields the randomized length schedule: the boundary sizes
+// around the 8-lane blocking plus random lengths in [0, 4097].
+func fuzzLens(rng *rand.Rand) []int {
+	lens := []int{0, 1, 2, 3, 4, 5, 7, 8, 9, 15, 16, 17, 31, 32, 33, 63, 64, 65, 366, 1024, 4096, 4097}
+	for i := 0; i < 40; i++ {
+		lens = append(lens, rng.Intn(4098))
+	}
+	return lens
+}
+
+func TestParityElementwise(t *testing.T) {
+	orig := Backend()
+	defer SetBackend(orig)
+	rng := rand.New(rand.NewSource(101))
+
+	for _, backend := range simdBackends() {
+		for _, n := range fuzzLens(rng) {
+			dst := fuzzVector(rng, n)
+			src := fuzzVector(rng, n)
+			scalars := []float32{0, 1, -1, 0.37, -2.5e20, 1.5e-42,
+				float32(math.NaN()), float32(math.Inf(1))}
+			a := scalars[rng.Intn(len(scalars))]
+
+			for kernel, run := range map[string]func(d, s []float32){
+				"Add":   func(d, s []float32) { Add(d, s) },
+				"Sub":   func(d, s []float32) { Sub(d, s) },
+				"Axpy":  func(d, s []float32) { Axpy(a, d, s) },
+				"Scale": func(d, s []float32) { Scale(a, d) },
+				"Fill":  func(d, s []float32) { Fill(a, d) },
+			} {
+				want := append([]float32(nil), dst...)
+				got := append([]float32(nil), dst...)
+
+				if err := SetBackend("scalar"); err != nil {
+					t.Fatal(err)
+				}
+				run(want, src)
+				if err := SetBackend(backend); err != nil {
+					t.Fatal(err)
+				}
+				run(got, src)
+				requireBitIdentical(t, kernel, backend, n, got, want)
+			}
+		}
+	}
+}
+
+// TestParityAliased pins the self-aliasing case (Add(v, v): each
+// element doubles) across backends.
+func TestParityAliased(t *testing.T) {
+	orig := Backend()
+	defer SetBackend(orig)
+	rng := rand.New(rand.NewSource(103))
+
+	for _, backend := range simdBackends() {
+		for _, n := range []int{0, 1, 7, 8, 9, 64, 1023, 4097} {
+			v := fuzzVector(rng, n)
+			want := append([]float32(nil), v...)
+			got := append([]float32(nil), v...)
+
+			if err := SetBackend("scalar"); err != nil {
+				t.Fatal(err)
+			}
+			Add(want, want)
+			if err := SetBackend(backend); err != nil {
+				t.Fatal(err)
+			}
+			Add(got, got)
+			requireBitIdentical(t, "Add(aliased)", backend, n, got, want)
+		}
+	}
+}
+
+func TestParityOptimizers(t *testing.T) {
+	orig := Backend()
+	defer SetBackend(orig)
+	rng := rand.New(rand.NewSource(107))
+
+	for _, backend := range simdBackends() {
+		for _, n := range fuzzLens(rng) {
+			p0 := fuzzVector(rng, n)
+			g := fuzzVector(rng, n)
+			vel0 := fuzzVector(rng, n)
+			m0 := fuzzVector(rng, n)
+
+			// SGD with momentum, three chained steps (state feeds back).
+			pS, vS := append([]float32(nil), p0...), append([]float32(nil), vel0...)
+			pG, vG := append([]float32(nil), p0...), append([]float32(nil), vel0...)
+			for step := 0; step < 3; step++ {
+				if err := SetBackend("scalar"); err != nil {
+					t.Fatal(err)
+				}
+				SGDMomentum(pS, vS, g, 0.05, 0.9)
+				if err := SetBackend(backend); err != nil {
+					t.Fatal(err)
+				}
+				SGDMomentum(pG, vG, g, 0.05, 0.9)
+			}
+			requireBitIdentical(t, "SGDMomentum.p", backend, n, pG, pS)
+			requireBitIdentical(t, "SGDMomentum.vel", backend, n, vG, vS)
+
+			// Adam, three chained steps with evolving bias correction.
+			pS = append([]float32(nil), p0...)
+			pG = append([]float32(nil), p0...)
+			mS := append([]float32(nil), m0...)
+			mG := append([]float32(nil), m0...)
+			vvS := append([]float32(nil), vel0...)
+			vvG := append([]float32(nil), vel0...)
+			const b1, b2, lr, eps = 0.9, 0.999, 1e-3, 1e-8
+			for step := 1; step <= 3; step++ {
+				b1c := 1 - float32(math.Pow(b1, float64(step)))
+				b2c := 1 - float32(math.Pow(b2, float64(step)))
+				if err := SetBackend("scalar"); err != nil {
+					t.Fatal(err)
+				}
+				AdamStep(pS, mS, vvS, g, b1, b2, 1-b1, 1-b2, b1c, b2c, lr, eps)
+				if err := SetBackend(backend); err != nil {
+					t.Fatal(err)
+				}
+				AdamStep(pG, mG, vvG, g, b1, b2, 1-b1, 1-b2, b1c, b2c, lr, eps)
+			}
+			requireBitIdentical(t, "Adam.p", backend, n, pG, pS)
+			requireBitIdentical(t, "Adam.m", backend, n, mG, mS)
+			requireBitIdentical(t, "Adam.v", backend, n, vvG, vvS)
+		}
+	}
+}
+
+// TestParityReductions bounds the reassociating kernels: the SIMD
+// result may differ from scalar by at most ~1 ulp per element of
+// accumulated magnitude.
+func TestParityReductions(t *testing.T) {
+	orig := Backend()
+	defer SetBackend(orig)
+	rng := rand.New(rand.NewSource(109))
+
+	for _, backend := range simdBackends() {
+		for _, n := range fuzzLens(rng) {
+			// Finite payloads only: a NaN/Inf anywhere legitimately
+			// poisons the whole reduction on every backend (checked
+			// separately below).
+			a := make([]float32, n)
+			b := make([]float32, n)
+			var magDot, magSq float64
+			for i := range a {
+				a[i] = (rng.Float32() - 0.5) * float32(math.Exp(float64(rng.Intn(30)-15)))
+				b[i] = (rng.Float32() - 0.5) * float32(math.Exp(float64(rng.Intn(30)-15)))
+				magDot += math.Abs(float64(a[i]) * float64(b[i]))
+				magSq += float64(a[i]) * float64(a[i])
+			}
+			ulp := 1.0 / (1 << 23)
+			tol := (float64(n) + 8) * ulp
+
+			if err := SetBackend("scalar"); err != nil {
+				t.Fatal(err)
+			}
+			dotS := float64(Dot(a, b))
+			sqS := SumSquares(a)
+			if err := SetBackend(backend); err != nil {
+				t.Fatal(err)
+			}
+			dotG := float64(Dot(a, b))
+			sqG := SumSquares(a)
+
+			if math.Abs(dotG-dotS) > tol*(magDot+1e-30) {
+				t.Fatalf("Dot backend=%s n=%d: %v vs scalar %v exceeds %g·Σ|aᵢbᵢ|",
+					backend, n, dotG, dotS, tol)
+			}
+			// float64 accumulation of exact squares: far tighter bound.
+			if math.Abs(sqG-sqS) > 1e-12*(magSq+1e-300) {
+				t.Fatalf("SumSquares backend=%s n=%d: %v vs scalar %v",
+					backend, n, sqG, sqS)
+			}
+		}
+
+		// NaN/Inf poisoning must propagate on every backend.
+		if err := SetBackend(backend); err != nil {
+			t.Fatal(err)
+		}
+		v := make([]float32, 64)
+		for i := range v {
+			v[i] = 1
+		}
+		v[33] = float32(math.NaN())
+		if d := Dot(v, v); !math.IsNaN(float64(d)) {
+			t.Fatalf("backend=%s: Dot ignored NaN: %v", backend, d)
+		}
+		if s := SumSquares(v); !math.IsNaN(s) {
+			t.Fatalf("backend=%s: SumSquares ignored NaN: %v", backend, s)
+		}
+		v[33] = float32(math.Inf(1))
+		if d := Dot(v, v); !math.IsInf(float64(d), 1) {
+			t.Fatalf("backend=%s: Dot ignored +Inf: %v", backend, d)
+		}
+	}
+}
+
+// FuzzAddAxpyParity is the go-native fuzz entry for the two kernels the
+// aggregation datapath leans on hardest.
+func FuzzAddAxpyParity(f *testing.F) {
+	f.Add(int64(1), 17, float32(0.5))
+	f.Add(int64(2), 4096, float32(-1))
+	f.Add(int64(3), 0, float32(math.Inf(1)))
+	f.Fuzz(func(t *testing.T, seed int64, n int, a float32) {
+		if n < 0 || n > 4097 {
+			t.Skip()
+		}
+		orig := Backend()
+		defer SetBackend(orig)
+		rng := rand.New(rand.NewSource(seed))
+		dst := fuzzVector(rng, n)
+		src := fuzzVector(rng, n)
+		for _, backend := range simdBackends() {
+			for _, kernel := range []string{"Add", "Axpy"} {
+				want := append([]float32(nil), dst...)
+				got := append([]float32(nil), dst...)
+				if err := SetBackend("scalar"); err != nil {
+					t.Fatal(err)
+				}
+				if kernel == "Add" {
+					Add(want, src)
+				} else {
+					Axpy(a, want, src)
+				}
+				if err := SetBackend(backend); err != nil {
+					t.Fatal(err)
+				}
+				if kernel == "Add" {
+					Add(got, src)
+				} else {
+					Axpy(a, got, src)
+				}
+				requireBitIdentical(t, kernel, backend, n, got, want)
+			}
+		}
+	})
+}

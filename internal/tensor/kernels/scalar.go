@@ -1,0 +1,145 @@
+// The scalar backend: portable 4×-unrolled pure-Go loops, compiled on
+// every platform. These are the golden reference the SIMD backends are
+// pinned against — each loop performs exactly the same per-element
+// operations in exactly the same order as the width-1 form (the
+// slice-reslicing idiom only drops bounds checks, it never reorders
+// float arithmetic), so results are bit-identical to naive loops.
+
+package kernels
+
+import "math"
+
+func addScalar(dst, src []float32) {
+	for len(dst) >= 4 && len(src) >= 4 {
+		dst[0] += src[0]
+		dst[1] += src[1]
+		dst[2] += src[2]
+		dst[3] += src[3]
+		dst = dst[4:]
+		src = src[4:]
+	}
+	for i := range dst {
+		dst[i] += src[i]
+	}
+}
+
+func subScalar(dst, src []float32) {
+	for len(dst) >= 4 && len(src) >= 4 {
+		dst[0] -= src[0]
+		dst[1] -= src[1]
+		dst[2] -= src[2]
+		dst[3] -= src[3]
+		dst = dst[4:]
+		src = src[4:]
+	}
+	for i := range dst {
+		dst[i] -= src[i]
+	}
+}
+
+func axpyScalar(a float32, dst, src []float32) {
+	for len(dst) >= 4 && len(src) >= 4 {
+		dst[0] += a * src[0]
+		dst[1] += a * src[1]
+		dst[2] += a * src[2]
+		dst[3] += a * src[3]
+		dst = dst[4:]
+		src = src[4:]
+	}
+	for i := range dst {
+		dst[i] += a * src[i]
+	}
+}
+
+func scaleScalar(a float32, dst []float32) {
+	for len(dst) >= 4 {
+		dst[0] *= a
+		dst[1] *= a
+		dst[2] *= a
+		dst[3] *= a
+		dst = dst[4:]
+	}
+	for i := range dst {
+		dst[i] *= a
+	}
+}
+
+func fillScalar(a float32, dst []float32) {
+	for i := range dst {
+		dst[i] = a
+	}
+}
+
+// dotScalar keeps a single accumulator — the same additions in the same
+// order as the width-1 loop, so scalar dot products (and MatVec rows
+// built on them) are bit-stable.
+func dotScalar(a, b []float32) float32 {
+	var s float32
+	for len(a) >= 4 && len(b) >= 4 {
+		s += a[0] * b[0]
+		s += a[1] * b[1]
+		s += a[2] * b[2]
+		s += a[3] * b[3]
+		a, b = a[4:], b[4:]
+	}
+	for i := range a {
+		s += a[i] * b[i]
+	}
+	return s
+}
+
+// sumSquaresScalar accumulates in float64: each float32 widens exactly
+// and the 48-bit product of two 24-bit mantissas is exact in binary64,
+// so only the summation order distinguishes backends.
+func sumSquaresScalar(v []float32) float64 {
+	var s float64
+	for _, x := range v {
+		s += float64(x) * float64(x)
+	}
+	return s
+}
+
+func sgdMomentumScalar(p, vel, g []float32, lr, mom float32) {
+	v := vel[:len(p)]
+	gr := g[:len(p)]
+	for len(p) >= 4 && len(gr) >= 4 && len(v) >= 4 {
+		v[0] = mom*v[0] + gr[0]
+		p[0] -= lr * v[0]
+		v[1] = mom*v[1] + gr[1]
+		p[1] -= lr * v[1]
+		v[2] = mom*v[2] + gr[2]
+		p[2] -= lr * v[2]
+		v[3] = mom*v[3] + gr[3]
+		p[3] -= lr * v[3]
+		p, gr, v = p[4:], gr[4:], v[4:]
+	}
+	for i := range p {
+		v[i] = mom*v[i] + gr[i]
+		p[i] -= lr * v[i]
+	}
+}
+
+// adamElem is one element's Adam update; the unrolled step body inlines
+// it four times per iteration. The expression order is the contract
+// every backend reproduces.
+func adamElem(p, m, v *float32, g, b1, b2, ob1, ob2, b1c, b2c, lr, eps float32) {
+	mi := b1**m + ob1*g
+	vi := b2**v + ob2*g*g
+	*m, *v = mi, vi
+	*p -= lr * (mi / b1c) / (float32(math.Sqrt(float64(vi/b2c))) + eps)
+}
+
+func adamStepScalar(p, m, v, g []float32, b1, b2, ob1, ob2, b1c, b2c, lr, eps float32) {
+	gr := g[:len(p)]
+	mm, vv := m[:len(p)], v[:len(p)]
+	for len(p) >= 4 && len(gr) >= 4 && len(mm) >= 4 && len(vv) >= 4 {
+		adamElem(&p[0], &mm[0], &vv[0], gr[0], b1, b2, ob1, ob2, b1c, b2c, lr, eps)
+		adamElem(&p[1], &mm[1], &vv[1], gr[1], b1, b2, ob1, ob2, b1c, b2c, lr, eps)
+		adamElem(&p[2], &mm[2], &vv[2], gr[2], b1, b2, ob1, ob2, b1c, b2c, lr, eps)
+		adamElem(&p[3], &mm[3], &vv[3], gr[3], b1, b2, ob1, ob2, b1c, b2c, lr, eps)
+		p, gr, mm, vv = p[4:], gr[4:], mm[4:], vv[4:]
+	}
+	for i := range p {
+		adamElem(&p[i], &mm[i], &vv[i], gr[i], b1, b2, ob1, ob2, b1c, b2c, lr, eps)
+	}
+}

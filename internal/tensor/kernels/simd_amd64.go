@@ -1,0 +1,131 @@
+//go:build amd64 && !noasm
+
+package kernels
+
+// Go wrappers around the AVX2 block kernels: the assembly consumes the
+// longest multiple-of-8 prefix, the wrapper finishes the <8-element
+// tail with exactly the per-element expressions of the scalar backend.
+// Head-then-tail preserves strict index order, so the element-wise
+// kernels stay bit-identical to scalar end to end.
+
+//go:noescape
+func addBlocks8(dst, src *float32, n int)
+
+//go:noescape
+func subBlocks8(dst, src *float32, n int)
+
+//go:noescape
+func axpyBlocks8(a float32, dst, src *float32, n int)
+
+//go:noescape
+func scaleBlocks8(a float32, dst *float32, n int)
+
+//go:noescape
+func fillBlocks8(a float32, dst *float32, n int)
+
+//go:noescape
+func dotBlocks8(a, b *float32, n int) float32
+
+//go:noescape
+func sumsqBlocks8(v *float32, n int) float64
+
+//go:noescape
+func sgdMomentumBlocks8(p, vel, grad *float32, n int, lr, mom float32)
+
+//go:noescape
+func adamBlocks8(p, m, v, grad *float32, n int, b1, b2, ob1, ob2, b1c, b2c, lr, eps float32)
+
+func addAVX2(dst, src []float32) {
+	n := len(dst) &^ 7
+	if n > 0 {
+		addBlocks8(&dst[0], &src[0], n)
+	}
+	for i := n; i < len(dst); i++ {
+		dst[i] += src[i]
+	}
+}
+
+func subAVX2(dst, src []float32) {
+	n := len(dst) &^ 7
+	if n > 0 {
+		subBlocks8(&dst[0], &src[0], n)
+	}
+	for i := n; i < len(dst); i++ {
+		dst[i] -= src[i]
+	}
+}
+
+func axpyAVX2(a float32, dst, src []float32) {
+	n := len(dst) &^ 7
+	if n > 0 {
+		axpyBlocks8(a, &dst[0], &src[0], n)
+	}
+	for i := n; i < len(dst); i++ {
+		dst[i] += a * src[i]
+	}
+}
+
+func scaleAVX2(a float32, dst []float32) {
+	n := len(dst) &^ 7
+	if n > 0 {
+		scaleBlocks8(a, &dst[0], n)
+	}
+	for i := n; i < len(dst); i++ {
+		dst[i] *= a
+	}
+}
+
+func fillAVX2(a float32, dst []float32) {
+	n := len(dst) &^ 7
+	if n > 0 {
+		fillBlocks8(a, &dst[0], n)
+	}
+	for i := n; i < len(dst); i++ {
+		dst[i] = a
+	}
+}
+
+func dotAVX2(a, b []float32) float32 {
+	n := len(a) &^ 7
+	var s float32
+	if n > 0 {
+		s = dotBlocks8(&a[0], &b[0], n)
+	}
+	for i := n; i < len(a); i++ {
+		s += a[i] * b[i]
+	}
+	return s
+}
+
+func sumSquaresAVX2(v []float32) float64 {
+	n := len(v) &^ 7
+	var s float64
+	if n > 0 {
+		s = sumsqBlocks8(&v[0], n)
+	}
+	for i := n; i < len(v); i++ {
+		s += float64(v[i]) * float64(v[i])
+	}
+	return s
+}
+
+func sgdMomentumAVX2(p, vel, g []float32, lr, mom float32) {
+	n := len(p) &^ 7
+	if n > 0 {
+		sgdMomentumBlocks8(&p[0], &vel[0], &g[0], n, lr, mom)
+	}
+	for i := n; i < len(p); i++ {
+		vel[i] = mom*vel[i] + g[i]
+		p[i] -= lr * vel[i]
+	}
+}
+
+func adamStepAVX2(p, m, v, g []float32, b1, b2, ob1, ob2, b1c, b2c, lr, eps float32) {
+	n := len(p) &^ 7
+	if n > 0 {
+		adamBlocks8(&p[0], &m[0], &v[0], &g[0], n, b1, b2, ob1, ob2, b1c, b2c, lr, eps)
+	}
+	for i := n; i < len(p); i++ {
+		adamElem(&p[i], &m[i], &v[i], g[i], b1, b2, ob1, ob2, b1c, b2c, lr, eps)
+	}
+}

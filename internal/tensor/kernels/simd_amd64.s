@@ -1,0 +1,357 @@
+//go:build amd64 && !noasm
+
+#include "textflag.h"
+
+// AVX2 kernels. Every function takes a count n that is a positive
+// multiple of 8 (the Go wrappers in simd_amd64.go peel the tail), and
+// processes elements in strictly ascending index order so results of
+// the element-wise kernels are bit-identical to the scalar loops.
+//
+// Operand-order note: Go assembler VEX operands are reversed from
+// Intel syntax — `VADDPS Yb, Ya, Yd` computes Yd = Ya + Yb with Ya as
+// the *first* source. x86 returns the first source's payload when both
+// operands are NaN, so each instruction below keeps the same operand
+// roles as the compiled scalar expression it mirrors.
+
+// func addBlocks8(dst, src *float32, n int)
+TEXT ·addBlocks8(SB), NOSPLIT, $0-24
+	MOVQ dst+0(FP), DI
+	MOVQ src+8(FP), SI
+	MOVQ n+16(FP), CX
+
+add32:
+	CMPQ CX, $32
+	JL   add8
+	VMOVUPS (DI), Y0
+	VMOVUPS 32(DI), Y1
+	VMOVUPS 64(DI), Y2
+	VMOVUPS 96(DI), Y3
+	VADDPS  (SI), Y0, Y0
+	VADDPS  32(SI), Y1, Y1
+	VADDPS  64(SI), Y2, Y2
+	VADDPS  96(SI), Y3, Y3
+	VMOVUPS Y0, (DI)
+	VMOVUPS Y1, 32(DI)
+	VMOVUPS Y2, 64(DI)
+	VMOVUPS Y3, 96(DI)
+	ADDQ $128, DI
+	ADDQ $128, SI
+	SUBQ $32, CX
+	JMP  add32
+
+add8:
+	CMPQ CX, $8
+	JL   adddone
+	VMOVUPS (DI), Y0
+	VADDPS  (SI), Y0, Y0
+	VMOVUPS Y0, (DI)
+	ADDQ $32, DI
+	ADDQ $32, SI
+	SUBQ $8, CX
+	JMP  add8
+
+adddone:
+	VZEROUPPER
+	RET
+
+// func subBlocks8(dst, src *float32, n int)
+TEXT ·subBlocks8(SB), NOSPLIT, $0-24
+	MOVQ dst+0(FP), DI
+	MOVQ src+8(FP), SI
+	MOVQ n+16(FP), CX
+
+sub32:
+	CMPQ CX, $32
+	JL   sub8
+	VMOVUPS (DI), Y0
+	VMOVUPS 32(DI), Y1
+	VMOVUPS 64(DI), Y2
+	VMOVUPS 96(DI), Y3
+	VSUBPS  (SI), Y0, Y0
+	VSUBPS  32(SI), Y1, Y1
+	VSUBPS  64(SI), Y2, Y2
+	VSUBPS  96(SI), Y3, Y3
+	VMOVUPS Y0, (DI)
+	VMOVUPS Y1, 32(DI)
+	VMOVUPS Y2, 64(DI)
+	VMOVUPS Y3, 96(DI)
+	ADDQ $128, DI
+	ADDQ $128, SI
+	SUBQ $32, CX
+	JMP  sub32
+
+sub8:
+	CMPQ CX, $8
+	JL   subdone
+	VMOVUPS (DI), Y0
+	VSUBPS  (SI), Y0, Y0
+	VMOVUPS Y0, (DI)
+	ADDQ $32, DI
+	ADDQ $32, SI
+	SUBQ $8, CX
+	JMP  sub8
+
+subdone:
+	VZEROUPPER
+	RET
+
+// func axpyBlocks8(a float32, dst, src *float32, n int)
+TEXT ·axpyBlocks8(SB), NOSPLIT, $0-32
+	VBROADCASTSS a+0(FP), Y7
+	MOVQ dst+8(FP), DI
+	MOVQ src+16(FP), SI
+	MOVQ n+24(FP), CX
+
+axpy32:
+	CMPQ CX, $32
+	JL   axpy8
+	// t = a*src (a is the first source, as in the scalar MULSS),
+	// then dst = t + dst with t first: the compiled scalar form adds
+	// dst onto the product register, so when both are NaN the result
+	// carries the product's payload (e.g. the -NaN from Inf*0).
+	VMULPS  (SI), Y7, Y0
+	VMULPS  32(SI), Y7, Y1
+	VMULPS  64(SI), Y7, Y2
+	VMULPS  96(SI), Y7, Y3
+	VMOVUPS (DI), Y4
+	VADDPS  Y4, Y0, Y0
+	VMOVUPS Y0, (DI)
+	VMOVUPS 32(DI), Y5
+	VADDPS  Y5, Y1, Y1
+	VMOVUPS Y1, 32(DI)
+	VMOVUPS 64(DI), Y4
+	VADDPS  Y4, Y2, Y2
+	VMOVUPS Y2, 64(DI)
+	VMOVUPS 96(DI), Y5
+	VADDPS  Y5, Y3, Y3
+	VMOVUPS Y3, 96(DI)
+	ADDQ $128, DI
+	ADDQ $128, SI
+	SUBQ $32, CX
+	JMP  axpy32
+
+axpy8:
+	CMPQ CX, $8
+	JL   axpydone
+	VMULPS  (SI), Y7, Y0
+	VMOVUPS (DI), Y1
+	VADDPS  Y1, Y0, Y0
+	VMOVUPS Y0, (DI)
+	ADDQ $32, DI
+	ADDQ $32, SI
+	SUBQ $8, CX
+	JMP  axpy8
+
+axpydone:
+	VZEROUPPER
+	RET
+
+// func scaleBlocks8(a float32, dst *float32, n int)
+TEXT ·scaleBlocks8(SB), NOSPLIT, $0-24
+	VBROADCASTSS a+0(FP), Y7
+	MOVQ dst+8(FP), DI
+	MOVQ n+16(FP), CX
+
+scale32:
+	CMPQ CX, $32
+	JL   scale8
+	VMOVUPS (DI), Y0
+	VMOVUPS 32(DI), Y1
+	VMOVUPS 64(DI), Y2
+	VMOVUPS 96(DI), Y3
+	VMULPS  Y7, Y0, Y0
+	VMULPS  Y7, Y1, Y1
+	VMULPS  Y7, Y2, Y2
+	VMULPS  Y7, Y3, Y3
+	VMOVUPS Y0, (DI)
+	VMOVUPS Y1, 32(DI)
+	VMOVUPS Y2, 64(DI)
+	VMOVUPS Y3, 96(DI)
+	ADDQ $128, DI
+	SUBQ $32, CX
+	JMP  scale32
+
+scale8:
+	CMPQ CX, $8
+	JL   scaledone
+	VMOVUPS (DI), Y0
+	VMULPS  Y7, Y0, Y0
+	VMOVUPS Y0, (DI)
+	ADDQ $32, DI
+	SUBQ $8, CX
+	JMP  scale8
+
+scaledone:
+	VZEROUPPER
+	RET
+
+// func fillBlocks8(a float32, dst *float32, n int)
+TEXT ·fillBlocks8(SB), NOSPLIT, $0-24
+	VBROADCASTSS a+0(FP), Y0
+	MOVQ dst+8(FP), DI
+	MOVQ n+16(FP), CX
+
+fill8:
+	VMOVUPS Y0, (DI)
+	ADDQ $32, DI
+	SUBQ $8, CX
+	JNZ  fill8
+	VZEROUPPER
+	RET
+
+// func dotBlocks8(a, b *float32, n int) float32
+//
+// Four independent FMA accumulators — this reassociates the sum, so
+// dot products are tolerance-checked (not bit-pinned) against scalar.
+TEXT ·dotBlocks8(SB), NOSPLIT, $0-28
+	MOVQ a+0(FP), DI
+	MOVQ b+8(FP), SI
+	MOVQ n+16(FP), CX
+	VXORPS Y0, Y0, Y0
+	VXORPS Y1, Y1, Y1
+	VXORPS Y2, Y2, Y2
+	VXORPS Y3, Y3, Y3
+
+dot32:
+	CMPQ CX, $32
+	JL   dot8
+	VMOVUPS (DI), Y4
+	VMOVUPS 32(DI), Y5
+	VMOVUPS 64(DI), Y6
+	VMOVUPS 96(DI), Y7
+	VFMADD231PS (SI), Y4, Y0
+	VFMADD231PS 32(SI), Y5, Y1
+	VFMADD231PS 64(SI), Y6, Y2
+	VFMADD231PS 96(SI), Y7, Y3
+	ADDQ $128, DI
+	ADDQ $128, SI
+	SUBQ $32, CX
+	JMP  dot32
+
+dot8:
+	CMPQ CX, $8
+	JL   dotreduce
+	VMOVUPS (DI), Y4
+	VFMADD231PS (SI), Y4, Y0
+	ADDQ $32, DI
+	ADDQ $32, SI
+	SUBQ $8, CX
+	JMP  dot8
+
+dotreduce:
+	VADDPS Y1, Y0, Y0
+	VADDPS Y3, Y2, Y2
+	VADDPS Y2, Y0, Y0
+	VEXTRACTF128 $1, Y0, X1
+	VADDPS X1, X0, X0
+	VHADDPS X0, X0, X0
+	VHADDPS X0, X0, X0
+	VZEROUPPER
+	MOVSS X0, ret+24(FP)
+	RET
+
+// func sumsqBlocks8(v *float32, n int) float64
+//
+// Widens four lanes at a time to float64 (VCVTPS2PD) and accumulates
+// squares in two double-precision FMA accumulators: each squared term
+// is exact in binary64, so backends differ only in summation order.
+TEXT ·sumsqBlocks8(SB), NOSPLIT, $0-24
+	MOVQ v+0(FP), SI
+	MOVQ n+8(FP), CX
+	VXORPD Y0, Y0, Y0
+	VXORPD Y1, Y1, Y1
+
+sumsq8:
+	VCVTPS2PD (SI), Y2
+	VCVTPS2PD 16(SI), Y3
+	VFMADD231PD Y2, Y2, Y0
+	VFMADD231PD Y3, Y3, Y1
+	ADDQ $32, SI
+	SUBQ $8, CX
+	JNZ  sumsq8
+
+	VADDPD Y1, Y0, Y0
+	VEXTRACTF128 $1, Y0, X1
+	VADDPD X1, X0, X0
+	VHADDPD X0, X0, X0
+	VZEROUPPER
+	MOVSD X0, ret+16(FP)
+	RET
+
+// func sgdMomentumBlocks8(p, vel, grad *float32, n int, lr, mom float32)
+TEXT ·sgdMomentumBlocks8(SB), NOSPLIT, $0-40
+	MOVQ p+0(FP), DI
+	MOVQ vel+8(FP), SI
+	MOVQ grad+16(FP), DX
+	MOVQ n+24(FP), CX
+	VBROADCASTSS lr+32(FP), Y6
+	VBROADCASTSS mom+36(FP), Y7
+
+sgd8:
+	VMOVUPS (SI), Y0       // v
+	VMULPS  Y7, Y0, Y0     // t  = v*mom
+	VADDPS  (DX), Y0, Y0   // v' = t + g   (t is the first source)
+	VMOVUPS Y0, (SI)
+	VMULPS  Y6, Y0, Y1     // u  = v'*lr
+	VMOVUPS (DI), Y2
+	VSUBPS  Y1, Y2, Y2     // p - u
+	VMOVUPS Y2, (DI)
+	ADDQ $32, DI
+	ADDQ $32, SI
+	ADDQ $32, DX
+	SUBQ $8, CX
+	JNZ  sgd8
+	VZEROUPPER
+	RET
+
+// func adamBlocks8(p, m, v, grad *float32, n int, b1, b2, ob1, ob2, b1c, b2c, lr, eps float32)
+//
+// Mirrors adamElem's expression order exactly. VSQRTPS bit-matches the
+// scalar float32(math.Sqrt(float64(x))) path: double rounding through
+// binary64 is innocuous for sqrt (2·24+2 ≤ 53), and both routes quiet
+// NaNs and produce the x86 default QNaN for negative inputs.
+TEXT ·adamBlocks8(SB), NOSPLIT, $0-72
+	MOVQ p+0(FP), DI
+	MOVQ m+8(FP), R8
+	MOVQ v+16(FP), R9
+	MOVQ grad+24(FP), SI
+	MOVQ n+32(FP), CX
+	VBROADCASTSS b1+40(FP), Y8
+	VBROADCASTSS b2+44(FP), Y9
+	VBROADCASTSS ob1+48(FP), Y10
+	VBROADCASTSS ob2+52(FP), Y11
+	VBROADCASTSS b1c+56(FP), Y12
+	VBROADCASTSS b2c+60(FP), Y13
+	VBROADCASTSS lr+64(FP), Y14
+	VBROADCASTSS eps+68(FP), Y15
+
+adam8:
+	VMOVUPS (R8), Y0       // m
+	VMOVUPS (SI), Y1       // g
+	VMOVUPS (R9), Y2       // v
+	VMULPS  Y8, Y0, Y0     // t0 = m*b1
+	VMULPS  Y1, Y10, Y3    // t1 = ob1*g
+	VADDPS  Y3, Y0, Y0     // mi = t0 + t1
+	VMULPS  Y1, Y11, Y4    // t2 = ob2*g
+	VMULPS  Y1, Y4, Y4     // t2 = t2*g
+	VMULPS  Y9, Y2, Y2     // t3 = v*b2
+	VADDPS  Y4, Y2, Y2     // vi = t3 + t2
+	VMOVUPS Y0, (R8)
+	VMOVUPS Y2, (R9)
+	VDIVPS  Y12, Y0, Y5    // mhat = mi/b1c
+	VMULPS  Y5, Y14, Y5    // num  = lr*mhat
+	VDIVPS  Y13, Y2, Y6    // vhat = vi/b2c
+	VSQRTPS Y6, Y6
+	VADDPS  Y15, Y6, Y6    // den  = sqrt + eps
+	VDIVPS  Y6, Y5, Y5     // upd  = num/den
+	VMOVUPS (DI), Y7
+	VSUBPS  Y5, Y7, Y7     // p - upd
+	VMOVUPS Y7, (DI)
+	ADDQ $32, DI
+	ADDQ $32, R8
+	ADDQ $32, R9
+	ADDQ $32, SI
+	SUBQ $8, CX
+	JNZ  adam8
+	VZEROUPPER
+	RET

@@ -1,0 +1,95 @@
+//go:build arm64 && !noasm
+
+package kernels
+
+// Go wrappers for the NEON block kernels in simd_arm64.s. Each kernel
+// consumes the largest multiple-of-8 prefix in assembly and peels the
+// tail with the exact scalar-backend expressions, so head-then-tail
+// preserves element order and bit-identity with the scalar oracle.
+
+//go:noescape
+func addBlocks8(dst, src *float32, n int)
+
+//go:noescape
+func subBlocks8(dst, src *float32, n int)
+
+//go:noescape
+func axpyBlocks8(a float32, dst, src *float32, n int)
+
+//go:noescape
+func scaleBlocks8(a float32, dst *float32, n int)
+
+//go:noescape
+func fillBlocks8(a float32, dst *float32, n int)
+
+//go:noescape
+func dotBlocks8(a, b *float32, n int, out *[8]float32)
+
+func addNEON(dst, src []float32) {
+	n := len(dst) &^ 7
+	if n > 0 {
+		addBlocks8(&dst[0], &src[0], n)
+	}
+	for i := n; i < len(dst); i++ {
+		dst[i] += src[i]
+	}
+}
+
+func subNEON(dst, src []float32) {
+	n := len(dst) &^ 7
+	if n > 0 {
+		subBlocks8(&dst[0], &src[0], n)
+	}
+	for i := n; i < len(dst); i++ {
+		dst[i] -= src[i]
+	}
+}
+
+func axpyNEON(a float32, dst, src []float32) {
+	n := len(dst) &^ 7
+	if n > 0 {
+		axpyBlocks8(a, &dst[0], &src[0], n)
+	}
+	for i := n; i < len(dst); i++ {
+		dst[i] += a * src[i]
+	}
+}
+
+func scaleNEON(a float32, dst []float32) {
+	n := len(dst) &^ 7
+	if n > 0 {
+		scaleBlocks8(a, &dst[0], n)
+	}
+	for i := n; i < len(dst); i++ {
+		dst[i] *= a
+	}
+}
+
+func fillNEON(a float32, dst []float32) {
+	n := len(dst) &^ 7
+	if n > 0 {
+		fillBlocks8(a, &dst[0], n)
+	}
+	for i := n; i < len(dst); i++ {
+		dst[i] = a
+	}
+}
+
+func dotNEON(a, b []float32) float32 {
+	if len(a) != len(b) {
+		panic("kernels: length mismatch")
+	}
+	n := len(a) &^ 7
+	var s float32
+	if n > 0 {
+		var part [8]float32
+		dotBlocks8(&a[0], &b[0], n, &part)
+		for _, p := range part {
+			s += p
+		}
+	}
+	for i := n; i < len(a); i++ {
+		s += a[i] * b[i]
+	}
+	return s
+}

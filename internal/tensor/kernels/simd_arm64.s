@@ -1,0 +1,137 @@
+//go:build arm64 && !noasm
+
+#include "textflag.h"
+
+// NEON (Advanced SIMD) kernels, 8 floats (two 4-lane vectors) per
+// iteration. Every function takes n = a positive multiple of 8; the Go
+// wrappers peel the remainder with scalar code.
+//
+// The Go assembler exposes no vector FADD/FSUB/FMUL mnemonics on arm64
+// — only the fused VFMLA/VFMLS — so each kernel is phrased as a fused
+// multiply-add with a constant operand chosen to keep the result
+// bit-identical to the plain operation:
+//
+//   add:   dst = dst + src*1.0    x*1.0 is exact, so the single FMLA
+//   sub:   dst = dst + (-1.0)*src rounding equals FADD/FSUB rounding.
+//   scale: dst = -0.0 + dst*a     adding -0.0 is the identity for every
+//                                 float (including +0: +0 + -0 = +0),
+//                                 so this rounds exactly like FMUL.
+//
+// Operand order matters for NaN signs: in Go syntax
+// `VFMLA/VFMLS Vm, Vn, Vd` computes Vd += (±Vn)*Vm, and FMLS negates
+// the *Vn* element before the multiply. The constant (never NaN) always
+// rides in the Vn slot so a NaN flowing through dst or src is never
+// sign-flipped by that negation. Input NaN payload selection is not
+// otherwise constrained: the parity fuzz feeds only the canonical quiet
+// NaN 0x7FC00000, and AArch64 generates the (positive) default NaN for
+// invalid ops, so FMLA and the scalar FADD/FSUB/FMUL agree bit-for-bit.
+//
+// axpy uses a genuine fused multiply-add on purpose: the compiler fuses
+// the scalar loop's `dst[i] += a*src[i]` into FMADDS on arm64, so FMLA
+// is the bit-identical vector form (an unfused mul+add would NOT be).
+
+// func addBlocks8(dst, src *float32, n int)
+TEXT ·addBlocks8(SB), NOSPLIT, $0-24
+	MOVD dst+0(FP), R0
+	MOVD src+8(FP), R1
+	MOVD n+16(FP), R2
+	MOVD $0x3F800000, R3 // 1.0f
+	VMOV R3, V30.S4
+addloop:
+	VLD1   (R0), [V0.S4, V1.S4]
+	VLD1.P 32(R1), [V2.S4, V3.S4]
+	VFMLA  V2.S4, V30.S4, V0.S4 // dst += 1.0*src
+	VFMLA  V3.S4, V30.S4, V1.S4
+	VST1.P [V0.S4, V1.S4], 32(R0)
+	SUBS   $8, R2, R2
+	BNE    addloop
+	RET
+
+// func subBlocks8(dst, src *float32, n int)
+TEXT ·subBlocks8(SB), NOSPLIT, $0-24
+	MOVD dst+0(FP), R0
+	MOVD src+8(FP), R1
+	MOVD n+16(FP), R2
+	MOVD $0x3F800000, R3 // 1.0f
+	VMOV R3, V30.S4
+subloop:
+	VLD1   (R0), [V0.S4, V1.S4]
+	VLD1.P 32(R1), [V2.S4, V3.S4]
+	VFMLS  V2.S4, V30.S4, V0.S4 // dst += (-1.0)*src; the 1.0 is the negated operand
+	VFMLS  V3.S4, V30.S4, V1.S4
+	VST1.P [V0.S4, V1.S4], 32(R0)
+	SUBS   $8, R2, R2
+	BNE    subloop
+	RET
+
+// func axpyBlocks8(a float32, dst, src *float32, n int)
+TEXT ·axpyBlocks8(SB), NOSPLIT, $0-32
+	MOVWU a+0(FP), R3
+	VMOV  R3, V30.S4
+	MOVD  dst+8(FP), R0
+	MOVD  src+16(FP), R1
+	MOVD  n+24(FP), R2
+axpyloop:
+	VLD1   (R0), [V0.S4, V1.S4]
+	VLD1.P 32(R1), [V2.S4, V3.S4]
+	VFMLA  V2.S4, V30.S4, V0.S4 // dst += a*src, fused like the scalar loop's FMADDS
+	VFMLA  V3.S4, V30.S4, V1.S4
+	VST1.P [V0.S4, V1.S4], 32(R0)
+	SUBS   $8, R2, R2
+	BNE    axpyloop
+	RET
+
+// func scaleBlocks8(a float32, dst *float32, n int)
+TEXT ·scaleBlocks8(SB), NOSPLIT, $0-24
+	MOVWU a+0(FP), R3
+	VMOV  R3, V30.S4
+	MOVD  dst+8(FP), R0
+	MOVD  n+16(FP), R2
+	MOVD  $0x80000000, R3 // -0.0f accumulator seed
+	VMOV  R3, V29.S4
+scaleloop:
+	VLD1   (R0), [V0.S4, V1.S4]
+	VMOV   V29.B16, V2.B16
+	VMOV   V29.B16, V3.B16
+	VFMLA  V0.S4, V30.S4, V2.S4 // -0.0 + a*dst == round(a*dst), signed zeros included
+	VFMLA  V1.S4, V30.S4, V3.S4
+	VST1.P [V2.S4, V3.S4], 32(R0)
+	SUBS   $8, R2, R2
+	BNE    scaleloop
+	RET
+
+// func fillBlocks8(a float32, dst *float32, n int)
+TEXT ·fillBlocks8(SB), NOSPLIT, $0-24
+	MOVWU a+0(FP), R3
+	VMOV  R3, V0.S4
+	VMOV  V0.B16, V1.B16
+	MOVD  dst+8(FP), R0
+	MOVD  n+16(FP), R2
+fillloop:
+	VST1.P [V0.S4, V1.S4], 32(R0)
+	SUBS   $8, R2, R2
+	BNE    fillloop
+	RET
+
+// func dotBlocks8(a, b *float32, n int, out *[8]float32)
+//
+// Accumulates into 8 independent FMLA lanes and stores the partial sums
+// to out; the Go wrapper finishes the reduction. Reassociates relative
+// to the scalar single-accumulator loop — Dot is tolerance-checked, not
+// bit-checked, across backends.
+TEXT ·dotBlocks8(SB), NOSPLIT, $0-32
+	MOVD a+0(FP), R0
+	MOVD b+8(FP), R1
+	MOVD n+16(FP), R2
+	MOVD out+24(FP), R3
+	VEOR V16.B16, V16.B16, V16.B16
+	VEOR V17.B16, V17.B16, V17.B16
+dotloop:
+	VLD1.P 32(R0), [V0.S4, V1.S4]
+	VLD1.P 32(R1), [V2.S4, V3.S4]
+	VFMLA  V2.S4, V0.S4, V16.S4
+	VFMLA  V3.S4, V1.S4, V17.S4
+	SUBS   $8, R2, R2
+	BNE    dotloop
+	VST1   [V16.S4, V17.S4], (R3)
+	RET

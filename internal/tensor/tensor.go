@@ -8,6 +8,8 @@ import (
 	"fmt"
 	"math"
 	"math/rand"
+
+	"iswitch/internal/tensor/kernels"
 )
 
 // Vec is a dense float32 vector.
@@ -23,22 +25,13 @@ func (v Vec) Clone() Vec { return append(Vec(nil), v...) }
 func (v Vec) Zero() { Zero(v) }
 
 // Fill sets every element to x.
-func (v Vec) Fill(x float32) {
-	for i := range v {
-		v[i] = x
-	}
-}
+func (v Vec) Fill(x float32) { Fill(x, v) }
 
 // Add accumulates w into v element-wise. Lengths must match.
 func (v Vec) Add(w Vec) { Add(v, w) }
 
 // Sub subtracts w from v element-wise.
-func (v Vec) Sub(w Vec) {
-	assertLen(len(v), len(w))
-	for i := range v {
-		v[i] -= w[i]
-	}
-}
+func (v Vec) Sub(w Vec) { Sub(v, w) }
 
 // Scale multiplies every element by a.
 func (v Vec) Scale(a float32) { Scale(a, v) }
@@ -47,22 +40,13 @@ func (v Vec) Scale(a float32) { Scale(a, v) }
 func (v Vec) Axpy(a float32, w Vec) { Axpy(a, v, w) }
 
 // Dot returns the inner product of v and w.
-func (v Vec) Dot(w Vec) float32 {
-	assertLen(len(v), len(w))
-	var s float32
-	for i := range v {
-		s += v[i] * w[i]
-	}
-	return s
-}
+func (v Vec) Dot(w Vec) float32 { return Dot(v, w) }
 
-// Norm2 returns the Euclidean norm.
+// Norm2 returns the Euclidean norm, accumulated in float64 (each
+// squared term is exact in binary64, so backends differ only in
+// summation order).
 func (v Vec) Norm2() float32 {
-	var s float64
-	for _, x := range v {
-		s += float64(x) * float64(x)
-	}
-	return float32(math.Sqrt(s))
+	return float32(math.Sqrt(kernels.SumSquares(v)))
 }
 
 // ClipNorm rescales v in place so its Euclidean norm is at most c,
@@ -82,12 +66,31 @@ func (v Vec) ClipNorm(c float32) float32 {
 }
 
 // ArgMax returns the index of the largest element (first on ties).
+// The scan runs four comparisons per iteration; "first on ties" (and
+// NaN handling: comparisons with NaN are false, so NaN elements never
+// win) is preserved because candidates are still visited in index
+// order.
 func (v Vec) ArgMax() int {
 	if len(v) == 0 {
 		panic("tensor: ArgMax of empty vector")
 	}
 	best := 0
-	for i := 1; i < len(v); i++ {
+	i := 1
+	for ; i+4 <= len(v); i += 4 {
+		if v[i] > v[best] {
+			best = i
+		}
+		if v[i+1] > v[best] {
+			best = i + 1
+		}
+		if v[i+2] > v[best] {
+			best = i + 2
+		}
+		if v[i+3] > v[best] {
+			best = i + 3
+		}
+	}
+	for ; i < len(v); i++ {
 		if v[i] > v[best] {
 			best = i
 		}
@@ -99,7 +102,10 @@ func (v Vec) ArgMax() int {
 func (v Vec) Max() float32 { return v[v.ArgMax()] }
 
 // Softmax writes the softmax of v into dst (which may alias v) using
-// the max-subtraction trick for stability.
+// the max-subtraction trick for stability. The max and normalize passes
+// run 4 lanes per iteration (same operations, same order, so results
+// are unchanged); the exp pass stays scalar — math.Exp has no vector
+// form and dominates this loop regardless of width.
 func Softmax(dst, v Vec) {
 	assertLen(len(dst), len(v))
 	m := v.Max()
@@ -109,8 +115,16 @@ func Softmax(dst, v Vec) {
 		dst[i] = e
 		sum += e
 	}
-	for i := range dst {
-		dst[i] /= sum
+	d := dst
+	for len(d) >= 4 {
+		d[0] /= sum
+		d[1] /= sum
+		d[2] /= sum
+		d[3] /= sum
+		d = d[4:]
+	}
+	for i := range d {
+		d[i] /= sum
 	}
 }
 
@@ -144,27 +158,15 @@ func (m *Mat) Row(r int) Vec { return Vec(m.Data[r*m.Cols : (r+1)*m.Cols]) }
 func (m *Mat) Zero() { Vec(m.Data).Zero() }
 
 // MatVec computes dst = m · x. dst must have length m.Rows and must not
-// alias x.
+// alias x. Each row is one dispatched Dot — wide FMA lanes on SIMD
+// backends, which reassociates the row sums (≤1 ulp/element from the
+// scalar order; replicas running the same backend remain bit-identical
+// to each other).
 func (m *Mat) MatVec(dst, x Vec) {
 	assertLen(len(dst), m.Rows)
 	assertLen(len(x), m.Cols)
 	for r := 0; r < m.Rows; r++ {
-		row := m.Data[r*m.Cols : (r+1)*m.Cols]
-		// Single-accumulator 4x unroll: same additions in the same
-		// order as the scalar loop, so dot products stay bit-identical.
-		var s float32
-		xs := x
-		for len(row) >= 4 && len(xs) >= 4 {
-			s += row[0] * xs[0]
-			s += row[1] * xs[1]
-			s += row[2] * xs[2]
-			s += row[3] * xs[3]
-			row, xs = row[4:], xs[4:]
-		}
-		for c, w := range row {
-			s += w * xs[c]
-		}
-		dst[r] = s
+		dst[r] = Dot(m.Data[r*m.Cols:(r+1)*m.Cols], x)
 	}
 }
 
