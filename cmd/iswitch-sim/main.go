@@ -37,6 +37,7 @@ func main() {
 		tors     = flag.Int("tors", 2, "ToRs per AGG (3tier)")
 		hosts    = flag.Int("hosts", 3, "workers per ToR (3tier)")
 		mode     = flag.String("mode", "sync", "sync | async (async: ps or isw)")
+		psShards = flag.Int("ps-shards", 1, "PS shard servers (ps/star only; 1 = single-server baseline)")
 		iters    = flag.Int("iters", 3, "sync iterations to simulate")
 		updates  = flag.Int64("updates", 50, "async weight updates to simulate")
 		stale    = flag.Int64("staleness", 3, "async staleness bound S")
@@ -47,6 +48,12 @@ func main() {
 	w, err := perfmodel.WorkloadByName(*workload)
 	if err != nil {
 		log.Fatalf("iswitch-sim: %v", err)
+	}
+	if *psShards < 1 {
+		log.Fatalf("iswitch-sim: -ps-shards must be >= 1")
+	}
+	if *psShards > 1 && (*strategy != "ps" || *topology != "star") {
+		log.Fatalf("iswitch-sim: -ps-shards applies to -strategy ps -topology star only")
 	}
 	k := sim.NewKernel()
 	edge := netsim.TenGbE()
@@ -66,6 +73,9 @@ func main() {
 		services := make([]core.Service, n)
 		var attach func(i int) core.Service
 		switch {
+		case *strategy == "ps" && *topology == "star" && *psShards > 1:
+			c := core.NewShardedPSCluster(k, n, w.Floats(), *psShards, edge, core.PSConfigFor(w))
+			attach = c.Client
 		case *strategy == "ps" && *topology == "star":
 			c := core.NewPSCluster(k, n, w.Floats(), edge, core.PSConfigFor(w))
 			attach = c.Client
@@ -111,8 +121,12 @@ func main() {
 		}
 		stats := core.RunSync(k, agents, services, core.SyncConfig{
 			Iterations: *iters, LocalCompute: w.LocalCompute, WeightUpdate: w.WeightUpdate})
-		fmt.Printf("%s | sync %s over %s | %d workers | %d iterations\n",
-			w.Name, *strategy, *topology, n, *iters)
+		shardNote := ""
+		if *psShards > 1 {
+			shardNote = fmt.Sprintf(" | %d PS shards", *psShards)
+		}
+		fmt.Printf("%s | sync %s over %s | %d workers%s | %d iterations\n",
+			w.Name, *strategy, *topology, n, shardNote, *iters)
 		fmt.Printf("  per-iteration:    %v\n", stats.MeanIter().Round(1000))
 		fmt.Printf("    local compute:  %v\n", w.LocalCompute)
 		fmt.Printf("    aggregation:    %v (%.1f%% of iteration)\n", stats.MeanAgg().Round(1000),
@@ -140,6 +154,11 @@ func main() {
 			}
 			stats = core.RunAsyncISW(k, agents, c, cfg)
 		case "ps":
+			if *psShards > 1 {
+				c := core.NewAsyncShardedPSCluster(k, n, w.Floats(), *psShards, edge, core.PSConfigFor(w))
+				stats = core.RunAsyncShardedPS(k, agents, core.NewSyntheticAgent(w.Floats()), c, cfg)
+				break
+			}
 			var c *core.PSCluster
 			if *topology == "tree" {
 				c = core.NewAsyncPSClusterTree(k, n, *perRack, w.Floats(), edge, uplink, core.PSConfigFor(w))
@@ -156,6 +175,10 @@ func main() {
 		fmt.Printf("  per-update interval: %v\n", stats.MeanIter().Round(1000))
 		fmt.Printf("  committed/discarded: %d/%d\n", stats.Committed, stats.Discarded)
 		fmt.Printf("  mean staleness:      %.2f (bound %d)\n", stats.MeanStaleness(), *stale)
+		for s, ps := range stats.PerShard {
+			fmt.Printf("    shard %d:           committed/discarded %d/%d, mean staleness %.2f\n",
+				s, ps.Committed, ps.Discarded, ps.MeanStaleness())
+		}
 		fmt.Printf("  total virtual:       %v\n", stats.Total.Round(1000))
 		fmt.Printf("  paper reference:     async PS %v  async iSW %v per iteration\n",
 			w.PaperAsyncPerIterPS, w.PaperAsyncPerIterISW)

@@ -32,6 +32,19 @@ type AsyncConfig struct {
 	// LocalCompute and WeightUpdate as in SyncConfig.
 	LocalCompute sim.Time
 	WeightUpdate sim.Time
+	// ComputeJitter, when non-nil, returns extra local-compute time for
+	// worker w's iter-th gradient. Deterministic (seeded) jitter lets
+	// stress tests skew the workers without losing reproducibility; nil
+	// means no jitter.
+	ComputeJitter func(worker, iter int) sim.Time
+}
+
+// jitterFor resolves the per-gradient compute jitter (zero when unset).
+func (c AsyncConfig) jitterFor(worker, iter int) sim.Time {
+	if c.ComputeJitter == nil {
+		return 0
+	}
+	return c.ComputeJitter(worker, iter)
 }
 
 // AsyncStats extends RunStats with staleness accounting.
@@ -43,6 +56,28 @@ type AsyncStats struct {
 	// StalenessSum accumulates the staleness of committed gradients;
 	// StalenessSum/Committed is the run's average staleness.
 	StalenessSum int64
+	// PerShard holds per-shard commit/discard/staleness accounting for
+	// sharded parameter-server runs (nil for single-server and iSwitch
+	// runs); PerShard[s] belongs to shard s.
+	PerShard []ShardStats
+}
+
+// ShardStats is one parameter-server shard's asynchronous accounting.
+type ShardStats struct {
+	// Committed and Discarded count gradient slices that passed / failed
+	// this shard's staleness check.
+	Committed, Discarded int64
+	// StalenessSum accumulates committed staleness against this shard's
+	// update counter; MaxStaleness is the largest committed staleness.
+	StalenessSum, MaxStaleness int64
+}
+
+// MeanStaleness returns the shard's average committed staleness.
+func (s ShardStats) MeanStaleness() float64 {
+	if s.Committed == 0 {
+		return 0
+	}
+	return float64(s.StalenessSum) / float64(s.Committed)
 }
 
 // MeanStaleness returns the average staleness of committed gradients.
@@ -97,13 +132,14 @@ func RunAsyncISW(k *sim.Kernel, agents []rl.Agent, cluster *ISWCluster, cfg Asyn
 		})
 
 		// LGC thread: compute, staleness-check, nonblocking send.
+		worker := i
 		k.Spawn(fmt.Sprintf("async-lgc-%d", i), func(p *sim.Proc) {
 			start.Wait(p)
 			grad := make([]float32, agent.GradLen())
-			for !stop && ts < cfg.Updates {
+			for iter := 0; !stop && ts < cfg.Updates; iter++ {
 				tw := ts // copy iteration index (and implicitly weights)
 				agent.ComputeGradient(grad)
-				p.Sleep(cfg.LocalCompute)
+				p.Sleep(cfg.LocalCompute + cfg.jitterFor(worker, iter))
 				for _, r := range agent.DrainEpisodes() {
 					ws.Rewards = append(ws.Rewards, RewardPoint{Time: p.Now(), Reward: r})
 				}
@@ -217,10 +253,11 @@ func RunAsyncPS(k *sim.Kernel, agents []rl.Agent, masterAgent rl.Agent, cluster 
 
 	for i := range agents {
 		agent, ws, host := agents[i], stats.Workers[i], workers[i]
+		worker := i
 		k.Spawn(fmt.Sprintf("async-ps-worker-%d", i), func(p *sim.Proc) {
 			weights := protocol.NewAssembler(nFloats)
 			grad := make([]float32, agent.GradLen())
-			for !stop {
+			for iter := 0; !stop; iter++ {
 				// Pull the latest weights.
 				p.Sleep(cluster.cfg.WorkerBase)
 				host.Send(pullRequest(host.Addr, server.Addr))
@@ -239,7 +276,7 @@ func RunAsyncPS(k *sim.Kernel, agents []rl.Agent, masterAgent rl.Agent, cluster 
 				agent.WriteParams(weights.Vector())
 				// Local gradient computing.
 				agent.ComputeGradient(grad)
-				p.Sleep(cfg.LocalCompute)
+				p.Sleep(cfg.LocalCompute + cfg.jitterFor(worker, iter))
 				for _, r := range agent.DrainEpisodes() {
 					ws.Rewards = append(ws.Rewards, RewardPoint{Time: p.Now(), Reward: r})
 				}

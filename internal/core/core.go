@@ -25,7 +25,8 @@ type Service interface {
 	Setup(p *sim.Proc)
 	// Aggregate contributes grad and blocks in virtual time until the
 	// element-wise sum of H contributions is available. The returned
-	// slice is owned by the caller.
+	// slice remains valid until this worker's next Aggregate call;
+	// callers that retain it across rounds must copy.
 	Aggregate(p *sim.Proc, grad []float32) []float32
 	// H is the number of gradient vectors per aggregate (the paper's
 	// aggregation threshold; by default the worker count).

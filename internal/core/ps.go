@@ -37,6 +37,10 @@ type PSConfig struct {
 	// Tensors is the framework-level tensor messages per gradient
 	// (DDPG's dual model ships two); PerMessage is paid per tensor.
 	Tensors int
+	// MessageFloor is the irreducible size-independent launch cost of a
+	// PS message, the lower bound on sharded-PS per-slice costs that
+	// scale PerMessage by the shard's share of the model.
+	MessageFloor sim.Time
 	// AsyncUpdateExtra is the additional server time per accepted update
 	// in the asynchronous variant (perfmodel.Workload.AsyncPSUpdateCost).
 	AsyncUpdateExtra sim.Time
@@ -45,11 +49,12 @@ type PSConfig struct {
 // DefaultPSConfig mirrors the measured reference implementation.
 func DefaultPSConfig() PSConfig {
 	return PSConfig{
-		PerMessage: perfmodel.PSPerMessage,
-		WorkerBase: perfmodel.PSWorkerBase,
-		SumRate:    perfmodel.PSSumRate,
-		CopyRate:   perfmodel.PSCopyRate,
-		Tensors:    1,
+		PerMessage:   perfmodel.PSPerMessage,
+		WorkerBase:   perfmodel.PSWorkerBase,
+		SumRate:      perfmodel.PSSumRate,
+		CopyRate:     perfmodel.PSCopyRate,
+		Tensors:      1,
+		MessageFloor: perfmodel.PSMessageFloor,
 	}
 }
 
@@ -154,7 +159,10 @@ func (pc *psClient) Setup(*sim.Proc) {}
 // H implements Service.
 func (pc *psClient) H() int { return len(pc.cluster.workers) }
 
-// Aggregate implements Service.
+// Aggregate implements Service. The returned slice is the client's
+// reusable assembler buffer (valid until the next Aggregate call) — a
+// fresh per-round copy here was the datapath's last per-iteration
+// whole-vector allocation.
 func (pc *psClient) Aggregate(p *sim.Proc, grad []float32) []float32 {
 	p.Sleep(pc.cluster.cfg.WorkerBase)
 	for _, pkt := range protocol.Segment(pc.host.Addr, pc.cluster.Server.Addr, grad) {
@@ -173,5 +181,5 @@ func (pc *psClient) Aggregate(p *sim.Proc, grad []float32) []float32 {
 			}
 		}
 	}
-	return append([]float32(nil), pc.asm.Vector()...)
+	return pc.asm.Vector()
 }

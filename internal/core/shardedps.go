@@ -1,0 +1,414 @@
+package core
+
+import (
+	"fmt"
+
+	"iswitch/internal/accel"
+	"iswitch/internal/netsim"
+	"iswitch/internal/protocol"
+	"iswitch/internal/rl"
+	"iswitch/internal/sim"
+)
+
+// Sharded parameter server (production PS designs à la MXNet/SwitchML
+// baselines): the model vector is partitioned into S contiguous shards,
+// each owned by its own server host attached to the star. Workers
+// scatter per-shard gradient segments (a data packet's Seg index picks
+// its shard by range check), each shard sums and replies with its slice,
+// and workers reassemble the full vector from all shards' replies.
+//
+// Sharding splits the central bottleneck link of the single-host PS
+// across S NICs and parallelizes the server-side summation/update work,
+// which tightens the baseline the iSwitch speedups are measured
+// against: the comparison is no longer "one NIC vs the switch" but
+// "S NICs vs the switch".
+//
+// Shard boundaries align to packet-segment boundaries so that one data
+// packet never straddles two shards; with S=1 the cluster is
+// behaviourally identical (bit-identical values and virtual-clock
+// timing) to PSCluster / RunAsyncPS — the property tests enforce this.
+
+// MaxPSShards bounds the shard count (shard addresses live in one
+// /24-style subnet byte).
+const MaxPSShards = 128
+
+// PSShardAddr returns shard s's server address. Shards live on the
+// 10.0.1.x subnet, clear of worker addresses (10.0.0.x) at any worker
+// count.
+func PSShardAddr(s int) protocol.Addr {
+	if s < 0 || s >= MaxPSShards {
+		panic(fmt.Sprintf("core: shard index %d out of range [0,%d)", s, MaxPSShards))
+	}
+	return protocol.AddrFrom(10, 0, 1, byte(10+s), 9990)
+}
+
+// ShardedPSCluster is a star network with S parameter-server shard
+// hosts, each owning a contiguous slice of the model vector.
+type ShardedPSCluster struct {
+	Star    *netsim.Star
+	Servers []*netsim.Host // shard s's host is Servers[s]
+	workers []*netsim.Host
+	n       int
+	cfg     PSConfig
+	// segLo[s] .. segLo[s+1] is the half-open packet-segment range of
+	// shard s; len(segLo) == NumShards()+1.
+	segLo []int
+}
+
+// NewShardedPSCluster builds nWorkers workers plus nShards shard
+// servers on one plain switch and spawns the synchronous shard-server
+// processes. The effective shard count is clamped to the model's
+// packet-segment count (a shard must own at least one segment).
+func NewShardedPSCluster(k *sim.Kernel, nWorkers, modelFloats, nShards int, link netsim.LinkConfig, cfg PSConfig) *ShardedPSCluster {
+	c := newShardedPSCluster(k, nWorkers, modelFloats, nShards, link, cfg)
+	for s := range c.Servers {
+		c.startShardServer(k, s)
+	}
+	return c
+}
+
+// NewAsyncShardedPSCluster builds the same topology without spawning
+// the synchronous servers (RunAsyncShardedPS provides its own).
+func NewAsyncShardedPSCluster(k *sim.Kernel, nWorkers, modelFloats, nShards int, link netsim.LinkConfig, cfg PSConfig) *ShardedPSCluster {
+	return newShardedPSCluster(k, nWorkers, modelFloats, nShards, link, cfg)
+}
+
+func newShardedPSCluster(k *sim.Kernel, nWorkers, modelFloats, nShards int, link netsim.LinkConfig, cfg PSConfig) *ShardedPSCluster {
+	if nShards < 1 {
+		panic("core: sharded PS needs at least one shard")
+	}
+	totalSegs := protocol.SegmentCount(modelFloats)
+	if totalSegs < 1 {
+		totalSegs = 1
+	}
+	if nShards > totalSegs {
+		nShards = totalSegs // a shard must own at least one whole segment
+	}
+	if nShards > MaxPSShards {
+		panic(fmt.Sprintf("core: %d shards exceeds MaxPSShards %d", nShards, MaxPSShards))
+	}
+	star := netsim.BuildStar(k, nWorkers, link)
+	c := &ShardedPSCluster{Star: star, workers: star.Hosts[:nWorkers], n: modelFloats, cfg: cfg}
+	for s := 0; s < nShards; s++ {
+		c.segLo = append(c.segLo, s*totalSegs/nShards)
+		c.Servers = append(c.Servers, star.AttachHost(k, PSShardAddr(s), link))
+	}
+	c.segLo = append(c.segLo, totalSegs)
+	return c
+}
+
+// NumShards returns the effective shard count.
+func (c *ShardedPSCluster) NumShards() int { return len(c.Servers) }
+
+// ShardElems returns the element range [lo, hi) owned by shard s.
+func (c *ShardedPSCluster) ShardElems(s int) (lo, hi int) {
+	lo, _ = protocol.SegmentRange(c.n, uint64(c.segLo[s]))
+	if c.segLo[s+1] > 0 {
+		_, hi = protocol.SegmentRange(c.n, uint64(c.segLo[s+1]-1))
+	}
+	return lo, hi
+}
+
+// ShardOf returns the shard owning packet-segment seg (an index-range
+// check over the contiguous partition).
+func (c *ShardedPSCluster) ShardOf(seg uint64) int {
+	for s := 1; s < len(c.segLo)-1; s++ {
+		if int(seg) < c.segLo[s] {
+			return s - 1
+		}
+	}
+	return len(c.Servers) - 1
+}
+
+// Workers exposes the worker hosts.
+func (c *ShardedPSCluster) Workers() []*netsim.Host { return c.workers }
+
+// scatter sends grad from h as data packets, each segment routed to its
+// owning shard server with its global Seg index. Packets alias grad.
+func (c *ShardedPSCluster) scatter(h *netsim.Host, grad []float32) {
+	for s, srv := range c.Servers {
+		lo, hi := c.ShardElems(s)
+		for _, pkt := range protocol.Segment(h.Addr, srv.Addr, grad[lo:hi]) {
+			pkt.Seg += uint64(c.segLo[s])
+			h.Send(pkt)
+		}
+	}
+}
+
+// startShardServer spawns shard s's synchronous aggregation process —
+// the per-shard mirror of PSCluster.startServer: gather every worker's
+// shard slice, sum, reply to each worker of the round.
+func (c *ShardedPSCluster) startShardServer(k *sim.Kernel, s int) {
+	srv := c.Servers[s]
+	lo, hi := c.ShardElems(s)
+	nShard := hi - lo
+	segBase := uint64(c.segLo[s])
+	k.Spawn(fmt.Sprintf("ps-shard-%d", s), func(p *sim.Proc) {
+		asm := make(map[protocol.Addr]*protocol.Assembler)
+		for {
+			var round []protocol.Addr
+			sum := make([]float32, nShard)
+			for len(round) < len(c.workers) {
+				pkt := srv.Recv(p)
+				if !pkt.IsData() {
+					continue
+				}
+				a := asm[pkt.Src]
+				if a == nil {
+					a = protocol.NewAssembler(nShard)
+					asm[pkt.Src] = a
+				}
+				// Remap the global segment index into shard-local space
+				// (misrouted segments wrap out of range and are dropped).
+				local := *pkt
+				local.Seg = pkt.Seg - segBase
+				if err := a.Add(&local); err != nil {
+					continue
+				}
+				if a.Complete() {
+					p.Sleep(c.cfg.msgCost(nShard)) // framework receive cost
+					for i, v := range a.Vector() {
+						sum[i] += v
+					}
+					a.Reset()
+					round = append(round, pkt.Src)
+				}
+			}
+			p.Sleep(accel.SumLatency(nShard, len(round), c.cfg.SumRate))
+			for _, dst := range round {
+				p.Sleep(c.cfg.msgCost(nShard))
+				for _, out := range protocol.Segment(srv.Addr, dst, sum) {
+					out.Seg += segBase
+					srv.Send(out)
+				}
+			}
+		}
+	})
+}
+
+// Client returns worker i's aggregation handle.
+func (c *ShardedPSCluster) Client(i int) Service {
+	return &shardedPSClient{cluster: c, host: c.workers[i]}
+}
+
+type shardedPSClient struct {
+	cluster *ShardedPSCluster
+	host    *netsim.Host
+	asm     *protocol.Assembler
+}
+
+// Setup implements Service (no handshake).
+func (sc *shardedPSClient) Setup(*sim.Proc) {}
+
+// H implements Service.
+func (sc *shardedPSClient) H() int { return len(sc.cluster.workers) }
+
+// Aggregate implements Service: scatter per-shard segments, then gather
+// every shard's reply into one full-model assembler. The returned slice
+// is the client's reusable buffer, valid until the next Aggregate call.
+func (sc *shardedPSClient) Aggregate(p *sim.Proc, grad []float32) []float32 {
+	p.Sleep(sc.cluster.cfg.WorkerBase)
+	sc.cluster.scatter(sc.host, grad)
+	if sc.asm == nil {
+		sc.asm = protocol.NewAssembler(sc.cluster.n)
+	} else {
+		sc.asm.Reset()
+	}
+	for !sc.asm.Complete() {
+		pkt := sc.host.Recv(p)
+		if pkt.IsData() {
+			if err := sc.asm.Add(pkt); err != nil {
+				continue
+			}
+		}
+	}
+	return sc.asm.Vector()
+}
+
+// RunAsyncShardedPS trains agents against S asynchronous shard servers.
+// Each shard holds its slice of the authoritative weights with its own
+// update counter; Algorithm 1's staleness bound is enforced per shard
+// (a gradient slice computed against weights more than S updates behind
+// that shard's counter is discarded). The run ends when every shard has
+// applied cfg.Updates updates; AsyncStats.PerShard reports each shard's
+// commit/discard/staleness accounting.
+//
+// masterAgent supplies the authoritative weights and optimizer exactly
+// as in RunAsyncPS. With more than one shard, each accepted update is
+// applied through a full-length gradient that is zero outside the
+// shard's slice — identical to a per-slice update for SGD-style
+// optimizers (the timing layer's concern); with one shard the call is
+// bit-identical to RunAsyncPS's.
+func RunAsyncShardedPS(k *sim.Kernel, agents []rl.Agent, masterAgent rl.Agent, cluster *ShardedPSCluster, cfg AsyncConfig) *AsyncStats {
+	nWorkers := len(agents)
+	nShards := cluster.NumShards()
+	stats := &AsyncStats{PerShard: make([]ShardStats, nShards)}
+	for i := 0; i < nWorkers+nShards; i++ { // shard s's records at nWorkers+s
+		stats.Workers = append(stats.Workers, &WorkerStats{})
+	}
+	stop := false
+	remaining := nShards
+
+	for s := 0; s < nShards; s++ {
+		srv := cluster.Servers[s]
+		lo, hi := cluster.ShardElems(s)
+		nShard := hi - lo
+		segBase := uint64(cluster.segLo[s])
+		shardStats := stats.Workers[nWorkers+s]
+		perShard := &stats.PerShard[s]
+		shardUpdate := scaleByShare(cfg.WeightUpdate+cluster.cfg.AsyncUpdateExtra, nShard, cluster.n)
+
+		// Per-shard state shared by the pull and push/update threads.
+		pulls := sim.NewChan[protocol.Addr](k, fmt.Sprintf("sps-pulls-%d", s))
+		var version int64
+		lastSent := make(map[protocol.Addr]int64)
+
+		// Pull thread: serve weight reads without blocking the update
+		// path (mirrors RunAsyncPS; the reply cost scales with the slice
+		// staged, floored at the irreducible per-message launch cost).
+		k.Spawn(fmt.Sprintf("async-sps-pull-%d", s), func(p *sim.Proc) {
+			params := make([]float32, masterAgent.GradLen())
+			for {
+				src := pulls.Recv(p)
+				p.Sleep(cluster.cfg.shardMsgCost(nShard, cluster.n))
+				masterAgent.ReadParams(params)
+				lastSent[src] = version
+				for _, out := range protocol.Segment(srv.Addr, src, params[lo:hi]) {
+					out.Seg += segBase
+					srv.Send(out)
+				}
+			}
+		})
+
+		// Push/update thread: the per-shard mirror of RunAsyncPS's server.
+		k.Spawn(fmt.Sprintf("async-sps-server-%d", s), func(p *sim.Proc) {
+			asm := make(map[protocol.Addr]*protocol.Assembler)
+			var applyBuf []float32 // zero outside [lo,hi); lazily built for S>1
+			prev := p.Now()
+			for version < cfg.Updates {
+				pkt := srv.Recv(p)
+				switch {
+				case pkt.IsControl() && pkt.Action == protocol.ActionHelp:
+					pulls.Send(pkt.Src)
+				case pkt.IsData():
+					a := asm[pkt.Src]
+					if a == nil {
+						a = protocol.NewAssembler(nShard)
+						asm[pkt.Src] = a
+					}
+					local := *pkt
+					local.Seg = pkt.Seg - segBase
+					if err := a.Add(&local); err != nil {
+						continue
+					}
+					if !a.Complete() {
+						continue
+					}
+					p.Sleep(cluster.cfg.shardMsgCost(nShard, cluster.n))
+					staleness := version - lastSent[pkt.Src]
+					if staleness <= cfg.StalenessBound {
+						stats.Committed++
+						stats.StalenessSum += staleness
+						perShard.Committed++
+						perShard.StalenessSum += staleness
+						if staleness > perShard.MaxStaleness {
+							perShard.MaxStaleness = staleness
+						}
+						p.Sleep(shardUpdate)
+						if nShards == 1 {
+							masterAgent.ApplyAggregated(a.Vector(), 1)
+						} else {
+							if applyBuf == nil {
+								applyBuf = make([]float32, cluster.n)
+							}
+							copy(applyBuf[lo:hi], a.Vector())
+							masterAgent.ApplyAggregated(applyBuf, 1)
+						}
+						version++
+						now := p.Now()
+						shardStats.Iters = append(shardStats.Iters, IterRecord{
+							Start: prev, ComputeEnd: prev, AggEnd: now, UpdateEnd: now,
+						})
+						prev = now
+						if now > stats.Total {
+							stats.Total = now
+						}
+					} else {
+						stats.Discarded++
+						perShard.Discarded++
+					}
+					a.Reset()
+				}
+			}
+			remaining--
+			if remaining == 0 {
+				stop = true
+			}
+		})
+	}
+
+	for i := range agents {
+		agent, ws, host := agents[i], stats.Workers[i], cluster.workers[i]
+		worker := i
+		k.Spawn(fmt.Sprintf("async-sps-worker-%d", i), func(p *sim.Proc) {
+			weights := protocol.NewAssembler(cluster.n)
+			grad := make([]float32, agent.GradLen())
+			for iter := 0; !stop; iter++ {
+				// Pull the latest weights from every shard (scatter the
+				// requests; replies arrive concurrently on S server NICs).
+				p.Sleep(cluster.cfg.WorkerBase)
+				for _, srv := range cluster.Servers {
+					host.Send(pullRequest(host.Addr, srv.Addr))
+				}
+				weights.Reset()
+				for !weights.Complete() {
+					pkt, ok := host.RecvTimeout(p, 200*cfg.LocalCompute+sim.Time(1e9))
+					if !ok {
+						return // servers stopped mid-reply
+					}
+					if pkt.IsData() {
+						if err := weights.Add(pkt); err != nil {
+							continue
+						}
+					}
+				}
+				agent.WriteParams(weights.Vector())
+				// Local gradient computing.
+				agent.ComputeGradient(grad)
+				p.Sleep(cfg.LocalCompute + cfg.jitterFor(worker, iter))
+				for _, r := range agent.DrainEpisodes() {
+					ws.Rewards = append(ws.Rewards, RewardPoint{Time: p.Now(), Reward: r})
+				}
+				// Push: scatter per-shard gradient segments.
+				cluster.scatter(host, grad)
+			}
+		})
+	}
+	k.Run()
+	stats.Updates = cfg.Updates
+	return stats
+}
+
+// scaleByShare scales a full-model cost by a shard's element share
+// (exact at share 1, so the one-shard cluster charges the baseline's
+// cost bit-identically).
+func scaleByShare(d sim.Time, shardFloats, modelFloats int) sim.Time {
+	if shardFloats >= modelFloats {
+		return d
+	}
+	return sim.Time(float64(d) * float64(shardFloats) / float64(modelFloats))
+}
+
+// shardMsgCost is the server-side software cost of one async framework
+// message (a pull reply or a push receive) for a shard of shardFloats
+// elements: the per-message cost scaled by the slice share (both paths
+// are dominated by staging the slice), floored at MessageFloor (the
+// size-independent launch cost). At one shard this is exactly
+// PerMessage — the async baseline's message cost.
+func (c PSConfig) shardMsgCost(shardFloats, modelFloats int) sim.Time {
+	cost := scaleByShare(c.PerMessage, shardFloats, modelFloats)
+	if cost < c.MessageFloor {
+		cost = c.MessageFloor
+	}
+	return cost
+}

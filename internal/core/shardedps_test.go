@@ -1,0 +1,282 @@
+package core
+
+import (
+	"testing"
+	"time"
+
+	"iswitch/internal/netsim"
+	"iswitch/internal/perfmodel"
+	"iswitch/internal/protocol"
+	"iswitch/internal/rl"
+	"iswitch/internal/sim"
+)
+
+// The shard partition must cover the vector exactly: contiguous,
+// gap-free, segment-aligned, every shard non-empty.
+func TestShardPartitionCoversVector(t *testing.T) {
+	for _, tc := range []struct{ n, shards int }{
+		{1, 1}, {100, 2}, {366, 4}, {367, 2}, {1000, 3}, {5000, 8},
+		{366 * 7, 7}, {366*7 + 1, 7}, {50, 9} /* clamps to 1 segment */, {1_602_500, 16},
+	} {
+		k := sim.NewKernel()
+		c := NewAsyncShardedPSCluster(k, 2, tc.n, tc.shards, testLink(), DefaultPSConfig())
+		prevHi := 0
+		for s := 0; s < c.NumShards(); s++ {
+			lo, hi := c.ShardElems(s)
+			if lo != prevHi {
+				t.Fatalf("n=%d shards=%d: shard %d starts at %d, want %d", tc.n, tc.shards, s, lo, prevHi)
+			}
+			if hi <= lo {
+				t.Fatalf("n=%d shards=%d: shard %d empty [%d,%d)", tc.n, tc.shards, s, lo, hi)
+			}
+			if lo%protocol.FloatsPerPacket != 0 {
+				t.Fatalf("n=%d shards=%d: shard %d not segment-aligned (lo=%d)", tc.n, tc.shards, s, lo)
+			}
+			prevHi = hi
+		}
+		if prevHi != tc.n {
+			t.Fatalf("n=%d shards=%d: covered %d", tc.n, tc.shards, prevHi)
+		}
+		// Segment ownership is the contiguous index-range check.
+		for seg := 0; seg < protocol.SegmentCount(tc.n); seg++ {
+			s := c.ShardOf(uint64(seg))
+			lo, hi := c.ShardElems(s)
+			elo, ehi := protocol.SegmentRange(tc.n, uint64(seg))
+			if elo < lo || ehi > hi {
+				t.Fatalf("n=%d shards=%d: seg %d ([%d,%d)) assigned to shard %d ([%d,%d))",
+					tc.n, tc.shards, seg, elo, ehi, s, lo, hi)
+			}
+		}
+	}
+}
+
+// Synchronous sharded aggregation must equal the direct element-wise
+// sum at any shard count, including models whose length does not divide
+// into whole packets.
+func TestShardedPSMatchesDirectSum(t *testing.T) {
+	for _, shards := range []int{1, 2, 3, 5} {
+		const nWorkers, nFloats, iters = 3, 1500, 2
+		k := sim.NewKernel()
+		c := NewShardedPSCluster(k, nWorkers, nFloats, shards, testLink(), DefaultPSConfig())
+		agents := make([]rl.Agent, nWorkers)
+		ints := make([]*intAgent, nWorkers)
+		services := make([]Service, nWorkers)
+		for i := range agents {
+			ints[i] = newIntAgent(i, nFloats)
+			agents[i] = ints[i]
+			services[i] = c.Client(i)
+		}
+		RunSync(k, agents, services, fastTiming(iters))
+
+		ref := make([]*intAgent, nWorkers)
+		for i := range ref {
+			ref[i] = newIntAgent(i, nFloats)
+		}
+		g := make([]float32, nFloats)
+		for it := 0; it < iters; it++ {
+			want := make([]float32, nFloats)
+			for _, a := range ref {
+				a.ComputeGradient(g)
+				for i := range want {
+					want[i] += g[i]
+				}
+			}
+			for w, a := range ints {
+				if len(a.applied) != iters {
+					t.Fatalf("shards=%d worker %d applied %d", shards, w, len(a.applied))
+				}
+				for i := range want {
+					if a.applied[it][i] != want[i] {
+						t.Fatalf("shards=%d iter %d worker %d elem %d: got %v want %v",
+							shards, it, w, i, a.applied[it][i], want[i])
+					}
+				}
+			}
+		}
+	}
+}
+
+// Sharding must shorten the synchronous aggregation phase: the central
+// link splits across S server NICs and the summation parallelizes.
+func TestShardedPSSyncAggDecreases(t *testing.T) {
+	const nWorkers, nFloats = 4, 400_000
+	agg := func(shards int) time.Duration {
+		k := sim.NewKernel()
+		c := NewShardedPSCluster(k, nWorkers, nFloats, shards, testLink(), DefaultPSConfig())
+		agents := make([]rl.Agent, nWorkers)
+		services := make([]Service, nWorkers)
+		for i := range agents {
+			agents[i] = NewSyntheticAgent(nFloats)
+			services[i] = c.Client(i)
+		}
+		return RunSync(k, agents, services, fastTiming(2)).MeanAgg()
+	}
+	prev := agg(1)
+	for _, s := range []int{2, 4, 8} {
+		cur := agg(s)
+		if cur >= prev {
+			t.Fatalf("sync agg not decreasing: S=%d %v vs previous %v", s, cur, prev)
+		}
+		prev = cur
+	}
+}
+
+// The async sharded PS applies exactly Updates updates per shard and
+// accounts commits/discards per shard, with the global counters being
+// the per-shard sums.
+func TestAsyncShardedPSAppliesPerShardUpdates(t *testing.T) {
+	const nWorkers, nFloats, shards = 3, 1200, 3
+	k := sim.NewKernel()
+	c := NewAsyncShardedPSCluster(k, nWorkers, nFloats, shards, testLink(), DefaultPSConfig())
+	agents := make([]rl.Agent, nWorkers)
+	for i := range agents {
+		agents[i] = newIntAgent(i, nFloats)
+	}
+	master := newIntAgent(99, nFloats)
+	cfg := AsyncConfig{Updates: 10, StalenessBound: 3,
+		LocalCompute: 50 * time.Microsecond, WeightUpdate: 10 * time.Microsecond}
+	stats := RunAsyncShardedPS(k, agents, master, c, cfg)
+
+	if len(stats.PerShard) != shards {
+		t.Fatalf("PerShard has %d entries, want %d", len(stats.PerShard), shards)
+	}
+	var commit, discard, stale int64
+	for s, ps := range stats.PerShard {
+		if ps.Committed != cfg.Updates {
+			t.Fatalf("shard %d committed %d, want %d", s, ps.Committed, cfg.Updates)
+		}
+		if ps.MaxStaleness > cfg.StalenessBound {
+			t.Fatalf("shard %d max staleness %d exceeds bound %d", s, ps.MaxStaleness, cfg.StalenessBound)
+		}
+		server := stats.Workers[nWorkers+s]
+		if int64(len(server.Iters)) != cfg.Updates {
+			t.Fatalf("shard %d iter records %d", s, len(server.Iters))
+		}
+		commit += ps.Committed
+		discard += ps.Discarded
+		stale += ps.StalenessSum
+	}
+	if commit != stats.Committed || discard != stats.Discarded || stale != stats.StalenessSum {
+		t.Fatalf("per-shard sums %d/%d/%d != global %d/%d/%d",
+			commit, discard, stale, stats.Committed, stats.Discarded, stats.StalenessSum)
+	}
+	// S shard updates each touching 1/S of the model == Updates
+	// full-model-equivalent updates.
+	if int64(len(master.applied)) != int64(shards)*cfg.Updates {
+		t.Fatalf("master applied %d slices, want %d", len(master.applied), int64(shards)*cfg.Updates)
+	}
+	if stats.MeanStaleness() > float64(cfg.StalenessBound) {
+		t.Fatalf("mean staleness %v exceeds bound", stats.MeanStaleness())
+	}
+}
+
+// An accepted shard update must touch only that shard's slice of the
+// master weights (the apply path zero-pads outside the shard).
+func TestAsyncShardedPSUpdatesAreSliceLocal(t *testing.T) {
+	const nWorkers, nFloats, shards = 2, 1100, 3
+	k := sim.NewKernel()
+	c := NewAsyncShardedPSCluster(k, nWorkers, nFloats, shards, testLink(), DefaultPSConfig())
+	agents := make([]rl.Agent, nWorkers)
+	for i := range agents {
+		agents[i] = newIntAgent(i, nFloats)
+	}
+	master := newIntAgent(99, nFloats)
+	cfg := AsyncConfig{Updates: 4, StalenessBound: 2,
+		LocalCompute: 50 * time.Microsecond, WeightUpdate: 10 * time.Microsecond}
+	RunAsyncShardedPS(k, agents, master, c, cfg)
+
+	bounds := make([][2]int, shards)
+	for s := 0; s < shards; s++ {
+		lo, hi := c.ShardElems(s)
+		bounds[s] = [2]int{lo, hi}
+	}
+	for u, vec := range master.applied {
+		// Each applied vector must be non-zero inside exactly one shard.
+		touched := -1
+		for s, b := range bounds {
+			nz := false
+			for i := b[0]; i < b[1]; i++ {
+				if vec[i] != 0 {
+					nz = true
+					break
+				}
+			}
+			if nz {
+				if touched >= 0 {
+					t.Fatalf("update %d touches shards %d and %d", u, touched, s)
+				}
+				touched = s
+			}
+		}
+		if touched < 0 {
+			t.Fatalf("update %d touches no shard", u)
+		}
+	}
+}
+
+// scratchAgent records the backing-array pointer of every aggregate it
+// is handed, to pin the zero-copy Aggregate contract.
+type scratchAgent struct {
+	intAgent
+	ptrs []*float32
+}
+
+func (a *scratchAgent) ApplyAggregated(sum []float32, h int) {
+	a.ptrs = append(a.ptrs, &sum[0])
+	a.intAgent.ApplyAggregated(sum, h)
+}
+
+// psClient.Aggregate must return its reusable assembler buffer instead
+// of a fresh per-round copy (the alloc-regression guard for the fix).
+func TestPSAggregateReusesScratchBuffer(t *testing.T) {
+	for _, strategy := range []string{"ps", "sharded"} {
+		const nWorkers, nFloats, iters = 2, 2000, 3
+		k := sim.NewKernel()
+		agents := make([]rl.Agent, nWorkers)
+		scratch := make([]*scratchAgent, nWorkers)
+		services := make([]Service, nWorkers)
+		var client func(int) Service
+		if strategy == "ps" {
+			client = NewPSCluster(k, nWorkers, nFloats, testLink(), DefaultPSConfig()).Client
+		} else {
+			client = NewShardedPSCluster(k, nWorkers, nFloats, 2, testLink(), DefaultPSConfig()).Client
+		}
+		for i := range agents {
+			scratch[i] = &scratchAgent{intAgent: *newIntAgent(i, nFloats)}
+			agents[i] = scratch[i]
+			services[i] = client(i)
+		}
+		RunSync(k, agents, services, fastTiming(iters))
+		for w, a := range scratch {
+			if len(a.ptrs) != iters {
+				t.Fatalf("%s worker %d saw %d aggregates", strategy, w, len(a.ptrs))
+			}
+			for it := 1; it < iters; it++ {
+				if a.ptrs[it] != a.ptrs[0] {
+					t.Fatalf("%s worker %d: aggregate buffer reallocated at iter %d", strategy, w, it)
+				}
+			}
+		}
+	}
+}
+
+// BenchmarkPSAggregateRoundPPO tracks the per-round allocation profile
+// of the PS sync datapath (PPO-sized model). The zero-copy Aggregate
+// fix removed the last per-round whole-vector allocation; a regression
+// shows up here as allocs/op growing by a gradient-sized copy per
+// worker per round.
+func BenchmarkPSAggregateRoundPPO(b *testing.B) {
+	n := perfmodel.Workloads()[2].Floats() // PPO, 10005 floats
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		k := sim.NewKernel()
+		c := NewPSCluster(k, 4, n, netsim.TenGbE(), DefaultPSConfig())
+		agents := make([]rl.Agent, 4)
+		services := make([]Service, 4)
+		for j := range agents {
+			agents[j] = NewSyntheticAgent(n)
+			services[j] = c.Client(j)
+		}
+		RunSync(k, agents, services, fastTiming(4))
+	}
+}

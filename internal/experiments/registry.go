@@ -27,6 +27,7 @@ func Specs(opts CurveOpts) []Spec {
 		{ID: "figure14", Title: "Async DQN training curves", Expensive: true,
 			Run: func() Result { return Figure14(opts) }},
 		{ID: "figure15", Title: "Scalability", Run: Figure15},
+		{ID: "shard-sweep", Title: "Sharded-PS shard-count sweep", Run: ShardSweep},
 		{ID: "ablation-staleness", Title: "Staleness bound sweep", Run: AblationStaleness},
 		{ID: "ablation-h", Title: "Aggregation threshold sweep", Run: AblationH},
 		{ID: "ablation-hierarchical", Title: "Hierarchical vs flat", Run: AblationHierarchical},

@@ -190,6 +190,11 @@ const (
 	// (serialize/deserialize + host-GPU copies), charged per byte of
 	// every whole-gradient message it receives or sends.
 	PSCopyRate = 1.57e9
+	// PSMessageFloor is the irreducible size-independent launch cost of
+	// one PS framework message (send/recv posting without the staging
+	// bytes). Sharded-PS slice costs that scale PerMessage by the
+	// shard's share of the model bottom out here.
+	PSMessageFloor = 150 * time.Microsecond
 
 	// ARPerStep is the per-ring-step software cost (MPI send/recv pair
 	// launch plus GPU staging) each worker pays.

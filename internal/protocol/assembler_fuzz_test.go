@@ -1,0 +1,126 @@
+package protocol
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// FuzzAssembler drives an Assembler through an arbitrary packet program
+// — valid segments, duplicates, out-of-range segments, wrong-length
+// payloads, control packets, resets — against a reference model. The
+// assembler must never panic, must reject every malformed packet
+// without corrupting state, and must keep Vector/Remaining/Complete/
+// Missing consistent with the reference at every step.
+func FuzzAssembler(f *testing.F) {
+	f.Add(int64(1), uint16(100), []byte{0, 1, 2, 3, 4, 5})
+	f.Add(int64(7), uint16(366), []byte{0, 0, 0})
+	f.Add(int64(42), uint16(1000), []byte{2, 3, 4, 0, 5, 1, 0})
+	f.Add(int64(-9), uint16(1), []byte{5, 0, 5, 0})
+	f.Fuzz(func(t *testing.T, seed int64, n16 uint16, program []byte) {
+		n := int(n16)%1500 + 1
+		segs := SegmentCount(n)
+		rng := rand.New(rand.NewSource(seed))
+		src := AddrFrom(10, 0, 0, 2, 9999)
+		dst := AddrFrom(10, 0, 0, 99, 9998)
+
+		a := NewAssembler(n)
+		ref := make([]float32, n)   // expected vector contents
+		got := make([]bool, segs)   // expected arrival state
+		valid := make([]bool, segs) // segments whose ref contents are meaningful
+
+		if len(program) > 512 {
+			program = program[:512]
+		}
+		for pc, op := range program {
+			switch op % 6 {
+			case 0, 1: // valid data packet (fresh or duplicate; dups overwrite)
+				s := uint64(rng.Intn(segs))
+				lo, hi := SegmentRange(n, s)
+				data := make([]float32, hi-lo)
+				for i := range data {
+					data[i] = float32(rng.Intn(1000)) - 500
+				}
+				if err := a.Add(NewData(src, dst, s, data)); err != nil {
+					t.Fatalf("op %d: valid segment %d rejected: %v", pc, s, err)
+				}
+				copy(ref[lo:hi], data)
+				got[s] = true
+				valid[s] = true
+			case 2: // out-of-range segment index
+				s := uint64(segs) + uint64(rng.Intn(1<<20))
+				if err := a.Add(NewData(src, dst, s, make([]float32, 1))); err == nil {
+					t.Fatalf("op %d: out-of-range segment %d accepted", pc, s)
+				}
+			case 3: // wrong payload length for an in-range segment
+				s := uint64(rng.Intn(segs))
+				lo, hi := SegmentRange(n, s)
+				want := hi - lo
+				wrong := want + 1
+				if wrong > FloatsPerPacket {
+					wrong = want - 1
+				}
+				if wrong < 0 {
+					wrong = 0
+				}
+				if wrong == want {
+					continue // 1-element final segment at capacity: no wrong length to build
+				}
+				if err := a.Add(NewData(src, dst, s, make([]float32, wrong))); err == nil {
+					t.Fatalf("op %d: segment %d with %d floats (want %d) accepted", pc, s, wrong, want)
+				}
+			case 4: // control packet on the data path
+				if err := a.Add(NewControl(src, dst, ActionHelp, nil)); err == nil {
+					t.Fatalf("op %d: control packet accepted as data", pc)
+				}
+			case 5: // reset for the next round (vector contents persist)
+				a.Reset()
+				for s := range got {
+					got[s] = false
+				}
+			}
+
+			// Invariants against the reference model, after every op.
+			rem := 0
+			for _, g := range got {
+				if !g {
+					rem++
+				}
+			}
+			if a.Remaining() != rem {
+				t.Fatalf("op %d: Remaining() = %d, reference %d", pc, a.Remaining(), rem)
+			}
+			if a.Complete() != (rem == 0) {
+				t.Fatalf("op %d: Complete() = %v with %d missing", pc, a.Complete(), rem)
+			}
+			missing := a.Missing()
+			mi := 0
+			for s, g := range got {
+				if !g {
+					if mi >= len(missing) || missing[mi] != uint64(s) {
+						t.Fatalf("op %d: Missing() = %v, segment %d absent", pc, missing, s)
+					}
+					mi++
+				}
+			}
+			if mi != len(missing) {
+				t.Fatalf("op %d: Missing() lists %d extras", pc, len(missing)-mi)
+			}
+			vec := a.Vector()
+			if len(vec) != n {
+				t.Fatalf("op %d: Vector() length %d, want %d", pc, len(vec), n)
+			}
+			for s := 0; s < segs; s++ {
+				if !valid[s] {
+					continue // never written: contents unspecified (zero)
+				}
+				lo, hi := SegmentRange(n, uint64(s))
+				for i := lo; i < hi; i++ {
+					if vec[i] != ref[i] {
+						t.Fatalf("op %d: Vector()[%d] = %v, reference %v (segment %d corrupted)",
+							pc, i, vec[i], ref[i], s)
+					}
+				}
+			}
+		}
+	})
+}
