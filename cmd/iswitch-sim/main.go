@@ -9,6 +9,7 @@
 //	iswitch-sim -workload PPO -strategy ar -workers 9 -topology tree
 //	iswitch-sim -workload DDPG -strategy isw -mode async -updates 100 -staleness 3
 //	iswitch-sim -workload A2C -strategy isw -topology 3tier -aggs 2 -tors 2 -hosts 3
+//	iswitch-sim -jobs 4 -workers 2 -topology tree -jobs-policy demand
 package main
 
 import (
@@ -17,7 +18,9 @@ import (
 	"log"
 	"os"
 
+	"iswitch/internal/accel"
 	"iswitch/internal/core"
+	"iswitch/internal/multijob"
 	"iswitch/internal/netsim"
 	"iswitch/internal/perfmodel"
 	"iswitch/internal/protocol"
@@ -25,6 +28,33 @@ import (
 	"iswitch/internal/sim"
 	"iswitch/internal/trace"
 )
+
+// newTraceRecorder attaches a packet trace to host's NIC (worker 0 in
+// every topology). tail selects the ring recorder: keep the last max
+// events instead of the first. Data events carry the segment and size;
+// any non-default JobID is labeled so multi-tenant traces demux by eye.
+func newTraceRecorder(host *netsim.Host, max int, tail bool) *trace.Recorder {
+	rec := trace.New(max)
+	if tail {
+		rec = trace.NewRing(max)
+	}
+	host.Port().Trace = func(at sim.Time, kind string, pkt *protocol.Packet) {
+		detail := "control " + pkt.Action.String()
+		if pkt.IsData() {
+			detail = fmt.Sprintf("data seg=%d (%d floats)", pkt.Seg, len(pkt.Data))
+		}
+		if pkt.Job != protocol.DefaultJob {
+			detail = fmt.Sprintf("job=%d %s", pkt.Job, detail)
+		}
+		rec.Record(at, "worker0/nic", kind, detail)
+	}
+	return rec
+}
+
+func dumpTrace(rec *trace.Recorder) {
+	fmt.Println("\npacket trace (worker 0 NIC):")
+	fmt.Print(rec.String())
+}
 
 func main() {
 	var (
@@ -41,7 +71,10 @@ func main() {
 		iters    = flag.Int("iters", 3, "sync iterations to simulate")
 		updates  = flag.Int64("updates", 50, "async weight updates to simulate")
 		stale    = flag.Int64("staleness", 3, "async staleness bound S")
-		doTrace  = flag.Int("trace", 0, "print the first N packet events of worker 0's NIC (sync isw/star only)")
+		doTrace  = flag.Int("trace", 0, "print N packet events of worker 0's NIC (isw strategies, any topology/mode)")
+		traceEnd = flag.Bool("trace-tail", false, "with -trace: keep the last N events (ring buffer) instead of the first N")
+		jobs     = flag.Int("jobs", 1, "co-running training jobs sharing the fabric (isw only; workloads cycled from -workload)")
+		jobsPol  = flag.String("jobs-policy", "demand", "SRAM partition policy for -jobs: demand | static")
 	)
 	flag.Parse()
 
@@ -54,6 +87,20 @@ func main() {
 	}
 	if *psShards > 1 && (*strategy != "ps" || *topology != "star") {
 		log.Fatalf("iswitch-sim: -ps-shards applies to -strategy ps -topology star only")
+	}
+	if *doTrace > 0 && *strategy != "isw" {
+		log.Fatalf("iswitch-sim: -trace supports -strategy isw (any topology or mode)")
+	}
+	if *jobs < 1 {
+		log.Fatalf("iswitch-sim: -jobs must be >= 1")
+	}
+	if *jobs > 1 {
+		if *strategy != "isw" {
+			log.Fatalf("iswitch-sim: -jobs requires -strategy isw (only iSwitches are multi-tenant)")
+		}
+		runJobs(w, *jobs, *jobsPol, *topology, *workers, *perRack, *aggs, *tors, *hosts,
+			*mode, *iters, *updates, *stale, *doTrace, *traceEnd)
+		return
 	}
 	k := sim.NewKernel()
 	edge := netsim.TenGbE()
@@ -72,6 +119,7 @@ func main() {
 	case "sync":
 		services := make([]core.Service, n)
 		var attach func(i int) core.Service
+		var traceHost *netsim.Host
 		switch {
 		case *strategy == "ps" && *topology == "star" && *psShards > 1:
 			c := core.NewShardedPSCluster(k, n, w.Floats(), *psShards, edge, core.PSConfigFor(w))
@@ -90,31 +138,20 @@ func main() {
 			attach = c.Client
 		case *strategy == "isw" && *topology == "star":
 			c := core.NewISWStar(k, n, w.Floats(), edge, core.ISWConfigFor(w))
-			if *doTrace > 0 {
-				rec := trace.New(*doTrace)
-				c.Workers()[0].Port().Trace = func(at sim.Time, kind string, pkt *protocol.Packet) {
-					detail := "control " + pkt.Action.String()
-					if pkt.IsData() {
-						detail = fmt.Sprintf("data seg=%d (%d floats)", pkt.Seg, len(pkt.Data))
-					}
-					rec.Record(at, "worker0/nic", kind, detail)
-				}
-				defer func() {
-					fmt.Println("\npacket trace (worker 0 NIC):")
-					fmt.Print(rec.String())
-				}()
-			}
-			attach = c.Client
+			attach, traceHost = c.Client, c.Workers()[0]
 		case *strategy == "isw" && *topology == "tree":
 			c := core.NewISWTreeN(k, n, *perRack, w.Floats(), edge, uplink, core.ISWConfigFor(w))
-			attach = c.Client
+			attach, traceHost = c.Client, c.Workers()[0]
 		case *strategy == "isw" && *topology == "3tier":
 			e, a, cl := netsim.DefaultThreeTierLinks()
 			c := core.NewISWThreeTier(k, *aggs, *tors, *hosts, w.Floats(), e, a, cl, core.ISWConfigFor(w))
-			attach = c.Client
+			attach, traceHost = c.Client, c.Workers()[0]
 		default:
 			fmt.Fprintf(os.Stderr, "unsupported combination: %s over %s\n", *strategy, *topology)
 			os.Exit(1)
+		}
+		if *doTrace > 0 && traceHost != nil {
+			defer dumpTrace(newTraceRecorder(traceHost, *doTrace, *traceEnd))
 		}
 		for i := range services {
 			services[i] = attach(i)
@@ -152,6 +189,9 @@ func main() {
 				e, a, cl := netsim.DefaultThreeTierLinks()
 				c = core.NewISWThreeTier(k, *aggs, *tors, *hosts, w.Floats(), e, a, cl, core.ISWConfigFor(w))
 			}
+			if *doTrace > 0 {
+				defer dumpTrace(newTraceRecorder(c.Workers()[0], *doTrace, *traceEnd))
+			}
 			stats = core.RunAsyncISW(k, agents, c, cfg)
 		case "ps":
 			if *psShards > 1 {
@@ -185,5 +225,106 @@ func main() {
 	default:
 		fmt.Fprintln(os.Stderr, "mode must be sync or async")
 		os.Exit(1)
+	}
+}
+
+// runJobs simulates J co-running training jobs sharing one iSwitch
+// fabric through the multijob admission scheduler. Workloads cycle
+// starting from the -workload selection; every job runs the chosen
+// mode with the chosen per-job worker count.
+func runJobs(w perfmodel.Workload, jobs int, policy, topology string,
+	workers, perRack, aggs, tors, hosts int,
+	mode string, iters int, updates, stale int64, doTrace int, traceTail bool) {
+	var pol accel.Partition
+	switch policy {
+	case "demand":
+		pol = accel.PartitionDemand
+	case "static":
+		pol = accel.PartitionStatic
+	default:
+		log.Fatalf("iswitch-sim: -jobs-policy must be demand or static")
+	}
+
+	k := sim.NewKernel()
+	fcfg := multijob.FabricConfig{Policy: pol}
+	nHosts := jobs * workers
+	var f *multijob.Fabric
+	switch topology {
+	case "star":
+		f = multijob.NewStarFabric(k, nHosts, netsim.TenGbE(), fcfg)
+	case "tree":
+		f = multijob.NewTreeFabric(k, nHosts, perRack, netsim.TenGbE(), netsim.FortyGbE(), fcfg)
+	case "3tier":
+		e, a, c := netsim.DefaultThreeTierLinks()
+		f = multijob.NewThreeTierFabric(k, aggs, tors, hosts, e, a, c, fcfg)
+		if len(f.Hosts) < nHosts {
+			log.Fatalf("iswitch-sim: 3tier fabric has %d hosts; %d jobs x %d workers need %d",
+				len(f.Hosts), jobs, workers, nHosts)
+		}
+	default:
+		log.Fatalf("iswitch-sim: unknown topology %q", topology)
+	}
+
+	var rec *trace.Recorder
+	if doTrace > 0 {
+		rec = newTraceRecorder(f.Hosts[0], doTrace, traceTail)
+	}
+
+	wls := perfmodel.Workloads()
+	start := 0
+	for i, cand := range wls {
+		if cand.Name == w.Name {
+			start = i
+		}
+	}
+	specs := make([]multijob.JobSpec, jobs)
+	for i := range specs {
+		wl := wls[(start+i)%len(wls)]
+		spec := multijob.JobSpec{
+			Name: fmt.Sprintf("%s/%d", wl.Name, i), Workload: wl, Workers: workers,
+		}
+		if mode == "async" {
+			spec.Mode, spec.Updates, spec.StalenessBound = multijob.ModeAsync, updates, stale
+		} else {
+			spec.Mode, spec.Iterations = multijob.ModeSync, iters
+		}
+		specs[i] = spec
+	}
+
+	res, err := multijob.Run(f, specs)
+	if err != nil {
+		log.Fatalf("iswitch-sim: %v", err)
+	}
+
+	fmt.Printf("%d co-running jobs over %s | %s SRAM partition | %d workers each | %s mode\n",
+		jobs, topology, pol, workers, mode)
+	fmt.Printf("%-10s %-6s %-9s %12s %12s %11s %10s\n",
+		"job", "mode", "admission", "started(ms)", "finish(ms)", "round(ms)", "wire(MB)")
+	for _, r := range res {
+		adm := "ok"
+		switch {
+		case r.Rejected:
+			adm = "rejected"
+		case r.Queued:
+			adm = "queued"
+		}
+		if r.Rejected {
+			fmt.Printf("%-10s %-6s %-9s\n", r.Name, r.Mode, adm)
+			continue
+		}
+		fmt.Printf("%-10s %-6s %-9s %12.2f %12.2f %11.2f %10.2f\n",
+			r.Name, r.Mode, adm,
+			float64(r.Started)/1e6, float64(r.Finished)/1e6,
+			float64(r.MeanRound)/1e6, float64(r.WireBytes)/1e6)
+	}
+	sum := multijob.Summarize(res)
+	fmt.Printf("\nmakespan:            %v\n", sum.Makespan.Round(1000))
+	fmt.Printf("aggregate gradient:  %.3f Gb/s\n", sum.AggThroughputBps/1e9)
+	fmt.Printf("wire fairness:       %.3f (Jain)\n", sum.Fairness)
+	fmt.Printf("admission:           %d ran, %d queued, %d rejected\n",
+		sum.Ran, sum.Queued, sum.Rejected)
+
+	if rec != nil {
+		dumpTrace(rec)
 	}
 }

@@ -1,0 +1,60 @@
+package accel
+
+import "time"
+
+// SharedBus models contention on the accelerator's single 256-bit
+// internal bus when several jobs' packet bursts interleave. Within one
+// job the existing per-packet cycle cost already accounts for the
+// pipelined burst stream (the input arbiter serializes one job's
+// packets back-to-back, which is what packetLatency charges); what a
+// single-tenant model cannot see is a *different* job's burst train
+// occupying the adders when a packet arrives. SharedBus keeps one
+// busy-horizon per job: a packet must wait until every other job's
+// horizon has passed, then occupies the bus for its own datapath time.
+//
+// With a single active job the cross-job horizon is always in the
+// past, so Charge degenerates to the uncontended latency — the
+// single-job timing-equivalence guarantee falls out by construction.
+type SharedBus struct {
+	horizon map[uint16]time.Duration
+
+	// Bursts counts packets charged; Contended counts those that had
+	// to wait behind another job; WaitTime accumulates that waiting.
+	Bursts    uint64
+	Contended uint64
+	WaitTime  time.Duration
+}
+
+// NewSharedBus creates an idle bus.
+func NewSharedBus() *SharedBus {
+	return &SharedBus{horizon: make(map[uint16]time.Duration)}
+}
+
+// Charge runs one packet of the given job through the bus at virtual
+// time now, occupying it for d (the packet's uncontended datapath
+// time). It returns the packet's total latency: queueing behind other
+// jobs' bursts plus d.
+func (b *SharedBus) Charge(now time.Duration, job uint16, d time.Duration) time.Duration {
+	start := now
+	for j, h := range b.horizon {
+		if j != job && h > start {
+			start = h
+		}
+	}
+	finish := start + d
+	if finish > b.horizon[job] {
+		b.horizon[job] = finish
+	}
+	b.Bursts++
+	if start > now {
+		b.Contended++
+		b.WaitTime += start - now
+	}
+	return finish - now
+}
+
+// Forget drops a departed job's horizon entry.
+func (b *SharedBus) Forget(job uint16) { delete(b.horizon, job) }
+
+// HorizonOf reports a job's busy horizon (tests).
+func (b *SharedBus) HorizonOf(job uint16) time.Duration { return b.horizon[job] }

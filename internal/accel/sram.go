@@ -1,0 +1,173 @@
+package accel
+
+import "fmt"
+
+// Multi-tenant SRAM modeling. The accelerator's segment buffers and
+// counters live in on-switch SRAM/BRAM — a hard, finite resource (the
+// NetFPGA-SUME carries tens of megabits of BRAM; production
+// programmable switches expose register arrays of similar scale).
+// Running several training jobs through one switch means carving that
+// memory into per-job aggregation contexts, exactly as SwitchML carves
+// its slot pools. SRAMPool is that carve: jobs reserve their worst-case
+// demand (every segment of the model pending at once) before the
+// control plane admits them, and release it when they leave.
+
+// DefaultSRAMBytes is the modeled per-switch aggregation SRAM: 16 MiB,
+// enough for two DQN-sized jobs (6.44 MB of segment state each) plus a
+// few small-model jobs — scarce enough that admission control is real.
+const DefaultSRAMBytes = 16 << 20
+
+// segOverheadBytes models the per-segment bookkeeping kept alongside
+// the payload buffer: the 32-bit contribution counter plus a 32-bit
+// valid/occupancy word.
+const segOverheadBytes = 8
+
+// ContextDemand returns the SRAM a job's aggregation context reserves:
+// one full-model set of segment buffers plus per-segment counters.
+// This is the worst case (every segment partially aggregated at once),
+// which is what a hardware slot allocator must provision for.
+func ContextDemand(modelFloats, perPacket int) int64 {
+	if modelFloats <= 0 {
+		return 0
+	}
+	if perPacket <= 0 {
+		perPacket = 1
+	}
+	segs := int64((modelFloats + perPacket - 1) / perPacket)
+	return int64(modelFloats)*4 + segs*segOverheadBytes
+}
+
+// Partition selects how the SRAM pool is carved between jobs.
+type Partition int
+
+const (
+	// PartitionDemand grants each job exactly its declared demand,
+	// first-come-first-served, until the pool is exhausted (SwitchML's
+	// dynamic slot sharing).
+	PartitionDemand Partition = iota
+	// PartitionStatic splits the pool into MaxJobs equal slots; a job
+	// takes one whole slot regardless of demand and is rejected if its
+	// demand exceeds the slot size. Simpler hardware (fixed base
+	// addresses), worse utilization.
+	PartitionStatic
+)
+
+// String names the policy for CLI/docs output.
+func (p Partition) String() string {
+	if p == PartitionStatic {
+		return "static"
+	}
+	return "demand"
+}
+
+// SRAMPool tracks per-job reservations against a finite SRAM budget.
+// Job 0 — the single-tenant default context — is never metered, so a
+// legacy fabric behaves exactly as before the pool existed.
+type SRAMPool struct {
+	total   int64
+	policy  Partition
+	maxJobs int
+	allocs  map[uint16]int64
+
+	// Rejections counts failed Reserve calls (admission pressure).
+	Rejections uint64
+}
+
+// NewSRAMPool creates a pool of totalBytes (<= 0 selects
+// DefaultSRAMBytes). maxJobs bounds the static split (<= 0 selects 8);
+// it is ignored by the demand policy.
+func NewSRAMPool(totalBytes int64, policy Partition, maxJobs int) *SRAMPool {
+	if totalBytes <= 0 {
+		totalBytes = DefaultSRAMBytes
+	}
+	if maxJobs <= 0 {
+		maxJobs = 8
+	}
+	return &SRAMPool{total: totalBytes, policy: policy, maxJobs: maxJobs,
+		allocs: make(map[uint16]int64)}
+}
+
+// Total returns the pool size in bytes.
+func (p *SRAMPool) Total() int64 { return p.total }
+
+// Policy returns the partitioning policy.
+func (p *SRAMPool) Policy() Partition { return p.policy }
+
+// Used returns the bytes currently reserved.
+func (p *SRAMPool) Used() int64 {
+	var u int64
+	for _, b := range p.allocs {
+		u += b
+	}
+	return u
+}
+
+// Free returns the unreserved bytes.
+func (p *SRAMPool) Free() int64 { return p.total - p.Used() }
+
+// Jobs returns the number of jobs holding reservations.
+func (p *SRAMPool) Jobs() int { return len(p.allocs) }
+
+// MaxJobs returns the slot count of the static partition (ignored by
+// the demand policy).
+func (p *SRAMPool) MaxJobs() int { return p.maxJobs }
+
+// Capacity returns the largest demand any single job could ever
+// reserve: the whole pool under the demand policy, one slot under
+// static. A job above Capacity can never be admitted, even alone —
+// admission control rejects it outright instead of queueing it forever.
+func (p *SRAMPool) Capacity() int64 {
+	if p.policy == PartitionStatic {
+		return p.total / int64(p.maxJobs)
+	}
+	return p.total
+}
+
+// Reserved returns job's reservation (0 if none).
+func (p *SRAMPool) Reserved(job uint16) int64 { return p.allocs[job] }
+
+// Reserve claims SRAM for a job's aggregation context. Under the
+// demand policy it claims exactly bytes; under the static policy it
+// claims one total/maxJobs slot. Reserving twice for the same job is
+// an error (contexts are admitted once).
+func (p *SRAMPool) Reserve(job uint16, bytes int64) error {
+	if _, dup := p.allocs[job]; dup {
+		return fmt.Errorf("accel: job %d already holds an SRAM reservation", job)
+	}
+	if bytes < 0 {
+		bytes = 0
+	}
+	claim := bytes
+	switch p.policy {
+	case PartitionStatic:
+		slot := p.total / int64(p.maxJobs)
+		if bytes > slot {
+			p.Rejections++
+			return fmt.Errorf("accel: job %d demands %d B, above the %d B static slot",
+				job, bytes, slot)
+		}
+		if len(p.allocs) >= p.maxJobs {
+			p.Rejections++
+			return fmt.Errorf("accel: all %d static SRAM slots are taken", p.maxJobs)
+		}
+		claim = slot
+	default: // PartitionDemand
+		if bytes > p.Free() {
+			p.Rejections++
+			return fmt.Errorf("accel: job %d demands %d B, only %d B of SRAM free",
+				job, bytes, p.Free())
+		}
+	}
+	p.allocs[job] = claim
+	return nil
+}
+
+// Release frees a job's reservation, returning the bytes given back.
+func (p *SRAMPool) Release(job uint16) int64 {
+	b, ok := p.allocs[job]
+	if !ok {
+		return 0
+	}
+	delete(p.allocs, job)
+	return b
+}

@@ -1,0 +1,126 @@
+package accel
+
+import (
+	"testing"
+	"time"
+)
+
+func TestContextDemand(t *testing.T) {
+	// 1000 floats at 366/packet -> 3 segments: 4000 B payload + 3*8 B
+	// bookkeeping.
+	if d := ContextDemand(1000, 366); d != 4000+3*8 {
+		t.Fatalf("demand = %d", d)
+	}
+	if d := ContextDemand(0, 366); d != 0 {
+		t.Fatalf("zero-model demand = %d", d)
+	}
+	// Demand grows with the model and never goes negative.
+	if ContextDemand(10, 366) >= ContextDemand(100000, 366) {
+		t.Fatal("demand not monotone in model size")
+	}
+}
+
+func TestSRAMPoolDemandPolicy(t *testing.T) {
+	p := NewSRAMPool(1000, PartitionDemand, 0)
+	if err := p.Reserve(1, 600); err != nil {
+		t.Fatalf("reserve job 1: %v", err)
+	}
+	if err := p.Reserve(2, 600); err == nil {
+		t.Fatal("overcommit accepted")
+	}
+	if p.Rejections != 1 {
+		t.Fatalf("rejections = %d", p.Rejections)
+	}
+	if err := p.Reserve(2, 400); err != nil {
+		t.Fatalf("exact-fit rejected: %v", err)
+	}
+	if p.Free() != 0 || p.Used() != 1000 || p.Jobs() != 2 {
+		t.Fatalf("free=%d used=%d jobs=%d", p.Free(), p.Used(), p.Jobs())
+	}
+	if err := p.Reserve(1, 1); err == nil {
+		t.Fatal("duplicate reservation accepted")
+	}
+	if got := p.Release(1); got != 600 {
+		t.Fatalf("release returned %d", got)
+	}
+	if p.Release(1) != 0 {
+		t.Fatal("double release returned bytes")
+	}
+	if err := p.Reserve(3, 600); err != nil {
+		t.Fatalf("freed SRAM not reusable: %v", err)
+	}
+}
+
+func TestSRAMPoolStaticPolicy(t *testing.T) {
+	p := NewSRAMPool(1000, PartitionStatic, 4) // 250 B slots
+	if err := p.Reserve(1, 300); err == nil {
+		t.Fatal("demand above slot size accepted")
+	}
+	for job := uint16(2); job <= 5; job++ {
+		if err := p.Reserve(job, 10); err != nil {
+			t.Fatalf("slot for job %d: %v", job, err)
+		}
+	}
+	// A whole slot is charged regardless of demand.
+	if p.Used() != 1000 {
+		t.Fatalf("used = %d, want 4 full slots", p.Used())
+	}
+	if err := p.Reserve(6, 10); err == nil {
+		t.Fatal("fifth job got a slot in a 4-slot pool")
+	}
+	p.Release(3)
+	if err := p.Reserve(6, 10); err != nil {
+		t.Fatalf("freed slot not reusable: %v", err)
+	}
+}
+
+func TestSRAMPoolDefaults(t *testing.T) {
+	p := NewSRAMPool(0, PartitionDemand, 0)
+	if p.Total() != DefaultSRAMBytes {
+		t.Fatalf("default total = %d", p.Total())
+	}
+	if p.Policy().String() != "demand" || PartitionStatic.String() != "static" {
+		t.Fatal("policy names")
+	}
+}
+
+func TestSharedBusSingleJobUncontended(t *testing.T) {
+	b := NewSharedBus()
+	d := 280 * time.Nanosecond
+	now := time.Duration(0)
+	// One job's packets never queue against each other, matching the
+	// single-tenant per-packet latency model exactly.
+	for i := 0; i < 5; i++ {
+		if lat := b.Charge(now, 1, d); lat != d {
+			t.Fatalf("packet %d latency %v, want %v", i, lat, d)
+		}
+		now += 50 * time.Nanosecond
+	}
+	if b.Contended != 0 || b.WaitTime != 0 {
+		t.Fatalf("single job contended: %d, wait %v", b.Contended, b.WaitTime)
+	}
+}
+
+func TestSharedBusCrossJobContention(t *testing.T) {
+	b := NewSharedBus()
+	d := 100 * time.Nanosecond
+	// Job 1 occupies [0, 100ns); job 2 arrives at t=30 and must wait.
+	if lat := b.Charge(0, 1, d); lat != d {
+		t.Fatalf("job 1 latency %v", lat)
+	}
+	lat := b.Charge(30*time.Nanosecond, 2, d)
+	if want := 170 * time.Nanosecond; lat != want { // 70 wait + 100 service
+		t.Fatalf("job 2 latency %v, want %v", lat, want)
+	}
+	if b.Contended != 1 || b.WaitTime != 70*time.Nanosecond {
+		t.Fatalf("contended=%d wait=%v", b.Contended, b.WaitTime)
+	}
+	// Job 1's next packet at t=50 queues behind job 2's horizon (200ns).
+	if lat := b.Charge(50*time.Nanosecond, 1, d); lat != 250*time.Nanosecond {
+		t.Fatalf("job 1 second latency %v", lat)
+	}
+	b.Forget(2)
+	if b.HorizonOf(2) != 0 {
+		t.Fatal("forget left a horizon")
+	}
+}

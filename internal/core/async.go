@@ -92,16 +92,28 @@ func (s *AsyncStats) MeanStaleness() float64 {
 // (Algorithm 1) on an iSwitch cluster. agents[i] runs on cluster
 // worker i.
 func RunAsyncISW(k *sim.Kernel, agents []rl.Agent, cluster *ISWCluster, cfg AsyncConfig) *AsyncStats {
+	stats := SpawnAsyncISW(k, agents, cluster, cfg, nil)
+	k.Run()
+	return stats
+}
+
+// SpawnAsyncISW spawns the asynchronous pipeline's LGC/LWU threads
+// without running the kernel, for multi-tenant fabrics where several
+// jobs' processes share one simulation. The returned stats are complete
+// only after the kernel drains; done, when non-nil, fires in kernel
+// context when this job's last LWU thread reaches cfg.Updates.
+func SpawnAsyncISW(k *sim.Kernel, agents []rl.Agent, cluster *ISWCluster, cfg AsyncConfig, done func()) *AsyncStats {
 	n := len(agents)
 	if n != len(cluster.Workers()) {
 		panic("core: agents/cluster size mismatch")
 	}
-	stats := &AsyncStats{}
+	stats := &AsyncStats{RunStats: RunStats{Updates: cfg.Updates}}
 	for range agents {
 		stats.Workers = append(stats.Workers, &WorkerStats{})
 	}
 	start := sim.NewBarrier(k, 2*n) // every LGC and LWU thread
 	stop := false
+	lwuLeft := n
 
 	for i := range agents {
 		agent, ws := agents[i], stats.Workers[i]
@@ -129,6 +141,9 @@ func RunAsyncISW(k *sim.Kernel, agents []rl.Agent, cluster *ISWCluster, cfg Asyn
 				}
 			}
 			stop = true
+			if lwuLeft--; lwuLeft == 0 && done != nil {
+				done()
+			}
 		})
 
 		// LGC thread: compute, staleness-check, nonblocking send.
@@ -154,8 +169,6 @@ func RunAsyncISW(k *sim.Kernel, agents []rl.Agent, cluster *ISWCluster, cfg Asyn
 			}
 		})
 	}
-	k.Run()
-	stats.Updates = cfg.Updates
 	return stats
 }
 

@@ -24,6 +24,11 @@ type ISWConfig struct {
 	// (0 selects the MTU-filling protocol default). Exposed for the
 	// packet-size ablation.
 	FloatsPerPacket int
+	// Job tags every packet this client sends (data and control) with a
+	// training-job ID so a multi-tenant switch demultiplexes it into the
+	// right aggregation context. Zero — the default — is the unmetered
+	// single-tenant job, preserving legacy behavior exactly.
+	Job protocol.JobID
 	// RecoveryTimeout, when nonzero, arms worker-side loss recovery
 	// during synchronous aggregation: a worker whose broadcast stalls
 	// for this long sends Help for its missing segments and retransmits
@@ -97,6 +102,23 @@ func NewISWTree(k *sim.Kernel, nRacks, perRack, modelFloats int, edge, uplink ne
 	return c
 }
 
+// NewISWOnFabric builds an ISWCluster over hosts of an already-built
+// shared fabric: workers[i] contributes to the switch at targets[i]
+// (its ToR in a hierarchy, the single switch in a star). h is the
+// job-wide aggregation divisor — the total number of workers in the
+// job. This is the multi-tenant entry point: several clusters, each
+// tagged with a distinct cfg.Job, can cohabit one fabric.
+func NewISWOnFabric(workers []*netsim.Host, targets []protocol.Addr, modelFloats, h int, cfg ISWConfig) *ISWCluster {
+	if len(workers) == 0 || len(workers) != len(targets) {
+		panic("core: NewISWOnFabric workers/targets mismatch")
+	}
+	return &ISWCluster{
+		workers: workers,
+		target:  append([]protocol.Addr(nil), targets...),
+		n:       modelFloats, h: h, cfg: cfg,
+	}
+}
+
 // Workers exposes the worker hosts.
 func (c *ISWCluster) Workers() []*netsim.Host { return c.workers }
 
@@ -144,8 +166,10 @@ func (ic *iswClient) roundTag() uint64 {
 // (Table 2), retrying on timeout when loss recovery is armed.
 func (ic *iswClient) Setup(p *sim.Proc) {
 	join := func() {
-		ic.host.Send(protocol.NewControl(ic.host.Addr, ic.sw, protocol.ActionJoin,
-			protocol.JoinValue(uint64(ic.cluster.n))))
+		pkt := protocol.NewControl(ic.host.Addr, ic.sw, protocol.ActionJoin,
+			protocol.JoinValue(uint64(ic.cluster.n)))
+		pkt.Job = ic.cluster.cfg.Job
+		ic.host.Send(pkt)
 	}
 	join()
 	for {
@@ -192,6 +216,7 @@ func (ic *iswClient) SendGradient(grad []float32) {
 	tag := ic.roundTag()
 	for _, pkt := range protocol.SegmentWith(ic.host.Addr, ic.sw, grad, ic.cluster.cfg.perPacket()) {
 		pkt.Seg |= tag
+		pkt.Job = ic.cluster.cfg.Job
 		ic.host.Send(pkt)
 	}
 }
@@ -216,7 +241,9 @@ func (ic *iswClient) retransmit(taggedSeg uint64) {
 	if lo >= hi {
 		return
 	}
-	ic.host.Send(protocol.NewData(ic.host.Addr, ic.sw, taggedSeg, grad[lo:hi]))
+	pkt := protocol.NewData(ic.host.Addr, ic.sw, taggedSeg, grad[lo:hi])
+	pkt.Job = ic.cluster.cfg.Job
+	ic.host.Send(pkt)
 }
 
 // CollectAggregate is the blocking download half of Aggregate — the
@@ -239,8 +266,10 @@ func (ic *iswClient) CollectAggregate(p *sim.Proc) []float32 {
 				// and retransmit our own contributions (the switch's
 				// dedup bitmap drops any that were not actually lost).
 				for _, seg := range ic.asm.Missing() {
-					ic.host.Send(protocol.NewControl(ic.host.Addr, ic.sw,
-						protocol.ActionHelp, protocol.HelpValue(seg|tag)))
+					help := protocol.NewControl(ic.host.Addr, ic.sw,
+						protocol.ActionHelp, protocol.HelpValue(seg|tag))
+					help.Job = ic.cluster.cfg.Job
+					ic.host.Send(help)
 					ic.retransmit(seg | tag)
 				}
 				continue
@@ -250,6 +279,9 @@ func (ic *iswClient) CollectAggregate(p *sim.Proc) []float32 {
 		}
 		switch {
 		case pkt.IsData():
+			if pkt.Job != ic.cluster.cfg.Job {
+				continue // another tenant's broadcast (shared host)
+			}
 			if pkt.Seg>>roundShift != tag>>roundShift {
 				continue // stale re-broadcast from a completed round
 			}

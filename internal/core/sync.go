@@ -24,6 +24,18 @@ type SyncConfig struct {
 // the aggregation itself (a worker cannot receive the sum before every
 // worker contributed). agents[i] pairs with services[i].
 func RunSync(k *sim.Kernel, agents []rl.Agent, services []Service, cfg SyncConfig) *RunStats {
+	stats := SpawnSync(k, agents, services, cfg, nil)
+	k.Run()
+	return stats
+}
+
+// SpawnSync spawns the synchronous training processes without running
+// the kernel, so several jobs can cohabit one simulation (the
+// multi-tenant fabric runs every job's workers on one kernel and calls
+// k.Run once). The returned stats are complete only after the kernel
+// has drained; done, when non-nil, fires in kernel context the moment
+// this job's last worker finishes its final iteration.
+func SpawnSync(k *sim.Kernel, agents []rl.Agent, services []Service, cfg SyncConfig, done func()) *RunStats {
 	if len(agents) != len(services) || len(agents) == 0 {
 		panic("core: agents/services mismatch")
 	}
@@ -32,10 +44,16 @@ func RunSync(k *sim.Kernel, agents []rl.Agent, services []Service, cfg SyncConfi
 		stats.Workers = append(stats.Workers, &WorkerStats{})
 	}
 	start := sim.NewBarrier(k, len(agents))
+	remaining := len(agents)
 
 	for i := range agents {
 		agent, svc, ws := agents[i], services[i], stats.Workers[i]
 		k.Spawn(fmt.Sprintf("sync-worker-%d", i), func(p *sim.Proc) {
+			defer func() {
+				if remaining--; remaining == 0 && done != nil {
+					done()
+				}
+			}()
 			svc.Setup(p)
 			start.Wait(p) // all workers begin iteration 0 together
 			grad := make([]float32, agent.GradLen())
@@ -62,6 +80,5 @@ func RunSync(k *sim.Kernel, agents []rl.Agent, services []Service, cfg SyncConfi
 			}
 		})
 	}
-	k.Run()
 	return stats
 }

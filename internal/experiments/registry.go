@@ -28,6 +28,7 @@ func Specs(opts CurveOpts) []Spec {
 			Run: func() Result { return Figure14(opts) }},
 		{ID: "figure15", Title: "Scalability", Run: Figure15},
 		{ID: "shard-sweep", Title: "Sharded-PS shard-count sweep", Run: ShardSweep},
+		{ID: "job-sweep", Title: "Multi-tenant job-count sweep", Run: JobSweep},
 		{ID: "ablation-staleness", Title: "Staleness bound sweep", Run: AblationStaleness},
 		{ID: "ablation-h", Title: "Aggregation threshold sweep", Run: AblationH},
 		{ID: "ablation-hierarchical", Title: "Hierarchical vs flat", Run: AblationHierarchical},

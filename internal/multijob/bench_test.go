@@ -1,0 +1,109 @@
+package multijob
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"runtime"
+	"testing"
+	"time"
+
+	"iswitch/internal/perfmodel"
+	"iswitch/internal/sim"
+)
+
+// Benchmarks for the multi-tenant scheduler: wall-clock cost of
+// simulating J co-running jobs, plus the sweep metrics recorded into
+// BENCH_multijob.json (env-gated, see TestWriteBenchJSON).
+
+// benchSpecs builds J small jobs cycling the four paper workloads
+// (model sizes scaled down so a bench sweep stays sub-second).
+func benchSpecs(j int) []JobSpec {
+	wls := perfmodel.Workloads()
+	floats := []int{2000, 1600, 1000, 1300} // keeps the DQN>A2C>DDPG>PPO size ordering
+	specs := make([]JobSpec, j)
+	for i := range specs {
+		wl := wls[i%len(wls)]
+		specs[i] = JobSpec{
+			Name: fmt.Sprintf("%s-%d", wl.Name, i), Workload: wl,
+			Workers: 2, Mode: ModeSync, Iterations: 2,
+			ModelFloats: floats[i%len(floats)],
+		}
+	}
+	return specs
+}
+
+func runBenchSweep(tb testing.TB, j int) Summary {
+	tb.Helper()
+	k := sim.NewKernel()
+	f := NewStarFabric(k, 2*j, testLink(), FabricConfig{})
+	res, err := Run(f, benchSpecs(j))
+	if err != nil {
+		tb.Fatal(err)
+	}
+	return Summarize(res)
+}
+
+// BenchmarkMultiJobSweep measures the wall-clock cost of a full
+// J-tenant simulated sweep (scheduler + fabric + training processes).
+func BenchmarkMultiJobSweep(b *testing.B) {
+	for _, j := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("jobs-%d", j), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				runBenchSweep(b, j)
+			}
+		})
+	}
+}
+
+// --- BENCH_multijob.json emission --------------------------------------
+
+type benchRow struct {
+	Jobs              int     `json:"jobs"`
+	MakespanMs        float64 `json:"makespan_ms"`
+	MeanRoundMs       float64 `json:"mean_round_ms"`
+	AggThroughputGbps float64 `json:"agg_throughput_gbps"`
+	Fairness          float64 `json:"fairness"`
+	WallMs            float64 `json:"wall_ms"`
+}
+
+type benchDoc struct {
+	GOARCH string     `json:"goarch"`
+	NumCPU int        `json:"num_cpu"`
+	Rows   []benchRow `json:"sweeps"`
+}
+
+// TestWriteBenchJSON records the multi-tenant sweep trajectory to the
+// file named by BENCH_MULTIJOB_JSON (skipped when unset, so a plain
+// `go test ./...` never writes files). CI uses:
+//
+//	BENCH_MULTIJOB_JSON=BENCH_multijob.json go test -run WriteBenchJSON ./internal/multijob
+func TestWriteBenchJSON(t *testing.T) {
+	out := os.Getenv("BENCH_MULTIJOB_JSON")
+	if out == "" {
+		t.Skip("BENCH_MULTIJOB_JSON not set")
+	}
+	doc := benchDoc{GOARCH: runtime.GOARCH, NumCPU: runtime.NumCPU()}
+	for _, j := range []int{1, 2, 4, 8} {
+		start := time.Now()
+		sum := runBenchSweep(t, j)
+		wall := time.Since(start)
+		doc.Rows = append(doc.Rows, benchRow{
+			Jobs:              j,
+			MakespanMs:        float64(sum.Makespan) / 1e6,
+			MeanRoundMs:       float64(sum.MeanRound) / 1e6,
+			AggThroughputGbps: sum.AggThroughputBps / 1e9,
+			Fairness:          sum.Fairness,
+			WallMs:            float64(wall.Nanoseconds()) / 1e6,
+		})
+	}
+	data, err := json.MarshalIndent(doc, "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(out, append(data, '\n'), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("wrote %s", out)
+}

@@ -1,0 +1,275 @@
+// Package multijob runs several distributed RL training jobs
+// concurrently over one simulated in-switch-aggregation fabric.
+//
+// The paper evaluates iSwitch with one job owning the switch; a
+// production rack is shared. This package models that sharing end to
+// end: every job gets its own aggregation context on each switch it
+// touches (segment buffers carved from a finite SRAM pool, its own
+// membership table and threshold), data packets are demultiplexed by
+// the JobID carried in the IPv4 Identification field, concurrent jobs'
+// bursts contend on the accelerator's 256-bit bus, and an admission
+// controller queues jobs whose SRAM demand does not fit — strictly
+// FIFO, so a large job is never starved by small latecomers.
+//
+// A fabric carrying exactly one admitted job is bit- and clock-
+// identical to the single-tenant path (pinned by tests): the job tag
+// costs zero wire bytes, a lone job never waits on the shared bus, and
+// SRAM reservation is control-plane-only.
+package multijob
+
+import (
+	"fmt"
+
+	"iswitch/internal/accel"
+	"iswitch/internal/netsim"
+	"iswitch/internal/perfmodel"
+	"iswitch/internal/protocol"
+	"iswitch/internal/rl"
+	"iswitch/internal/sim"
+	"iswitch/internal/switchnet"
+)
+
+// Mode selects a job's training discipline.
+type Mode int
+
+const (
+	// ModeSync is synchronous training (global barrier per iteration).
+	ModeSync Mode = iota
+	// ModeAsync is the asynchronous LGC/LWU pipeline (Algorithm 1).
+	ModeAsync
+)
+
+// String names the mode for reports.
+func (m Mode) String() string {
+	if m == ModeAsync {
+		return "async"
+	}
+	return "sync"
+}
+
+// JobSpec describes one training job submitted to a shared fabric.
+type JobSpec struct {
+	// Name labels the job in reports (defaults to the workload name).
+	Name string
+	// Workload supplies the model size and calibrated compute/update
+	// times (perfmodel Table 1).
+	Workload perfmodel.Workload
+	// Workers is how many fabric hosts the job occupies.
+	Workers int
+	// Mode selects sync or async training.
+	Mode Mode
+	// Iterations is the synchronous iteration count (ModeSync).
+	Iterations int
+	// Updates and StalenessBound drive the asynchronous pipeline
+	// (ModeAsync).
+	Updates        int64
+	StalenessBound int64
+	// ModelFloats overrides the gradient length (0 selects the
+	// workload's full model — tests use small overrides to keep
+	// simulations fast without changing the code path).
+	ModelFloats int
+	// NewAgent, when non-nil, constructs worker i's agent (equivalence
+	// tests inject seeded real agents); nil selects timing-only
+	// synthetic agents.
+	NewAgent func(worker int) rl.Agent
+}
+
+func (s JobSpec) name() string {
+	if s.Name != "" {
+		return s.Name
+	}
+	return s.Workload.Name
+}
+
+func (s JobSpec) floats() int {
+	if s.ModelFloats > 0 {
+		return s.ModelFloats
+	}
+	return s.Workload.Floats()
+}
+
+// FabricConfig parameterizes the shared-resource model of every switch
+// in a fabric.
+type FabricConfig struct {
+	// SRAMBytes is each switch's aggregation SRAM (0 selects
+	// accel.DefaultSRAMBytes).
+	SRAMBytes int64
+	// Policy selects how SRAM is carved between jobs.
+	Policy accel.Partition
+	// MaxJobs bounds the static partition's slot count (0 selects 8).
+	MaxJobs int
+}
+
+// Fabric is a built multi-tenant topology: hosts, iSwitch-enabled
+// switches with per-switch SRAM pools and shared buses, and the
+// per-host aggregation path (contributing switch up to the root) that
+// admission walks.
+type Fabric struct {
+	K     *sim.Kernel
+	Hosts []*netsim.Host
+
+	// target[i] is the switch address host i's gradients go to; path[i]
+	// is host i's aggregation chain, leaf switch first, root last.
+	target []protocol.Addr
+	path   [][]*switchnet.ISwitch
+
+	// Switches lists every iSwitch in the fabric (deduped).
+	Switches []*switchnet.ISwitch
+
+	next int // host-allocation cursor
+}
+
+func (f *Fabric) arm(cfg FabricConfig) {
+	for _, is := range f.Switches {
+		is.SetTenancy(accel.NewSRAMPool(cfg.SRAMBytes, cfg.Policy, cfg.MaxJobs),
+			accel.NewSharedBus())
+	}
+}
+
+// NewStarFabric builds a single-switch fabric with nHosts workers.
+func NewStarFabric(k *sim.Kernel, nHosts int, link netsim.LinkConfig, cfg FabricConfig) *Fabric {
+	c := switchnet.BuildStar(k, nHosts, link)
+	f := &Fabric{K: k, Hosts: c.Workers, Switches: []*switchnet.ISwitch{c.IS}}
+	for range c.Workers {
+		f.target = append(f.target, c.IS.Addr())
+		f.path = append(f.path, []*switchnet.ISwitch{c.IS})
+	}
+	f.arm(cfg)
+	return f
+}
+
+// NewTreeFabric builds the rack-scale two-level fabric: nHosts workers
+// in racks of perRack under ToR switches beneath one root.
+func NewTreeFabric(k *sim.Kernel, nHosts, perRack int, edge, uplink netsim.LinkConfig, cfg FabricConfig) *Fabric {
+	c := switchnet.BuildTreeN(k, nHosts, perRack, edge, uplink)
+	f := &Fabric{K: k, Hosts: c.Workers}
+	f.Switches = append(f.Switches, c.Root)
+	f.Switches = append(f.Switches, c.ToRs...)
+	for i := range c.Workers {
+		tor := c.ToROf(i)
+		f.target = append(f.target, tor.Addr())
+		f.path = append(f.path, []*switchnet.ISwitch{tor, c.Root})
+	}
+	f.arm(cfg)
+	return f
+}
+
+// NewThreeTierFabric builds the full ToR→AGG→core fabric.
+func NewThreeTierFabric(k *sim.Kernel, nAGGs, torsPerAGG, hostsPerToR int,
+	edge, aggLink, coreLink netsim.LinkConfig, cfg FabricConfig) *Fabric {
+	c := switchnet.BuildThreeTier(k, nAGGs, torsPerAGG, hostsPerToR, edge, aggLink, coreLink)
+	f := &Fabric{K: k, Hosts: c.Workers}
+	f.Switches = append(f.Switches, c.Core)
+	f.Switches = append(f.Switches, c.AGGs...)
+	f.Switches = append(f.Switches, c.ToRs...)
+	for i := range c.Workers {
+		tor := c.ToROf3(i)
+		agg := c.AGGs[c.Net.AGGOf[c.Net.ToROf[i]]]
+		f.target = append(f.target, tor.Addr())
+		f.path = append(f.path, []*switchnet.ISwitch{tor, agg, c.Core})
+	}
+	f.arm(cfg)
+	return f
+}
+
+// FreeHosts reports how many fabric hosts are still unassigned.
+func (f *Fabric) FreeHosts() int { return len(f.Hosts) - f.next }
+
+// allocHosts claims the next n hosts for a job.
+func (f *Fabric) allocHosts(n int) ([]*netsim.Host, []protocol.Addr, [][]*switchnet.ISwitch, error) {
+	if n <= 0 {
+		return nil, nil, nil, fmt.Errorf("multijob: job needs at least one worker")
+	}
+	if f.next+n > len(f.Hosts) {
+		return nil, nil, nil, fmt.Errorf("multijob: fabric has %d free hosts, job wants %d",
+			f.FreeHosts(), n)
+	}
+	lo := f.next
+	f.next += n
+	return f.Hosts[lo : lo+n], f.target[lo : lo+n], f.path[lo : lo+n], nil
+}
+
+// switchesFor dedupes the switches on a set of aggregation chains,
+// leaf levels first (admission order does not matter; eviction walks
+// the same list).
+func switchesFor(chains [][]*switchnet.ISwitch) []*switchnet.ISwitch {
+	seen := make(map[*switchnet.ISwitch]bool)
+	var out []*switchnet.ISwitch
+	for level := 0; ; level++ {
+		any := false
+		for _, chain := range chains {
+			if level >= len(chain) {
+				continue
+			}
+			any = true
+			if is := chain[level]; !seen[is] {
+				seen[is] = true
+				out = append(out, is)
+			}
+		}
+		if !any {
+			return out
+		}
+	}
+}
+
+// admit reserves job contexts on every switch of the job's chains,
+// rolling back on partial failure, then wires the per-job hierarchy
+// membership (each parent learns which child switches forward the
+// job's partial aggregates).
+func (f *Fabric) admit(job protocol.JobID, modelFloats int, chains [][]*switchnet.ISwitch) error {
+	sws := switchesFor(chains)
+	for i, is := range sws {
+		if err := is.AdmitJob(job, uint64(modelFloats)); err != nil {
+			for _, done := range sws[:i] {
+				done.EvictJob(job)
+			}
+			return err
+		}
+	}
+	for _, chain := range chains {
+		for level := 0; level+1 < len(chain); level++ {
+			chain[level+1].RegisterChildSwitchJob(job, chain[level].Addr())
+		}
+	}
+	return nil
+}
+
+// evict tears the job's contexts down on every involved switch,
+// releasing SRAM for queued jobs.
+func (f *Fabric) evict(job protocol.JobID, chains [][]*switchnet.ISwitch) {
+	for _, is := range switchesFor(chains) {
+		is.EvictJob(job)
+	}
+}
+
+// feasible reports whether a job of the given model size could ever be
+// admitted, even on an otherwise-empty fabric. Infeasible jobs are
+// rejected outright rather than queued (a queued infeasible job would
+// head-block the FIFO forever).
+func (f *Fabric) feasible(modelFloats int) bool {
+	demand := accel.ContextDemand(modelFloats, protocol.FloatsPerPacket)
+	for _, is := range f.Switches {
+		if pool := is.SRAMPool(); pool != nil && demand > pool.Capacity() {
+			return false
+		}
+	}
+	return true
+}
+
+// WireBytesFor sums the job-tagged bytes transmitted on every link of
+// the fabric (each packet counted once per hop, so this is a
+// byte·hops bandwidth-usage measure, the input to fair-share
+// accounting).
+func (f *Fabric) WireBytesFor(job protocol.JobID) uint64 {
+	var total uint64
+	for _, is := range f.Switches {
+		for _, port := range is.Switch().Ports() {
+			total += port.TxBytesByJob(job)
+		}
+	}
+	for _, h := range f.Hosts {
+		total += h.Port().TxBytesByJob(job)
+	}
+	return total
+}

@@ -1,0 +1,205 @@
+package multijob
+
+import (
+	"fmt"
+	"time"
+
+	"iswitch/internal/core"
+	"iswitch/internal/netsim"
+	"iswitch/internal/protocol"
+	"iswitch/internal/rl"
+	"iswitch/internal/switchnet"
+)
+
+// JobResult is one job's outcome on the shared fabric.
+type JobResult struct {
+	Job      protocol.JobID
+	Name     string
+	Workload string
+	Mode     Mode
+	Workers  int
+	// ModelFloats is the gradient length the job actually ran with.
+	ModelFloats int
+
+	// Rejected jobs can never fit the fabric (demand above a switch's
+	// SRAM capacity) and did not run at all.
+	Rejected bool
+	// Queued reports whether admission control deferred the job behind
+	// earlier tenants before it started.
+	Queued bool
+
+	// Started and Finished are virtual-clock bounds of the job's run
+	// (Started > 0 for jobs that waited in the admission queue).
+	Started, Finished time.Duration
+	// MeanRound is the mean per-iteration (sync) or inter-update
+	// (async) time across the job's workers.
+	MeanRound time.Duration
+	// Rounds is iterations (sync) or weight updates (async) completed.
+	Rounds int64
+	// GradBytes is the gradient volume the fabric aggregated for this
+	// job: rounds × workers × model bytes.
+	GradBytes uint64
+	// WireBytes is the job-tagged traffic summed over every fabric link
+	// (byte·hops), the fair-share accounting input.
+	WireBytes uint64
+
+	// Sync/Async expose the underlying run statistics (exactly one is
+	// non-nil for jobs that ran).
+	Sync  *core.RunStats
+	Async *core.AsyncStats
+}
+
+type jobRun struct {
+	spec    JobSpec
+	id      protocol.JobID
+	hosts   []*netsim.Host
+	targets []protocol.Addr
+	chains  [][]*switchnet.ISwitch
+	res     *JobResult
+	started bool
+}
+
+type scheduler struct {
+	f *Fabric
+	// queue holds jobs awaiting admission, FIFO.
+	queue   []*jobRun
+	running int
+	all     []*jobRun
+}
+
+// Run submits specs to the fabric in order and simulates until every
+// admitted job completes. Admission is strictly FIFO: a job that does
+// not fit waits for running tenants to finish and release SRAM, and no
+// later job may jump the queue — the deliberate anti-starvation choice
+// (a backfilling scheduler would start small jobs opportunistically but
+// could starve a large one indefinitely). Jobs whose demand exceeds a
+// switch's SRAM capacity outright are marked Rejected and never run.
+// Results are returned in spec order.
+func Run(f *Fabric, specs []JobSpec) ([]*JobResult, error) {
+	if len(specs) == 0 {
+		return nil, fmt.Errorf("multijob: no jobs submitted")
+	}
+	s := &scheduler{f: f}
+	for i, spec := range specs {
+		jr := &jobRun{
+			spec: spec,
+			id:   protocol.JobID(i + 1),
+			res: &JobResult{
+				Job: protocol.JobID(i + 1), Name: spec.name(),
+				Workload: spec.Workload.Name, Mode: spec.Mode,
+				Workers: spec.Workers, ModelFloats: spec.floats(),
+			},
+		}
+		s.all = append(s.all, jr)
+		if !f.feasible(spec.floats()) {
+			jr.res.Rejected = true
+			continue
+		}
+		hosts, targets, chains, err := f.allocHosts(spec.Workers)
+		if err != nil {
+			return nil, fmt.Errorf("multijob: job %q: %w", spec.name(), err)
+		}
+		jr.hosts, jr.targets, jr.chains = hosts, targets, chains
+		s.queue = append(s.queue, jr)
+	}
+	s.tryAdmit()
+	f.K.Run()
+
+	results := make([]*JobResult, len(s.all))
+	for i, jr := range s.all {
+		if !jr.res.Rejected && !jr.started {
+			return nil, fmt.Errorf("multijob: job %q was never admitted (queue deadlock?)", jr.spec.name())
+		}
+		if jr.started && jr.res.Finished == 0 && jr.res.Rounds == 0 && jr.res.Sync == nil && jr.res.Async == nil {
+			return nil, fmt.Errorf("multijob: job %q never completed", jr.spec.name())
+		}
+		results[i] = jr.res
+	}
+	return results, nil
+}
+
+// tryAdmit starts jobs from the queue head while they fit. Strict FIFO:
+// the first job that does not fit blocks the rest of the queue.
+func (s *scheduler) tryAdmit() {
+	for len(s.queue) > 0 {
+		jr := s.queue[0]
+		// Reserve (inside admit) is the authoritative admission check; a
+		// refusal leaves the head queued and counts SRAM pressure on the
+		// refusing switch's pool.
+		if err := s.f.admit(jr.id, jr.spec.floats(), jr.chains); err != nil {
+			// Everything behind the head is deferred too.
+			for _, waiting := range s.queue {
+				waiting.res.Queued = true
+			}
+			return
+		}
+		s.queue = s.queue[1:]
+		s.start(jr)
+	}
+}
+
+// start spawns the job's training processes at the current virtual
+// time.
+func (s *scheduler) start(jr *jobRun) {
+	jr.started = true
+	s.running++
+	jr.res.Started = s.f.K.Now()
+
+	spec := jr.spec
+	agents := make([]rl.Agent, spec.Workers)
+	for i := range agents {
+		if spec.NewAgent != nil {
+			agents[i] = spec.NewAgent(i)
+		} else {
+			agents[i] = core.NewSyntheticAgent(spec.floats())
+		}
+	}
+	cfg := core.DefaultISWConfig()
+	cfg.Job = jr.id
+	cluster := core.NewISWOnFabric(jr.hosts, jr.targets, spec.floats(), spec.Workers, cfg)
+
+	done := func() { s.finish(jr) }
+	switch spec.Mode {
+	case ModeAsync:
+		jr.res.Async = core.SpawnAsyncISW(s.f.K, agents, cluster, core.AsyncConfig{
+			Updates: spec.Updates, StalenessBound: spec.StalenessBound,
+			LocalCompute: spec.Workload.LocalCompute, WeightUpdate: spec.Workload.WeightUpdate,
+		}, done)
+	default:
+		jr.res.Sync = core.SpawnSync(s.f.K, agents, services(cluster, spec.Workers), core.SyncConfig{
+			Iterations:   spec.Iterations,
+			LocalCompute: spec.Workload.LocalCompute,
+			WeightUpdate: spec.Workload.WeightUpdate,
+		}, done)
+	}
+}
+
+func services(c *core.ISWCluster, n int) []core.Service {
+	out := make([]core.Service, n)
+	for i := range out {
+		out[i] = c.Client(i)
+	}
+	return out
+}
+
+// finish runs in kernel context when the job's last worker completes:
+// record its outcome, release its switch contexts, and admit queued
+// jobs into the freed SRAM.
+func (s *scheduler) finish(jr *jobRun) {
+	s.running--
+	jr.res.Finished = s.f.K.Now()
+	s.f.evict(jr.id, jr.chains)
+
+	spec := jr.spec
+	if jr.res.Sync != nil {
+		jr.res.MeanRound = jr.res.Sync.MeanIter()
+		jr.res.Rounds = jr.res.Sync.Updates
+	} else if jr.res.Async != nil {
+		jr.res.MeanRound = jr.res.Async.MeanIter()
+		jr.res.Rounds = jr.res.Async.Updates
+	}
+	jr.res.GradBytes = uint64(jr.res.Rounds) * uint64(spec.Workers) * uint64(spec.floats()) * 4
+	jr.res.WireBytes = s.f.WireBytesFor(jr.id)
+
+	s.tryAdmit()
+}

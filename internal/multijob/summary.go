@@ -1,0 +1,59 @@
+package multijob
+
+import (
+	"time"
+
+	"iswitch/internal/perfmodel"
+)
+
+// Summary condenses a multi-job run into the sweep-level metrics the
+// job-sweep experiment reports.
+type Summary struct {
+	// Jobs counts submitted jobs; Ran counts those that completed;
+	// Rejected/Queued count admission outcomes (a queued job still ran,
+	// just later).
+	Jobs, Ran, Rejected, Queued int
+	// Makespan is the finish time of the last job (virtual clock).
+	Makespan time.Duration
+	// MeanRound averages per-round time across jobs that ran.
+	MeanRound time.Duration
+	// AggThroughputBps is the fabric-wide aggregated-gradient
+	// throughput: total gradient bits the switches reduced, divided by
+	// the makespan.
+	AggThroughputBps float64
+	// Fairness is Jain's index over per-job wire bytes (1 = all jobs
+	// moved equal traffic).
+	Fairness float64
+}
+
+// Summarize condenses per-job results.
+func Summarize(results []*JobResult) Summary {
+	s := Summary{Jobs: len(results)}
+	var roundSum time.Duration
+	var gradBytes uint64
+	var shares []float64
+	for _, r := range results {
+		if r.Rejected {
+			s.Rejected++
+			continue
+		}
+		if r.Queued {
+			s.Queued++
+		}
+		s.Ran++
+		if r.Finished > s.Makespan {
+			s.Makespan = r.Finished
+		}
+		roundSum += r.MeanRound
+		gradBytes += r.GradBytes
+		shares = append(shares, float64(r.WireBytes))
+	}
+	if s.Ran > 0 {
+		s.MeanRound = roundSum / time.Duration(s.Ran)
+	}
+	if s.Makespan > 0 {
+		s.AggThroughputBps = float64(gradBytes) * 8 / s.Makespan.Seconds()
+	}
+	s.Fairness = perfmodel.JainFairness(shares)
+	return s
+}

@@ -80,6 +80,26 @@ type Port struct {
 	TxPackets, RxPackets uint64
 	TxBytes, RxBytes     uint64
 	Dropped              uint64
+
+	// txByJob attributes transmitted bytes to the training job tagged on
+	// each frame. Only nonzero job IDs are metered (job 0 is the
+	// unmetered single-tenant default), so legacy ports never allocate
+	// the map and the hot path stays untouched.
+	txByJob map[protocol.JobID]uint64
+}
+
+// TxBytesByJob returns the bytes this port transmitted for one job
+// (nonzero IDs only; job 0 traffic is not metered per job).
+func (p *Port) TxBytesByJob(job protocol.JobID) uint64 { return p.txByJob[job] }
+
+// TxJobShares returns a copy of the per-job transmitted-byte ledger,
+// the raw material for fair-share analysis of a contended link.
+func (p *Port) TxJobShares() map[protocol.JobID]uint64 {
+	out := make(map[protocol.JobID]uint64, len(p.txByJob))
+	for j, b := range p.txByJob {
+		out[j] = b
+	}
+	return out
 }
 
 // Name returns the port's diagnostic name.
@@ -112,6 +132,12 @@ func (p *Port) Send(pkt *protocol.Packet) {
 	p.busyUntil = txEnd
 	p.TxPackets++
 	p.TxBytes += uint64(pkt.WireLen())
+	if pkt.Job != protocol.DefaultJob {
+		if p.txByJob == nil {
+			p.txByJob = make(map[protocol.JobID]uint64)
+		}
+		p.txByJob[pkt.Job] += uint64(pkt.WireLen())
+	}
 	if p.Trace != nil {
 		p.Trace(start, "tx", pkt)
 	}

@@ -342,3 +342,48 @@ func TestPortTraceHook(t *testing.T) {
 		t.Fatalf("drop not traced: %+v", events)
 	}
 }
+
+func TestPerJobTxAccounting(t *testing.T) {
+	k := sim.NewKernel()
+	a := NewHost(k, HostAddr(0, 0))
+	b := NewHost(k, HostAddr(0, 1))
+	pa, pb := Connect(k, testLink(), a, "a", b, "b")
+	a.SetPort(pa)
+	b.SetPort(pb)
+
+	mk := func(job protocol.JobID, n int) *protocol.Packet {
+		p := dataPkt(a.Addr, b.Addr, 0, n)
+		p.Job = job
+		return p
+	}
+	k.Spawn("recv", func(p *sim.Proc) {
+		for i := 0; i < 4; i++ {
+			b.Recv(p)
+		}
+	})
+	k.Spawn("send", func(p *sim.Proc) {
+		a.Send(mk(1, 100))
+		a.Send(mk(2, 100))
+		a.Send(mk(1, 100))
+		a.Send(mk(0, 100)) // untagged legacy traffic: not metered per job
+	})
+	k.Run()
+
+	per := uint64(dataPkt(a.Addr, b.Addr, 0, 100).WireLen())
+	if got := pa.TxBytesByJob(1); got != 2*per {
+		t.Fatalf("job 1 bytes = %d, want %d", got, 2*per)
+	}
+	if got := pa.TxBytesByJob(2); got != per {
+		t.Fatalf("job 2 bytes = %d, want %d", got, per)
+	}
+	if got := pa.TxBytesByJob(0); got != 0 {
+		t.Fatalf("job 0 metered: %d", got)
+	}
+	if pa.TxBytes != 4*per {
+		t.Fatalf("total TxBytes = %d, want %d", pa.TxBytes, 4*per)
+	}
+	shares := pa.TxJobShares()
+	if len(shares) != 2 || shares[1] != 2*per || shares[2] != per {
+		t.Fatalf("ledger = %v", shares)
+	}
+}

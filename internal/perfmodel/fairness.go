@@ -1,0 +1,49 @@
+package perfmodel
+
+// Fair-share accounting for a multi-tenant fabric. When several
+// training jobs run over one switch, each contended link's transmitted
+// bytes can be attributed per job (netsim meters this); these helpers
+// turn that ledger into the standard fairness summary reported by the
+// job-sweep experiment.
+
+// JainFairness computes Jain's fairness index over a set of per-job
+// allocations: (Σx)² / (n·Σx²). It is 1.0 when every job receives an
+// equal share and approaches 1/n when one job monopolizes the resource.
+// An empty or all-zero input returns 1 (nothing to be unfair about).
+func JainFairness(shares []float64) float64 {
+	var sum, sumSq float64
+	n := 0
+	for _, x := range shares {
+		if x < 0 {
+			x = 0
+		}
+		sum += x
+		sumSq += x * x
+		n++
+	}
+	if n == 0 || sumSq == 0 {
+		return 1
+	}
+	return sum * sum / (float64(n) * sumSq)
+}
+
+// FairShare normalizes a per-job byte ledger into fractional shares of
+// the link (values summing to 1). Jobs with zero bytes keep share 0; an
+// empty ledger returns an empty map.
+func FairShare(byJob map[uint16]uint64) map[uint16]float64 {
+	var total uint64
+	for _, b := range byJob {
+		total += b
+	}
+	out := make(map[uint16]float64, len(byJob))
+	if total == 0 {
+		for j := range byJob {
+			out[j] = 0
+		}
+		return out
+	}
+	for j, b := range byJob {
+		out[j] = float64(b) / float64(total)
+	}
+	return out
+}

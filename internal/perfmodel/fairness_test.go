@@ -1,0 +1,46 @@
+package perfmodel
+
+import (
+	"math"
+	"testing"
+)
+
+func TestJainFairness(t *testing.T) {
+	if f := JainFairness([]float64{1, 1, 1, 1}); f != 1 {
+		t.Fatalf("equal shares index = %v", f)
+	}
+	// One job hogging a 4-job link drives the index toward 1/4.
+	if f := JainFairness([]float64{1, 0, 0, 0}); math.Abs(f-0.25) > 1e-12 {
+		t.Fatalf("monopoly index = %v, want 0.25", f)
+	}
+	if f := JainFairness(nil); f != 1 {
+		t.Fatalf("empty index = %v", f)
+	}
+	if f := JainFairness([]float64{0, 0}); f != 1 {
+		t.Fatalf("all-zero index = %v", f)
+	}
+	mid := JainFairness([]float64{3, 1})
+	if mid <= 0.5 || mid >= 1 {
+		t.Fatalf("skewed index = %v, want in (0.5, 1)", mid)
+	}
+}
+
+func TestFairShare(t *testing.T) {
+	shares := FairShare(map[uint16]uint64{1: 300, 2: 100, 3: 0})
+	if shares[1] != 0.75 || shares[2] != 0.25 || shares[3] != 0 {
+		t.Fatalf("shares = %v", shares)
+	}
+	var sum float64
+	for _, s := range shares {
+		sum += s
+	}
+	if math.Abs(sum-1) > 1e-12 {
+		t.Fatalf("shares sum to %v", sum)
+	}
+	if got := FairShare(map[uint16]uint64{7: 0}); got[7] != 0 {
+		t.Fatalf("zero ledger shares = %v", got)
+	}
+	if got := FairShare(nil); len(got) != 0 {
+		t.Fatalf("nil ledger shares = %v", got)
+	}
+}

@@ -1,0 +1,64 @@
+package protocol
+
+import "testing"
+
+// The multi-tenant JobID rides in the IPv4 Identification field: it
+// must survive a full Marshal/Unmarshal round trip on both packet
+// kinds, cost zero wire bytes, and default to the single-tenant job 0.
+
+func TestJobIDWireRoundTrip(t *testing.T) {
+	src := AddrFrom(10, 0, 0, 2, 7000)
+	dst := AddrFrom(10, 0, 0, 1, 9990)
+
+	data := NewData(src, dst, 42, []float32{1, 2, 3})
+	data.Job = 0xBEEF
+	ctrl := NewControl(src, dst, ActionJoin, JoinValue(100))
+	ctrl.Job = 7
+
+	for _, p := range []*Packet{data, ctrl} {
+		frame, err := Marshal(p)
+		if err != nil {
+			t.Fatalf("marshal: %v", err)
+		}
+		q, err := Unmarshal(frame)
+		if err != nil {
+			t.Fatalf("unmarshal: %v", err)
+		}
+		if q.Job != p.Job {
+			t.Fatalf("job %d round-tripped to %d", p.Job, q.Job)
+		}
+	}
+}
+
+func TestJobIDCostsNoWireBytes(t *testing.T) {
+	src := AddrFrom(10, 0, 0, 2, 7000)
+	dst := AddrFrom(10, 0, 0, 1, 9990)
+	tagged := NewData(src, dst, 3, []float32{1, 2})
+	tagged.Job = 9
+	plain := NewData(src, dst, 3, []float32{1, 2})
+	if tagged.WireLen() != plain.WireLen() {
+		t.Fatalf("job tag changed WireLen: %d vs %d", tagged.WireLen(), plain.WireLen())
+	}
+	tf, err := Marshal(tagged)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pf, err := Marshal(plain)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tf) != len(pf) {
+		t.Fatalf("job tag changed frame length: %d vs %d", len(tf), len(pf))
+	}
+}
+
+func TestJobIDDefaultsToZeroAndClones(t *testing.T) {
+	p := NewData(AddrFrom(1, 2, 3, 4, 5), AddrFrom(5, 6, 7, 8, 9), 0, []float32{1})
+	if p.Job != DefaultJob {
+		t.Fatalf("untagged packet has job %d", p.Job)
+	}
+	p.Job = 12
+	if q := p.Clone(); q.Job != 12 {
+		t.Fatalf("clone lost job tag: %d", q.Job)
+	}
+}

@@ -39,6 +39,17 @@ const (
 	FloatsPerPacket = MaxDataPayload / 4 // 366
 )
 
+// JobID identifies the training job a packet belongs to on a
+// multi-tenant fabric. iSwitch's single-job protocol leaves the IPv4
+// Identification field zero (wire.go); the multi-tenant extension
+// claims those 16 bits the same way the base protocol claims the ToS
+// byte — so tagging a packet with its job costs zero wire bytes and
+// legacy single-job traffic is exactly job 0.
+type JobID uint16
+
+// DefaultJob is the implicit job of untagged (single-tenant) traffic.
+const DefaultJob JobID = 0
+
 // Action codes for control messages (paper Table 2).
 type Action uint8
 
@@ -126,6 +137,11 @@ type Packet struct {
 	Src Addr
 	Dst Addr
 	ToS uint8
+
+	// Job scopes the packet to one training job on a multi-tenant
+	// fabric (0 = the default single-tenant job). Carried in the IPv4
+	// Identification field, so it adds no wire bytes.
+	Job JobID
 
 	// Control packet fields (ToS == ToSControl).
 	Action Action

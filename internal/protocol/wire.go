@@ -42,7 +42,10 @@ func Marshal(p *Packet) ([]byte, error) {
 	ip[0] = ipVersionIHL
 	ip[1] = p.ToS
 	binary.BigEndian.PutUint16(ip[2:4], uint16(ipLen))
-	// ID, flags, fragment offset zero.
+	// The Identification field carries the job ID (multi-tenant
+	// extension; zero for single-tenant traffic). Flags and fragment
+	// offset stay zero.
+	binary.BigEndian.PutUint16(ip[4:6], uint16(p.Job))
 	ip[8] = defaultTTL
 	ip[9] = ipProtoUDP
 	copy(ip[12:16], p.Src.IP[:])
@@ -84,7 +87,7 @@ func Unmarshal(frame []byte) (*Packet, error) {
 	if ipLen < IPv4HeaderLen+UDPHeaderLen || EthernetHeaderLen+ipLen > len(frame) {
 		return nil, fmt.Errorf("protocol: bad IP total length %d", ipLen)
 	}
-	p := &Packet{ToS: ip[1]}
+	p := &Packet{ToS: ip[1], Job: JobID(binary.BigEndian.Uint16(ip[4:6]))}
 	copy(p.Src.IP[:], ip[12:16])
 	copy(p.Dst.IP[:], ip[16:20])
 

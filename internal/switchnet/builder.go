@@ -30,9 +30,10 @@ type StarCluster struct {
 }
 
 // BuildStar wires nWorkers hosts to one iSwitch over identical links.
-func BuildStar(k *sim.Kernel, nWorkers int, link netsim.LinkConfig) *StarCluster {
+// opts (e.g. WithTenancy) are applied to the switch.
+func BuildStar(k *sim.Kernel, nWorkers int, link netsim.LinkConfig, opts ...Option) *StarCluster {
 	star := netsim.BuildStar(k, nWorkers, link)
-	is := Attach(star.Switch, StarAddr())
+	is := Attach(star.Switch, StarAddr(), opts...)
 	return &StarCluster{Net: star, IS: is, Workers: star.Hosts}
 }
 
@@ -48,22 +49,22 @@ type TreeCluster struct {
 // BuildTree builds nRacks racks of perRack workers with iSwitch enabled
 // at every level. ToRs forward completed local aggregates to the root;
 // the root broadcasts global aggregates back down through the ToRs.
-func BuildTree(k *sim.Kernel, nRacks, perRack int, edge, uplink netsim.LinkConfig) *TreeCluster {
-	return attachTree(netsim.BuildRacks(k, nRacks, perRack, edge, uplink))
+func BuildTree(k *sim.Kernel, nRacks, perRack int, edge, uplink netsim.LinkConfig, opts ...Option) *TreeCluster {
+	return attachTree(netsim.BuildRacks(k, nRacks, perRack, edge, uplink), opts...)
 }
 
 // BuildTreeN builds a tree holding totalWorkers workers in racks of up
 // to perRack (last rack may be partial), matching the paper's
 // scalability emulation where a 4-node job spans two 3-port racks.
-func BuildTreeN(k *sim.Kernel, totalWorkers, perRack int, edge, uplink netsim.LinkConfig) *TreeCluster {
-	return attachTree(netsim.BuildRacksN(k, totalWorkers, perRack, edge, uplink))
+func BuildTreeN(k *sim.Kernel, totalWorkers, perRack int, edge, uplink netsim.LinkConfig, opts ...Option) *TreeCluster {
+	return attachTree(netsim.BuildRacksN(k, totalWorkers, perRack, edge, uplink), opts...)
 }
 
-func attachTree(tr *netsim.Tree) *TreeCluster {
-	root := Attach(tr.Root, RootAddr())
+func attachTree(tr *netsim.Tree, opts ...Option) *TreeCluster {
+	root := Attach(tr.Root, RootAddr(), opts...)
 	tc := &TreeCluster{Net: tr, Root: root, Workers: tr.Hosts}
 	for r, torSw := range tr.ToRs {
-		tor := Attach(torSw, ToRAddr(r), WithParent(RootAddr(), tr.Uplinks[r]))
+		tor := Attach(torSw, ToRAddr(r), append([]Option{WithParent(RootAddr(), tr.Uplinks[r])}, opts...)...)
 		tc.ToRs = append(tc.ToRs, tor)
 		root.RegisterChildSwitch(ToRAddr(r))
 		// The root must be able to route broadcasts to each ToR address.
@@ -93,13 +94,13 @@ type ThreeTierCluster struct {
 }
 
 // BuildThreeTier enables iSwitch on every switch of a three-tier fabric.
-func BuildThreeTier(k *sim.Kernel, nAGGs, torsPerAGG, hostsPerToR int, edge, aggLink, coreLink netsim.LinkConfig) *ThreeTierCluster {
+func BuildThreeTier(k *sim.Kernel, nAGGs, torsPerAGG, hostsPerToR int, edge, aggLink, coreLink netsim.LinkConfig, opts ...Option) *ThreeTierCluster {
 	net := netsim.BuildThreeTier(k, nAGGs, torsPerAGG, hostsPerToR, edge, aggLink, coreLink)
-	core := Attach(net.Core, RootAddr())
+	core := Attach(net.Core, RootAddr(), opts...)
 	tc := &ThreeTierCluster{Net: net, Core: core, Workers: net.Hosts}
 
 	for a, aggSw := range net.AGGs {
-		agg := Attach(aggSw, AGGAddr(a), WithParent(RootAddr(), net.AGGUplinks[a]))
+		agg := Attach(aggSw, AGGAddr(a), append([]Option{WithParent(RootAddr(), net.AGGUplinks[a])}, opts...)...)
 		tc.AGGs = append(tc.AGGs, agg)
 		core.RegisterChildSwitch(AGGAddr(a))
 		coreDown := net.AGGUplinks[a].Peer()
@@ -107,7 +108,7 @@ func BuildThreeTier(k *sim.Kernel, nAGGs, torsPerAGG, hostsPerToR int, edge, agg
 	}
 	for t, torSw := range net.ToRs {
 		a := net.AGGOf[t]
-		tor := Attach(torSw, ToRAddr(t), WithParent(AGGAddr(a), net.ToRUplinks[t]))
+		tor := Attach(torSw, ToRAddr(t), append([]Option{WithParent(AGGAddr(a), net.ToRUplinks[t])}, opts...)...)
 		tc.ToRs = append(tc.ToRs, tor)
 		tc.AGGs[a].RegisterChildSwitch(ToRAddr(t))
 		aggDown := net.ToRUplinks[t].Peer()

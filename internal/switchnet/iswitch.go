@@ -1,6 +1,7 @@
 package switchnet
 
 import (
+	"sort"
 	"time"
 
 	"iswitch/internal/accel"
@@ -19,17 +20,57 @@ import (
 // aggregated packet to its parent; the root broadcasts the globally
 // aggregated segment back down, and lower switches replicate broadcasts
 // to their children (paper §3.4).
+//
+// Multi-tenancy: every membership table, accelerator, threshold, and
+// emission cache is scoped to a job context keyed by the packet's
+// JobID (carried in the IPv4 Identification field). Job 0 — the
+// default context — always exists and is what the single-tenant
+// accessors below operate on, so legacy single-job fabrics behave
+// bit-identically. Additional jobs must be admitted (AdmitJob) before
+// their packets are honoured; data for unknown jobs is dropped, never
+// aggregated, so a queued or evicted job can not corrupt an admitted
+// job's segment buffers. When a finite SRAM pool is attached
+// (WithTenancy), admission reserves the job's worst-case segment-state
+// demand; when a shared bus is attached, concurrent jobs' bursts
+// contend for the 256-bit datapath.
 type ISwitch struct {
 	sw   *netsim.Switch
-	acc  *accel.Accelerator
-	mem  *Membership
 	addr protocol.Addr
 
-	parent     protocol.Addr // zero => root
-	hasParent  bool
-	uplink     *netsim.Port // ingress from the parent (broadcasts arrive here)
-	autoH      bool         // H tracks member count until SetH overrides
-	lastSender protocol.Addr
+	// def is job 0's context; jobs holds every admitted context
+	// including def (keyed by job ID).
+	def  *jobCtx
+	jobs map[protocol.JobID]*jobCtx
+
+	// pool meters per-job SRAM (nil: unmetered legacy switch). bus
+	// models cross-job datapath contention (nil: none).
+	pool *accel.SRAMPool
+	bus  *accel.SharedBus
+
+	parent    protocol.Addr // zero => root
+	hasParent bool
+	uplink    *netsim.Port // ingress from the parent (broadcasts arrive here)
+
+	// HelpServed counts Helps answered from the emission caches.
+	HelpServed uint64
+
+	// Stats
+	ControlIn       uint64
+	DataIn          uint64
+	Broadcasts      uint64
+	UpForwards      uint64
+	HelpRelayed     uint64
+	UnknownJobDrops uint64 // packets for unadmitted jobs discarded
+}
+
+// jobCtx is one training job's slice of the switch: its accelerator
+// (segment buffers + counters), membership table, auto-H mode, and the
+// emission cache that re-serves lost broadcasts.
+type jobCtx struct {
+	job   protocol.JobID
+	acc   *accel.Accelerator
+	mem   *Membership
+	autoH bool // H tracks member count until SetH overrides
 
 	// emitCache holds the most recently emitted aggregate per segment
 	// key so a lost broadcast copy can be re-served directly to the
@@ -39,15 +80,17 @@ type ISwitch struct {
 	emitCache    map[uint64][]float32
 	emitOrder    []uint64
 	emitCacheCap int
-	// HelpServed counts Helps answered from the cache.
-	HelpServed uint64
+}
 
-	// Stats
-	ControlIn   uint64
-	DataIn      uint64
-	Broadcasts  uint64
-	UpForwards  uint64
-	HelpRelayed uint64
+func newJobCtx(job protocol.JobID) *jobCtx {
+	return &jobCtx{
+		job:          job,
+		acc:          accel.New(accel.DefaultConfig()),
+		mem:          NewMembership(),
+		autoH:        true,
+		emitCache:    make(map[uint64][]float32),
+		emitCacheCap: 8192,
+	}
 }
 
 // Option configures an ISwitch.
@@ -64,19 +107,34 @@ func WithParent(parentAddr protocol.Addr, uplink *netsim.Port) Option {
 	}
 }
 
+// WithTenancy arms multi-tenant resource modeling: admitted jobs
+// reserve segment-state SRAM from pool, and concurrent jobs' bursts
+// contend on bus. Either may be nil to disable that dimension. The
+// default job 0 context is never metered — a tenancy-armed switch
+// carrying one job times identically to a legacy switch.
+func WithTenancy(pool *accel.SRAMPool, bus *accel.SharedBus) Option {
+	return func(is *ISwitch) { is.SetTenancy(pool, bus) }
+}
+
+// SetTenancy attaches the SRAM pool and shared bus after construction —
+// used by fabric builders that create one pool per switch (SRAM is a
+// per-switch resource, so sharing one pool across a hierarchy would
+// double-charge a job admitted at several levels).
+func (is *ISwitch) SetTenancy(pool *accel.SRAMPool, bus *accel.SharedBus) {
+	is.pool = pool
+	is.bus = bus
+}
+
 // Attach builds the iSwitch extension on top of sw. addr is the
 // switch's own protocol address (used as the source of aggregated
 // packets and as the destination its children send to).
 func Attach(sw *netsim.Switch, addr protocol.Addr, opts ...Option) *ISwitch {
-	cfg := accel.DefaultConfig()
+	def := newJobCtx(protocol.DefaultJob)
 	is := &ISwitch{
-		sw:           sw,
-		acc:          accel.New(cfg),
-		mem:          NewMembership(),
-		addr:         addr,
-		autoH:        true,
-		emitCache:    make(map[uint64][]float32),
-		emitCacheCap: 8192,
+		sw:   sw,
+		addr: addr,
+		def:  def,
+		jobs: map[protocol.JobID]*jobCtx{protocol.DefaultJob: def},
 	}
 	for _, o := range opts {
 		o(is)
@@ -88,18 +146,102 @@ func Attach(sw *netsim.Switch, addr protocol.Addr, opts ...Option) *ISwitch {
 // Addr returns the switch's protocol address.
 func (is *ISwitch) Addr() protocol.Addr { return is.addr }
 
-// Accelerator exposes the aggregation unit (tests, experiments).
-func (is *ISwitch) Accelerator() *accel.Accelerator { return is.acc }
+// Accelerator exposes the default job's aggregation unit (tests,
+// experiments, single-tenant fabrics).
+func (is *ISwitch) Accelerator() *accel.Accelerator { return is.def.acc }
 
-// Membership exposes the control-plane table.
-func (is *ISwitch) Membership() *Membership { return is.mem }
+// AcceleratorOf exposes an admitted job's aggregation unit (nil if the
+// job is not admitted).
+func (is *ISwitch) AcceleratorOf(job protocol.JobID) *accel.Accelerator {
+	if ctx := is.ctx(job); ctx != nil {
+		return ctx.acc
+	}
+	return nil
+}
+
+// Membership exposes the default job's control-plane table.
+func (is *ISwitch) Membership() *Membership { return is.def.mem }
+
+// MembershipOf exposes an admitted job's membership table (nil if the
+// job is not admitted).
+func (is *ISwitch) MembershipOf(job protocol.JobID) *Membership {
+	if ctx := is.ctx(job); ctx != nil {
+		return ctx.mem
+	}
+	return nil
+}
 
 // Switch returns the underlying forwarding switch.
 func (is *ISwitch) Switch() *netsim.Switch { return is.sw }
 
+// SRAMPool returns the attached SRAM pool (nil on unmetered switches).
+func (is *ISwitch) SRAMPool() *accel.SRAMPool { return is.pool }
+
+// Bus returns the attached shared bus (nil when contention modeling is
+// off).
+func (is *ISwitch) Bus() *accel.SharedBus { return is.bus }
+
 // IsRoot reports whether this switch performs the final (global)
 // aggregation.
 func (is *ISwitch) IsRoot() bool { return !is.hasParent }
+
+// ctx resolves a job's context; nil means the job is not admitted.
+func (is *ISwitch) ctx(job protocol.JobID) *jobCtx {
+	if job == protocol.DefaultJob {
+		return is.def
+	}
+	return is.jobs[job]
+}
+
+// AdmitJob creates an aggregation context for a job, reserving its
+// worst-case segment-state SRAM when a pool is attached. Admitting an
+// already-admitted job is a no-op. Job 0 is always admitted.
+func (is *ISwitch) AdmitJob(job protocol.JobID, modelFloats uint64) error {
+	if job == protocol.DefaultJob {
+		return nil // the default context always exists
+	}
+	if is.jobs[job] != nil {
+		return nil
+	}
+	if is.pool != nil {
+		demand := accel.ContextDemand(int(modelFloats), protocol.FloatsPerPacket)
+		if err := is.pool.Reserve(uint16(job), demand); err != nil {
+			return err
+		}
+	}
+	is.jobs[job] = newJobCtx(job)
+	return nil
+}
+
+// EvictJob tears down a job's context, releasing its SRAM and bus
+// state. It reports whether a context existed. The default job can not
+// be evicted.
+func (is *ISwitch) EvictJob(job protocol.JobID) bool {
+	if job == protocol.DefaultJob {
+		return false
+	}
+	if is.jobs[job] == nil {
+		return false
+	}
+	delete(is.jobs, job)
+	if is.pool != nil {
+		is.pool.Release(uint16(job))
+	}
+	if is.bus != nil {
+		is.bus.Forget(uint16(job))
+	}
+	return true
+}
+
+// Jobs lists the admitted job IDs in ascending order (job 0 included).
+func (is *ISwitch) Jobs() []protocol.JobID {
+	out := make([]protocol.JobID, 0, len(is.jobs))
+	for j := range is.jobs {
+		out = append(out, j)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
 
 // tap is the data-plane intercept. It runs in kernel context after the
 // switch's forwarding-pipeline delay.
@@ -125,130 +267,186 @@ func (is *ISwitch) handleControl(pkt *protocol.Packet) {
 		is.sw.Forward(pkt)
 		return
 	}
+	ctx := is.ctx(pkt.Job)
+	if ctx == nil {
+		// Control for a job with no admitted context: a Join racing
+		// admission, or a stale action after eviction. Refuse.
+		is.UnknownJobDrops++
+		is.ack(pkt.Src, pkt.Job, false)
+		return
+	}
 	switch pkt.Action {
 	case protocol.ActionJoin:
 		floats, err := protocol.ParseJoin(pkt.Value)
 		if err != nil {
-			is.ack(pkt.Src, false)
+			is.ack(pkt.Src, pkt.Job, false)
 			return
 		}
-		is.mem.Join(pkt.Src, MemberWorker, 0, floats)
-		is.refreshAutoH()
-		is.ack(pkt.Src, true)
+		// A re-Join from an already-registered address updates the row
+		// in place (Membership.Join), so the member count — and with it
+		// the automatic threshold H — must not move.
+		ctx.mem.Join(pkt.Src, MemberWorker, 0, floats)
+		is.refreshAutoH(ctx)
+		is.ack(pkt.Src, pkt.Job, true)
 	case protocol.ActionLeave:
-		ok := is.mem.Leave(pkt.Src)
-		is.refreshAutoH()
+		ok := ctx.mem.Leave(pkt.Src)
+		is.refreshAutoH(ctx)
 		// Rounds that were only waiting on the departed worker are now
 		// satisfied at the lowered H: emit them so nobody stalls.
-		segs, sums := is.acc.DrainSatisfied()
+		segs, sums := ctx.acc.DrainSatisfied()
 		for i, seg := range segs {
-			out := &protocol.Packet{Src: is.addr, ToS: protocol.ToSData, Seg: seg, Data: sums[i]}
+			out := &protocol.Packet{Src: is.addr, ToS: protocol.ToSData,
+				Job: ctx.job, Seg: seg, Data: sums[i]}
 			if is.hasParent {
 				out.Dst = is.parent
 				is.UpForwards++
 				is.uplink.Send(out) // the packet retains the buffer
 			} else {
-				is.broadcast(out) // broadcast copies per child: buffer is free
-				is.acc.Recycle(sums[i])
+				is.broadcast(ctx, out) // broadcast copies per child: buffer is free
+				ctx.acc.Recycle(sums[i])
 			}
 		}
-		is.ack(pkt.Src, ok)
+		is.ack(pkt.Src, pkt.Job, ok)
 	case protocol.ActionReset:
-		is.acc.Reset()
-		is.ack(pkt.Src, true)
+		ctx.acc.Reset()
+		is.ack(pkt.Src, pkt.Job, true)
 	case protocol.ActionSetH:
 		h, err := protocol.ParseSetH(pkt.Value)
-		if err != nil || is.acc.SetThreshold(h) != nil {
-			is.ack(pkt.Src, false)
+		if err != nil || ctx.acc.SetThreshold(h) != nil {
+			is.ack(pkt.Src, pkt.Job, false)
 			return
 		}
-		is.autoH = false
-		is.ack(pkt.Src, true)
+		ctx.autoH = false
+		is.ack(pkt.Src, pkt.Job, true)
 	case protocol.ActionFBcast:
 		// Force-broadcast every partially aggregated segment downstream.
-		for _, seg := range is.acc.PendingSegs() {
-			is.FlushAndBroadcast(seg)
+		for _, seg := range ctx.acc.PendingSegs() {
+			is.flushAndBroadcast(ctx, seg)
 		}
-		is.ack(pkt.Src, true)
+		is.ack(pkt.Src, pkt.Job, true)
 	case protocol.ActionHelp:
 		// Loss recovery. If the requested segment's aggregate was
 		// already emitted, re-serve it from the emission cache — the
 		// requester simply lost its broadcast copy. Otherwise relay the
-		// Help to the other workers so they retransmit their
+		// Help to the job's other workers so they retransmit their
 		// contributions (paper §3.3: the switch otherwise only
 		// accepts/forwards such control messages).
 		if seg, err := protocol.ParseHelp(pkt.Value); err == nil {
-			if sum, ok := is.emitCache[seg]; ok {
+			if sum, ok := ctx.emitCache[seg]; ok {
 				is.HelpServed++
 				is.unicast(&protocol.Packet{Src: is.addr, Dst: pkt.Src,
-					ToS: protocol.ToSData, Seg: seg, Data: sum})
+					ToS: protocol.ToSData, Job: ctx.job, Seg: seg, Data: sum})
 				return
 			}
 		}
 		is.HelpRelayed++
-		for _, m := range is.mem.Workers() {
+		for _, m := range ctx.mem.Workers() {
 			if m.Addr == pkt.Src {
 				continue
 			}
-			is.unicast(protocol.NewControl(is.addr, m.Addr, protocol.ActionHelp, pkt.Value))
+			relay := protocol.NewControl(is.addr, m.Addr, protocol.ActionHelp, pkt.Value)
+			relay.Job = ctx.job
+			is.unicast(relay)
 		}
 	case protocol.ActionHalt:
-		for _, m := range is.mem.Members() {
-			is.unicast(protocol.NewControl(is.addr, m.Addr, protocol.ActionHalt, nil))
+		for _, m := range ctx.mem.Members() {
+			halt := protocol.NewControl(is.addr, m.Addr, protocol.ActionHalt, nil)
+			halt.Job = ctx.job
+			is.unicast(halt)
 		}
 	default:
-		is.ack(pkt.Src, false)
+		is.ack(pkt.Src, pkt.Job, false)
 	}
 }
 
 // refreshAutoH keeps H equal to the number of children while in
 // automatic mode (the paper's default: H = number of child nodes).
-func (is *ISwitch) refreshAutoH() {
-	if is.autoH && is.mem.Count() > 0 {
-		_ = is.acc.SetThreshold(uint32(is.mem.Count()))
+func (is *ISwitch) refreshAutoH(ctx *jobCtx) {
+	if ctx.autoH && ctx.mem.Count() > 0 {
+		_ = ctx.acc.SetThreshold(uint32(ctx.mem.Count()))
 	}
 }
 
-// SetDedup toggles the accelerator's contributor bitmap (idempotent
+// SetDedup toggles the default job's contributor bitmap (idempotent
 // retransmissions for synchronous loss recovery).
-func (is *ISwitch) SetDedup(on bool) { is.acc.SetDedup(on) }
+func (is *ISwitch) SetDedup(on bool) { is.def.acc.SetDedup(on) }
 
-// ForceThreshold pins the aggregation threshold H, disabling the
-// auto-H that tracks membership — the programmatic equivalent of a SetH
-// control message issued by the operator.
+// SetDedupJob toggles an admitted job's contributor bitmap.
+func (is *ISwitch) SetDedupJob(job protocol.JobID, on bool) {
+	if ctx := is.ctx(job); ctx != nil {
+		ctx.acc.SetDedup(on)
+	}
+}
+
+// ForceThreshold pins the default job's aggregation threshold H,
+// disabling the auto-H that tracks membership — the programmatic
+// equivalent of a SetH control message issued by the operator.
 func (is *ISwitch) ForceThreshold(h uint32) error {
-	if err := is.acc.SetThreshold(h); err != nil {
+	if err := is.def.acc.SetThreshold(h); err != nil {
 		return err
 	}
-	is.autoH = false
+	is.def.autoH = false
 	return nil
 }
 
-// RegisterChildSwitch records a lower-level switch as a contributor
-// (used by the hierarchical topology builder instead of a Join round
-// trip, since switches are configured by the operator, not the job).
+// RegisterChildSwitch records a lower-level switch as a contributor to
+// the default job (used by the hierarchical topology builder instead
+// of a Join round trip, since switches are configured by the operator,
+// not the job).
 func (is *ISwitch) RegisterChildSwitch(addr protocol.Addr) {
-	is.mem.Join(addr, MemberSwitch, 0, 0)
-	is.refreshAutoH()
+	is.RegisterChildSwitchJob(protocol.DefaultJob, addr)
+}
+
+// RegisterChildSwitchJob records a lower-level switch as a contributor
+// to an admitted job's context — how a multi-tenant scheduler tells a
+// parent switch which children will forward partial aggregates for the
+// job. No-op if the job is not admitted here.
+func (is *ISwitch) RegisterChildSwitchJob(job protocol.JobID, addr protocol.Addr) {
+	ctx := is.ctx(job)
+	if ctx == nil {
+		return
+	}
+	ctx.mem.Join(addr, MemberSwitch, 0, 0)
+	is.refreshAutoH(ctx)
 }
 
 func (is *ISwitch) handleData(pkt *protocol.Packet, in *netsim.Port) {
+	ctx := is.ctx(pkt.Job)
+	if ctx == nil {
+		// Data for a job with no admitted context here: discard. This
+		// is the isolation guarantee — a queued/evicted job's packets
+		// can never reach another job's segment buffers.
+		is.UnknownJobDrops++
+		return
+	}
 	// A data packet arriving from the parent is a downstream broadcast
-	// of a globally aggregated segment: replicate to children.
+	// of a globally aggregated segment: replicate to the job's children.
 	if is.hasParent && in == is.uplink {
-		is.broadcast(pkt)
+		is.broadcast(ctx, pkt)
 		return
 	}
 	// Otherwise it is an upstream contribution: run it through the
-	// accelerator (keyed by source for the optional dedup bitmap),
-	// charging the datapath latency before any output.
-	sum, done, lat := is.acc.IngestFrom(pkt.Seg, pkt.Src.String(), pkt.Data)
+	// job's accelerator (keyed by source for the optional dedup
+	// bitmap), charging the datapath latency before any output. With a
+	// shared bus attached, the burst train also queues behind other
+	// jobs' in-flight bursts. The contributor key is only rendered when
+	// dedup is armed — Addr.String costs an allocation per packet, and
+	// the default datapath must stay allocation-free.
+	var contributor string
+	if ctx.acc.Dedup() {
+		contributor = pkt.Src.String()
+	}
+	sum, done, lat := ctx.acc.IngestFrom(pkt.Seg, contributor, pkt.Data)
+	if is.bus != nil {
+		lat = is.bus.Charge(is.sw.Kernel().Now(), uint16(ctx.job), lat)
+	}
 	if !done {
 		return
 	}
 	seg := pkt.Seg
 	is.sw.Kernel().After(lat, func() {
-		out := &protocol.Packet{Src: is.addr, ToS: protocol.ToSData, Seg: seg, Data: sum}
+		out := &protocol.Packet{Src: is.addr, ToS: protocol.ToSData,
+			Job: ctx.job, Seg: seg, Data: sum}
 		if is.hasParent {
 			is.UpForwards++
 			out.Dst = is.parent
@@ -258,34 +456,36 @@ func (is *ISwitch) handleData(pkt *protocol.Packet, in *netsim.Port) {
 		// broadcast clones the payload per child and the emission cache
 		// keeps its own copy, so the aggregate buffer can go back to the
 		// accelerator's pool.
-		is.broadcast(out)
-		is.acc.Recycle(sum)
+		is.broadcast(ctx, out)
+		ctx.acc.Recycle(sum)
 	})
 }
 
 // cacheEmission records an emitted aggregate for Help re-serving.
-func (is *ISwitch) cacheEmission(seg uint64, sum []float32) {
-	if _, exists := is.emitCache[seg]; !exists {
-		if len(is.emitOrder) >= is.emitCacheCap {
-			evict := is.emitOrder[0]
-			is.emitOrder = is.emitOrder[1:]
-			delete(is.emitCache, evict)
+func (ctx *jobCtx) cacheEmission(seg uint64, sum []float32) {
+	if _, exists := ctx.emitCache[seg]; !exists {
+		if len(ctx.emitOrder) >= ctx.emitCacheCap {
+			evict := ctx.emitOrder[0]
+			ctx.emitOrder = ctx.emitOrder[1:]
+			delete(ctx.emitCache, evict)
 		}
-		is.emitOrder = append(is.emitOrder, seg)
+		ctx.emitOrder = append(ctx.emitOrder, seg)
 	}
-	is.emitCache[seg] = append([]float32(nil), sum...)
+	ctx.emitCache[seg] = append([]float32(nil), sum...)
 }
 
-// broadcast replicates a data packet to every member (workers and child
-// switches), one unicast copy per child so each egress link serializes
-// independently, exactly as port-replication hardware behaves.
-func (is *ISwitch) broadcast(pkt *protocol.Packet) {
+// broadcast replicates a data packet to every member of the job
+// (workers and child switches), one unicast copy per child so each
+// egress link serializes independently, exactly as port-replication
+// hardware behaves.
+func (is *ISwitch) broadcast(ctx *jobCtx, pkt *protocol.Packet) {
 	is.Broadcasts++
-	is.cacheEmission(pkt.Seg, pkt.Data)
-	for _, m := range is.mem.Members() {
+	ctx.cacheEmission(pkt.Seg, pkt.Data)
+	for _, m := range ctx.mem.Members() {
 		cp := pkt.Clone()
 		cp.Src = is.addr
 		cp.Dst = m.Addr
+		cp.Job = ctx.job
 		is.sw.Forward(cp)
 	}
 }
@@ -293,34 +493,42 @@ func (is *ISwitch) broadcast(pkt *protocol.Packet) {
 // unicast sends one packet along the normal forwarding path.
 func (is *ISwitch) unicast(pkt *protocol.Packet) { is.sw.Forward(pkt) }
 
-func (is *ISwitch) ack(dst protocol.Addr, ok bool) {
+func (is *ISwitch) ack(dst protocol.Addr, job protocol.JobID, ok bool) {
 	v := protocol.AckOK
 	if !ok {
 		v = protocol.AckFail
 	}
-	is.unicast(protocol.NewControl(is.addr, dst, protocol.ActionAck, v))
+	ack := protocol.NewControl(is.addr, dst, protocol.ActionAck, v)
+	ack.Job = job
+	is.unicast(ack)
 }
 
-// FlushAndBroadcast force-broadcasts one partial segment (FBcast data
-// path), returning false if the segment held no contributions.
+// FlushAndBroadcast force-broadcasts one partial segment of the default
+// job (FBcast data path), returning false if the segment held no
+// contributions.
 func (is *ISwitch) FlushAndBroadcast(seg uint64) bool {
-	sum, _, ok := is.acc.Flush(seg)
+	return is.flushAndBroadcast(is.def, seg)
+}
+
+func (is *ISwitch) flushAndBroadcast(ctx *jobCtx, seg uint64) bool {
+	sum, _, ok := ctx.acc.Flush(seg)
 	if !ok {
 		return false
 	}
-	out := &protocol.Packet{Src: is.addr, ToS: protocol.ToSData, Seg: seg, Data: sum}
+	out := &protocol.Packet{Src: is.addr, ToS: protocol.ToSData,
+		Job: ctx.job, Seg: seg, Data: sum}
 	if is.hasParent {
 		out.Dst = is.parent
 		is.uplink.Send(out) // the packet retains the buffer
 		return true
 	}
-	is.broadcast(out)
-	is.acc.Recycle(sum)
+	is.broadcast(ctx, out)
+	ctx.acc.Recycle(sum)
 	return true
 }
 
 // AggregationLatency reports the accelerator's per-packet datapath time
 // for a full-MTU gradient packet; exposed for the analytic timing model.
 func (is *ISwitch) AggregationLatency() time.Duration {
-	return is.acc.PacketLatency(protocol.FloatsPerPacket)
+	return is.def.acc.PacketLatency(protocol.FloatsPerPacket)
 }

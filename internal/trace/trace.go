@@ -25,14 +25,23 @@ type Event struct {
 	Detail string
 }
 
-// Recorder collects events up to a cap (oldest kept; overflow counted).
+// Recorder collects events up to a cap. Two overflow policies: the
+// default keeps the oldest events (a run's opening moves), the ring
+// mode (NewRing) overwrites the oldest to keep the newest (the moves
+// right before whatever you are debugging). Overflow is counted either
+// way.
 type Recorder struct {
 	events  []Event
 	max     int
 	dropped int
+	// ring selects keep-newest overwrite mode; start is the ring's
+	// oldest-element index once the buffer has wrapped.
+	ring  bool
+	start int
 }
 
-// New creates a recorder holding up to max events (≤ 0 means 64k).
+// New creates a recorder holding up to max events (≤ 0 means 64k),
+// keeping the oldest on overflow.
 func New(max int) *Recorder {
 	if max <= 0 {
 		max = 1 << 16
@@ -40,28 +49,51 @@ func New(max int) *Recorder {
 	return &Recorder{max: max}
 }
 
-// Record appends an event if capacity remains.
+// NewRing creates a recorder holding up to max events (≤ 0 means 64k),
+// keeping the newest on overflow: once full, each new event overwrites
+// the oldest retained one.
+func NewRing(max int) *Recorder {
+	r := New(max)
+	r.ring = true
+	return r
+}
+
+// Record adds an event, applying the recorder's overflow policy.
 func (r *Recorder) Record(at time.Duration, source, kind, detail string) {
-	if len(r.events) >= r.max {
-		r.dropped++
+	e := Event{Time: at, Source: source, Kind: kind, Detail: detail}
+	if len(r.events) < r.max {
+		r.events = append(r.events, e)
 		return
 	}
-	r.events = append(r.events, Event{Time: at, Source: source, Kind: kind, Detail: detail})
+	r.dropped++
+	if r.ring {
+		r.events[r.start] = e
+		r.start = (r.start + 1) % r.max
+	}
 }
 
 // Len reports the number of retained events.
 func (r *Recorder) Len() int { return len(r.events) }
 
-// Overflowed reports how many events exceeded the cap.
+// Overflowed reports how many events exceeded the cap (keep-oldest) or
+// were overwritten (ring).
 func (r *Recorder) Overflowed() int { return r.dropped }
 
-// Events returns the retained events in record order.
-func (r *Recorder) Events() []Event { return r.events }
+// Events returns the retained events in record order (oldest retained
+// first, in both overflow modes).
+func (r *Recorder) Events() []Event {
+	if !r.ring || r.start == 0 {
+		return r.events
+	}
+	out := make([]Event, 0, len(r.events))
+	out = append(out, r.events[r.start:]...)
+	return append(out, r.events[:r.start]...)
+}
 
 // Filter returns the events of one kind, preserving order.
 func (r *Recorder) Filter(kind string) []Event {
 	var out []Event
-	for _, e := range r.events {
+	for _, e := range r.Events() {
 		if e.Kind == kind {
 			out = append(out, e)
 		}
@@ -72,7 +104,7 @@ func (r *Recorder) Filter(kind string) []Event {
 // Between returns events with lo <= Time < hi.
 func (r *Recorder) Between(lo, hi time.Duration) []Event {
 	var out []Event
-	for _, e := range r.events {
+	for _, e := range r.Events() {
 		if e.Time >= lo && e.Time < hi {
 			out = append(out, e)
 		}
@@ -83,8 +115,9 @@ func (r *Recorder) Between(lo, hi time.Duration) []Event {
 // Render writes an aligned waterfall: one line per event with the
 // virtual timestamp, source, kind, and detail.
 func (r *Recorder) Render(w io.Writer) error {
+	events := r.Events()
 	srcW, kindW := 6, 4
-	for _, e := range r.events {
+	for _, e := range events {
 		if len(e.Source) > srcW {
 			srcW = len(e.Source)
 		}
@@ -92,13 +125,19 @@ func (r *Recorder) Render(w io.Writer) error {
 			kindW = len(e.Kind)
 		}
 	}
-	for _, e := range r.events {
+	if r.dropped > 0 && r.ring {
+		if _, err := fmt.Fprintf(w, "(%d older events overwritten by the %d-event ring)\n",
+			r.dropped, r.max); err != nil {
+			return err
+		}
+	}
+	for _, e := range events {
 		if _, err := fmt.Fprintf(w, "%12s  %-*s  %-*s  %s\n",
 			e.Time.Round(time.Nanosecond), srcW, e.Source, kindW, e.Kind, e.Detail); err != nil {
 			return err
 		}
 	}
-	if r.dropped > 0 {
+	if r.dropped > 0 && !r.ring {
 		if _, err := fmt.Fprintf(w, "(+%d events beyond the %d-event cap)\n", r.dropped, r.max); err != nil {
 			return err
 		}

@@ -46,3 +46,51 @@ func TestFilterAndBetween(t *testing.T) {
 		t.Fatalf("between = %d", got)
 	}
 }
+
+func TestRingKeepsNewest(t *testing.T) {
+	r := NewRing(3)
+	for i := 0; i < 7; i++ {
+		r.Record(time.Duration(i), "s", "tx", "")
+	}
+	if r.Len() != 3 || r.Overflowed() != 4 {
+		t.Fatalf("len=%d overflow=%d", r.Len(), r.Overflowed())
+	}
+	ev := r.Events()
+	for i, want := range []time.Duration{4, 5, 6} {
+		if ev[i].Time != want {
+			t.Fatalf("event %d at %v, want %v (ring should keep newest in order)", i, ev[i].Time, want)
+		}
+	}
+	if !strings.Contains(r.String(), "4 older events overwritten") {
+		t.Fatalf("ring overflow not rendered:\n%s", r.String())
+	}
+}
+
+func TestRingUnderCapBehavesLikeNew(t *testing.T) {
+	r := NewRing(5)
+	r.Record(1, "a", "tx", "")
+	r.Record(2, "b", "rx", "")
+	if r.Len() != 2 || r.Overflowed() != 0 {
+		t.Fatalf("len=%d overflow=%d", r.Len(), r.Overflowed())
+	}
+	if ev := r.Events(); ev[0].Time != 1 || ev[1].Time != 2 {
+		t.Fatalf("order wrong: %+v", ev)
+	}
+	if strings.Contains(r.String(), "overwritten") {
+		t.Fatalf("no overflow yet:\n%s", r.String())
+	}
+}
+
+func TestRingFilterSeesRotatedOrder(t *testing.T) {
+	r := NewRing(2)
+	r.Record(1, "a", "tx", "")
+	r.Record(2, "b", "rx", "")
+	r.Record(3, "c", "tx", "")
+	tx := r.Filter("tx")
+	if len(tx) != 1 || tx[0].Time != 3 {
+		t.Fatalf("filter over ring wrong: %+v", tx)
+	}
+	if got := len(r.Between(2, 4)); got != 2 {
+		t.Fatalf("between over ring = %d", got)
+	}
+}
