@@ -11,6 +11,8 @@
 //	iswitch-bench -list           # list experiment ids
 //	iswitch-bench -kernels        # report float32 kernel backends and
 //	                              # a scalar-vs-SIMD throughput smoke
+//	iswitch-bench -simcore        # benchmark the calendar-queue event
+//	                              # scheduler against the reference heap
 //
 // Experiments run on a bounded worker pool (-parallel); every
 // simulation cell is an isolated kernel with fixed seeds and results
@@ -82,12 +84,19 @@ func main() {
 		quick   = flag.Bool("quick", false, "shorten functional training runs")
 		list    = flag.Bool("list", false, "list experiment ids and exit")
 		kern    = flag.Bool("kernels", false, "report float32 kernel backends and exit")
+		simcore = flag.Bool("simcore", false, "benchmark the event scheduler (calendar vs heap) and exit")
 		workers = flag.Int("parallel", runtime.GOMAXPROCS(0), "max concurrent simulation workers (<1: GOMAXPROCS)")
 	)
 	flag.Parse()
 
 	if *kern {
 		kernelReport(os.Stdout)
+		return
+	}
+	if *simcore {
+		// Wall-clock numbers, so it lives outside the deterministic
+		// experiment registry, like -kernels.
+		fmt.Println(experiments.SimCore().String())
 		return
 	}
 	// Every results run records which gradient datapath produced it.

@@ -188,8 +188,12 @@ func (ic *iswClient) Setup(p *sim.Proc) {
 			if len(pkt.Value) != 1 || pkt.Value[0] != 1 {
 				panic(fmt.Sprintf("core: worker %v join rejected", ic.host.Addr))
 			}
+			pkt.Release()
 			return
 		}
+		// Anything else (e.g. an early data broadcast from a previous
+		// tenant of this address) is dropped; recycle pooled frames.
+		pkt.Release()
 	}
 }
 
@@ -277,26 +281,34 @@ func (ic *iswClient) CollectAggregate(p *sim.Proc) []float32 {
 		} else {
 			pkt = ic.host.Recv(p)
 		}
+		// The switch broadcasts pooled frames; this loop takes delivery,
+		// so it owns each frame and releases it once the assembler has
+		// copied the payload (or the packet is rejected). Ownership also
+		// means the round tag can be stripped by mutating Seg in place —
+		// no shallow copy that would alias pooled payload.
 		switch {
 		case pkt.IsData():
 			if pkt.Job != ic.cluster.cfg.Job {
+				pkt.Release()
 				continue // another tenant's broadcast (shared host)
 			}
 			if pkt.Seg>>roundShift != tag>>roundShift {
+				pkt.Release()
 				continue // stale re-broadcast from a completed round
 			}
-			if tag != 0 {
-				cp := *pkt
-				cp.Seg = pkt.Seg & segMask
-				pkt = &cp
-			}
-			if err := ic.asm.Add(pkt); err != nil {
+			pkt.Seg &= segMask
+			err := ic.asm.Add(pkt)
+			pkt.Release()
+			if err != nil {
 				continue
 			}
 		case pkt.IsControl() && pkt.Action == protocol.ActionHelp:
 			if seg, err := protocol.ParseHelp(pkt.Value); err == nil {
 				ic.retransmit(seg)
 			}
+			pkt.Release()
+		default:
+			pkt.Release()
 		}
 	}
 	return append([]float32(nil), ic.asm.Vector()...)

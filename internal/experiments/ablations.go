@@ -74,6 +74,7 @@ func AblationHierarchical() Result {
 // fabric.
 func simSyncThreeTier(w perfmodel.Workload, nAGGs, torsPerAGG, hostsPerToR, iters int) *core.RunStats {
 	k := sim.NewKernel()
+	defer k.Shutdown()
 	edge, aggL, coreL := netsim.DefaultThreeTierLinks()
 	c := core.NewISWThreeTier(k, nAGGs, torsPerAGG, hostsPerToR, w.Floats(), edge, aggL, coreL, core.ISWConfigFor(w))
 	n := nAGGs * torsPerAGG * hostsPerToR
@@ -138,6 +139,7 @@ func AblationMTU() Result {
 	fracs := []int{1, 2, 4, 8}
 	cells := parMap(len(fracs), func(fi int) *core.RunStats {
 		k := sim.NewKernel()
+		defer k.Shutdown()
 		cfg := core.DefaultISWConfig()
 		cfg.FloatsPerPacket = protocol.FloatsPerPacket / fracs[fi]
 		c := core.NewISWStar(k, 4, w.Floats(), netsim.TenGbE(), cfg)

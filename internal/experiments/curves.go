@@ -136,6 +136,7 @@ func Figure14(opts CurveOpts) Result {
 
 	run := func(strategy string, updates int64) (*core.AsyncStats, time.Duration) {
 		k := sim.NewKernel()
+		defer k.Shutdown()
 		agents := make([]rl.Agent, workers)
 		for i := range agents {
 			agents[i] = rl.NewDQN(newGridPong(int64(400+i)), rl.DefaultDQNConfig(), 42, int64(500+i))

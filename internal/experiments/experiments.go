@@ -56,6 +56,7 @@ func hours(iters int64, perIter time.Duration) float64 {
 // single-switch testbed; otherwise the two-level rack topology.
 func simSync(w perfmodel.Workload, strategy string, nWorkers, perRack, iters int) *core.RunStats {
 	k := sim.NewKernel()
+	defer k.Shutdown() // release parked server loops (goroutine leak fix)
 	edge := netsim.TenGbE()
 	uplink := netsim.FortyGbE()
 	agents := make([]rl.Agent, nWorkers)
@@ -108,6 +109,7 @@ func simSync(w perfmodel.Workload, strategy string, nWorkers, perRack, iters int
 // updates to simulate.
 func simAsync(w perfmodel.Workload, strategy string, nWorkers, perRack int, updates int64, staleness int64) *core.AsyncStats {
 	k := sim.NewKernel()
+	defer k.Shutdown()
 	edge := netsim.TenGbE()
 	uplink := netsim.FortyGbE()
 	cfg := core.AsyncConfig{

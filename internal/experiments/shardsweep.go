@@ -37,6 +37,7 @@ func shardSweepWorkloads() []perfmodel.Workload {
 // simSyncShardedPS runs the synchronous sharded-PS timing simulation.
 func simSyncShardedPS(w perfmodel.Workload, nWorkers, shards, iters int) *core.RunStats {
 	k := sim.NewKernel()
+	defer k.Shutdown()
 	c := core.NewShardedPSCluster(k, nWorkers, w.Floats(), shards, netsim.TenGbE(), core.PSConfigFor(w))
 	agents := make([]rl.Agent, nWorkers)
 	services := make([]core.Service, nWorkers)
@@ -54,6 +55,7 @@ func simSyncShardedPS(w perfmodel.Workload, nWorkers, shards, iters int) *core.R
 // simAsyncShardedPS runs the asynchronous sharded-PS timing simulation.
 func simAsyncShardedPS(w perfmodel.Workload, nWorkers, shards int, updates, staleness int64) *core.AsyncStats {
 	k := sim.NewKernel()
+	defer k.Shutdown()
 	c := core.NewAsyncShardedPSCluster(k, nWorkers, w.Floats(), shards, netsim.TenGbE(), core.PSConfigFor(w))
 	agents := make([]rl.Agent, nWorkers)
 	for i := range agents {

@@ -1,0 +1,148 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"iswitch/internal/multijob"
+	"iswitch/internal/netsim"
+	"iswitch/internal/perfmodel"
+	"iswitch/internal/sim"
+)
+
+// Simulation-core benchmark: the calendar-queue scheduler against the
+// reference binary heap on the hold model (the standard DES scheduler
+// workload — pop the earliest event, push a replacement a random
+// increment ahead), plus the rack-scale capacity probe the rework was
+// sized for: a k=8 fat-tree carrying 1024 workers across 64 concurrent
+// jobs. The same measurements feed `iswitch-bench -simcore` and the
+// BENCH_simcore.json regression baseline.
+
+// simCoreQueueSizes is the steady-state hold-model grid. 16384 is the
+// motivating regime — the event population of the 1024-worker fat-tree
+// — where the heap's O(log n) comparisons and per-event allocation
+// dominate; the small sizes document that the calendar queue does not
+// regress cache-resident workloads.
+func simCoreQueueSizes() []int { return []int{64, 1024, 16384} }
+
+// simCoreHoldEvents is the number of holds measured per cell — enough
+// for the steady state to dominate priming even at the 16384 queue
+// size, small enough that the whole grid stays in tier-1 test time.
+const simCoreHoldEvents = 1_000_000
+
+// SimCoreHoldRow is one queue size's heap-vs-calendar measurement.
+type SimCoreHoldRow struct {
+	QueueSize int
+	Heap, Cal sim.HoldResult
+	// Speedup is calendar events/sec over heap events/sec.
+	Speedup float64
+}
+
+// SimCoreFatTree is the rack-scale scenario measurement: virtual
+// makespan and real wall clock for 64 concurrent 16-worker jobs on a
+// k=8 fat-tree (1024 hosts, every host busy).
+type SimCoreFatTree struct {
+	K, HostsPerEdge, Hosts, Jobs int
+
+	Makespan     time.Duration // virtual time
+	Wall         time.Duration // wall clock
+	Events       uint64
+	EventsPerSec float64
+}
+
+// SimCoreData aggregates everything the simcore report and JSON
+// baseline record.
+type SimCoreData struct {
+	Hold    []SimCoreHoldRow
+	FatTree SimCoreFatTree
+}
+
+// simCoreHold measures one hold-model cell on both schedulers.
+func simCoreHold(queueSize, events int) SimCoreHoldRow {
+	row := SimCoreHoldRow{QueueSize: queueSize}
+	row.Heap = sim.RunHold(sim.NewHeapKernel(), queueSize, events, 7)
+	row.Cal = sim.RunHold(sim.NewKernel(), queueSize, events, 7)
+	if row.Heap.EventsPerSec > 0 {
+		row.Speedup = row.Cal.EventsPerSec / row.Heap.EventsPerSec
+	}
+	return row
+}
+
+// simCoreFatTreeSpecs builds the 64-job load: 16 sync workers each,
+// cycling the paper workloads with small model overrides so the
+// scenario measures scheduler capacity, not gradient arithmetic.
+func simCoreFatTreeSpecs(jobs int) []multijob.JobSpec {
+	wls := perfmodel.Workloads()
+	specs := make([]multijob.JobSpec, jobs)
+	for i := range specs {
+		wl := wls[i%len(wls)]
+		specs[i] = multijob.JobSpec{
+			Name:     fmt.Sprintf("%s/%02d", wl.Name, i),
+			Workload: wl, Workers: 16, Mode: multijob.ModeSync,
+			Iterations: 2, ModelFloats: 400,
+		}
+	}
+	return specs
+}
+
+// simCoreFatTree runs the 1024-worker scenario once and reports its
+// cost. Panics on scheduler errors — an experiment cell, like the
+// other sweeps.
+func simCoreFatTree() SimCoreFatTree {
+	const kAry, hostsPerEdge, jobs = 8, 32, 64
+	k := sim.NewKernel()
+	f := multijob.NewFatTreeFabric(k, kAry, hostsPerEdge,
+		netsim.TenGbE(), netsim.FortyGbE(), netsim.FortyGbE(), multijob.FabricConfig{})
+
+	start := time.Now()
+	res, err := multijob.Run(f, simCoreFatTreeSpecs(jobs))
+	wall := time.Since(start)
+	if err != nil {
+		panic(fmt.Sprintf("experiments: simcore fat-tree: %v", err))
+	}
+	out := SimCoreFatTree{
+		K: kAry, HostsPerEdge: hostsPerEdge, Hosts: len(f.Hosts), Jobs: jobs,
+		Makespan: multijob.Summarize(res).Makespan,
+		Wall:     wall, Events: k.Events(),
+	}
+	if wall > 0 {
+		out.EventsPerSec = float64(out.Events) / wall.Seconds()
+	}
+	return out
+}
+
+// RunSimCore runs the full simulation-core measurement suite.
+func RunSimCore() SimCoreData {
+	data := SimCoreData{FatTree: simCoreFatTree()}
+	for _, qs := range simCoreQueueSizes() {
+		data.Hold = append(data.Hold, simCoreHold(qs, simCoreHoldEvents))
+	}
+	return data
+}
+
+// SimCore renders the scheduler benchmark as an experiment result.
+// Unlike the paper reproductions its numbers are wall-clock (hardware-
+// dependent), so it rides behind `iswitch-bench -simcore` rather than
+// the deterministic-stdout registry — same split as -kernels.
+func SimCore() Result { return renderSimCore(RunSimCore()) }
+
+func renderSimCore(d SimCoreData) Result {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Hold model (%d holds/cell, seed 7): reference binary heap vs calendar queue.\n",
+		simCoreHoldEvents)
+	fmt.Fprintf(&b, "%9s %15s %13s %15s %13s %9s\n",
+		"queue", "heap ev/s", "allocs/ev", "cal ev/s", "allocs/ev", "speedup")
+	for _, r := range d.Hold {
+		fmt.Fprintf(&b, "%9d %15.0f %13.3f %15.0f %13.3f %8.2fx\n",
+			r.QueueSize, r.Heap.EventsPerSec, r.Heap.AllocsPerEvent,
+			r.Cal.EventsPerSec, r.Cal.AllocsPerEvent, r.Speedup)
+	}
+	ft := d.FatTree
+	fmt.Fprintf(&b, "\nFat-tree rackscale scenario: k=%d, %d hosts/edge (%d workers), %d sync jobs.\n",
+		ft.K, ft.HostsPerEdge, ft.Hosts, ft.Jobs)
+	fmt.Fprintf(&b, "virtual makespan %s, %d events in %v wall (%.0f events/sec)\n",
+		ms(ft.Makespan), ft.Events, ft.Wall.Round(time.Millisecond), ft.EventsPerSec)
+	return Result{ID: "simcore",
+		Title: "Simulation core: calendar queue vs reference heap", Text: b.String()}
+}

@@ -1,0 +1,172 @@
+package experiments
+
+import (
+	"encoding/json"
+	"os"
+	"runtime"
+	"strings"
+	"testing"
+	"time"
+
+	"iswitch/internal/sim"
+)
+
+// TestExperimentsSchedulerDifferential runs unmodified experiment code
+// on both schedulers and requires byte-identical report text — the
+// end-to-end leg of the calendar-queue equivalence proof (the sim
+// package's differential suite pins kernel semantics; this pins that
+// nothing above the kernel observes the swap either). The subset spans
+// the three simulation styles: host-model sync training (figure4,
+// figure8), in-switch aggregation sweeps (ablation-h), and the
+// multi-tenant fabric scheduler (job-sweep).
+func TestExperimentsSchedulerDifferential(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs several experiments twice")
+	}
+	ids := []string{"figure4", "figure8", "ablation-h", "job-sweep"}
+	defer sim.UseHeapScheduler(false)
+	for _, id := range ids {
+		spec, ok := ByID(id, QuickCurveOpts())
+		if !ok {
+			t.Fatalf("unknown experiment %q", id)
+		}
+		sim.UseHeapScheduler(false)
+		cal := spec.Run().Text
+		sim.UseHeapScheduler(true)
+		heap := spec.Run().Text
+		if cal != heap {
+			t.Errorf("%s: calendar and heap schedulers disagree\ncalendar:\n%s\nheap:\n%s",
+				id, cal, heap)
+		}
+	}
+}
+
+// TestRenderSimCore pins the report layout without paying for a real
+// measurement.
+func TestRenderSimCore(t *testing.T) {
+	d := SimCoreData{
+		Hold: []SimCoreHoldRow{{
+			QueueSize: 16384,
+			Heap:      sim.HoldResult{EventsPerSec: 1e6, AllocsPerEvent: 1.0},
+			Cal:       sim.HoldResult{EventsPerSec: 5.5e6, AllocsPerEvent: 0.0},
+			Speedup:   5.5,
+		}},
+		FatTree: SimCoreFatTree{
+			K: 8, HostsPerEdge: 32, Hosts: 1024, Jobs: 64,
+			Makespan: 42 * time.Millisecond, Wall: 60 * time.Millisecond,
+			Events: 1_000_000, EventsPerSec: 16.7e6,
+		},
+	}
+	text := renderSimCore(d).Text
+	for _, want := range []string{"16384", "5.50x", "k=8", "1024 workers", "64 sync jobs"} {
+		if !strings.Contains(text, want) {
+			t.Fatalf("simcore report missing %q:\n%s", want, text)
+		}
+	}
+}
+
+// --- BENCH_simcore.json ------------------------------------------------
+
+type simCoreHoldJSON struct {
+	QueueSize          int     `json:"queue_size"`
+	HeapEventsPerSec   float64 `json:"heap_events_per_sec"`
+	HeapAllocsPerEvent float64 `json:"heap_allocs_per_event"`
+	CalEventsPerSec    float64 `json:"cal_events_per_sec"`
+	CalAllocsPerEvent  float64 `json:"cal_allocs_per_event"`
+	Speedup            float64 `json:"speedup"`
+}
+
+type simCoreFatTreeJSON struct {
+	K            int     `json:"k"`
+	HostsPerEdge int     `json:"hosts_per_edge"`
+	Hosts        int     `json:"hosts"`
+	Jobs         int     `json:"jobs"`
+	MakespanMs   float64 `json:"makespan_ms"`
+	WallMs       float64 `json:"wall_ms"`
+	Events       uint64  `json:"events"`
+	EventsPerSec float64 `json:"events_per_sec"`
+}
+
+type simCoreDoc struct {
+	GOARCH  string             `json:"goarch"`
+	NumCPU  int                `json:"num_cpu"`
+	Hold    []simCoreHoldJSON  `json:"hold"`
+	FatTree simCoreFatTreeJSON `json:"fattree"`
+}
+
+func simCoreToDoc(d SimCoreData) simCoreDoc {
+	doc := simCoreDoc{GOARCH: runtime.GOARCH, NumCPU: runtime.NumCPU()}
+	for _, r := range d.Hold {
+		doc.Hold = append(doc.Hold, simCoreHoldJSON{
+			QueueSize:          r.QueueSize,
+			HeapEventsPerSec:   r.Heap.EventsPerSec,
+			HeapAllocsPerEvent: r.Heap.AllocsPerEvent,
+			CalEventsPerSec:    r.Cal.EventsPerSec,
+			CalAllocsPerEvent:  r.Cal.AllocsPerEvent,
+			Speedup:            r.Speedup,
+		})
+	}
+	ft := d.FatTree
+	doc.FatTree = simCoreFatTreeJSON{
+		K: ft.K, HostsPerEdge: ft.HostsPerEdge, Hosts: ft.Hosts, Jobs: ft.Jobs,
+		MakespanMs:   float64(ft.Makespan) / 1e6,
+		WallMs:       float64(ft.Wall.Nanoseconds()) / 1e6,
+		Events:       ft.Events,
+		EventsPerSec: ft.EventsPerSec,
+	}
+	return doc
+}
+
+// TestWriteSimCoreJSON records the scheduler baseline to the file named
+// by BENCH_SIMCORE_JSON (skipped when unset, so a plain `go test ./...`
+// never writes files). CI uses:
+//
+//	BENCH_SIMCORE_JSON=BENCH_simcore.json go test -run WriteSimCoreJSON ./internal/experiments
+func TestWriteSimCoreJSON(t *testing.T) {
+	out := os.Getenv("BENCH_SIMCORE_JSON")
+	if out == "" {
+		t.Skip("BENCH_SIMCORE_JSON not set")
+	}
+	data, err := json.MarshalIndent(simCoreToDoc(RunSimCore()), "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(out, append(data, '\n'), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("wrote %s", out)
+}
+
+// TestSimCoreRegression is the CI bench smoke: re-measure the hold
+// model and fail if the calendar queue's advantage over the heap fell
+// more than 20% below the committed BENCH_simcore.json baseline, or if
+// event pooling started allocating. Comparing speedup ratios (not raw
+// events/sec) keeps the gate portable across CI hardware. Gated on
+// BENCH_SIMCORE_CHECK because wall-clock ratios are too noisy to sit in
+// every local `go test ./...` run.
+func TestSimCoreRegression(t *testing.T) {
+	if os.Getenv("BENCH_SIMCORE_CHECK") == "" {
+		t.Skip("BENCH_SIMCORE_CHECK not set")
+	}
+	raw, err := os.ReadFile("../../BENCH_simcore.json")
+	if err != nil {
+		t.Fatalf("baseline missing (regenerate with BENCH_SIMCORE_JSON): %v", err)
+	}
+	var base simCoreDoc
+	if err := json.Unmarshal(raw, &base); err != nil {
+		t.Fatalf("corrupt baseline: %v", err)
+	}
+	for _, b := range base.Hold {
+		row := simCoreHold(b.QueueSize, simCoreHoldEvents)
+		if row.Cal.AllocsPerEvent > 0.1 {
+			t.Errorf("queue %d: calendar path allocates %.3f/event, want <= 0.1 (pooling regression)",
+				b.QueueSize, row.Cal.AllocsPerEvent)
+		}
+		if floor := 0.8 * b.Speedup; row.Speedup < floor {
+			t.Errorf("queue %d: calendar/heap speedup %.2fx fell below 80%% of the %.2fx baseline",
+				b.QueueSize, row.Speedup, b.Speedup)
+		} else {
+			t.Logf("queue %d: %.2fx (baseline %.2fx)", b.QueueSize, row.Speedup, b.Speedup)
+		}
+	}
+}

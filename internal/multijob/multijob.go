@@ -172,6 +172,30 @@ func NewThreeTierFabric(k *sim.Kernel, nAGGs, torsPerAGG, hostsPerToR int,
 	return f
 }
 
+// NewFatTreeFabric builds a k-ary fat-tree (kAry pods, kAry/2 edge and
+// aggregation switches per pod, hostsPerEdge workers per edge switch)
+// with iSwitch aggregation on the embedded spine tree: each worker's
+// chain is edge → pod agg0 → core0. kAry=8 with hostsPerEdge=32 is the
+// 1024-worker rackscale shape the calendar-queue kernel is sized for.
+func NewFatTreeFabric(k *sim.Kernel, kAry, hostsPerEdge int,
+	edge, aggLink, coreLink netsim.LinkConfig, cfg FabricConfig) *Fabric {
+	c := switchnet.BuildFatTree(k, kAry, hostsPerEdge, edge, aggLink, coreLink)
+	f := &Fabric{K: k, Hosts: c.Workers}
+	f.Switches = append(f.Switches, c.Core)
+	for pod := range c.Edges {
+		f.Switches = append(f.Switches, c.Aggs[pod])
+		f.Switches = append(f.Switches, c.Edges[pod]...)
+	}
+	for i := range c.Workers {
+		es := c.EdgeOfWorker(i)
+		agg := c.Aggs[c.Net.PodOf[i]]
+		f.target = append(f.target, es.Addr())
+		f.path = append(f.path, []*switchnet.ISwitch{es, agg, c.Core})
+	}
+	f.arm(cfg)
+	return f
+}
+
 // FreeHosts reports how many fabric hosts are still unassigned.
 func (f *Fabric) FreeHosts() int { return len(f.Hosts) - f.next }
 

@@ -104,6 +104,9 @@ func Run(f *Fabric, specs []JobSpec) ([]*JobResult, error) {
 	}
 	s.tryAdmit()
 	f.K.Run()
+	// Release switch/server processes still parked on their RX channels
+	// so a sweep over many fabrics does not accumulate goroutines.
+	f.K.Shutdown()
 
 	results := make([]*JobResult, len(s.all))
 	for i, jr := range s.all {

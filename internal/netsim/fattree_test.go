@@ -1,0 +1,97 @@
+package netsim
+
+import (
+	"testing"
+
+	"iswitch/internal/protocol"
+	"iswitch/internal/sim"
+)
+
+func TestFatTreeShape(t *testing.T) {
+	k := sim.NewKernel()
+	defer k.Shutdown()
+	ft := BuildFatTree(k, 4, 2, TenGbE(), FortyGbE(), FortyGbE())
+	if len(ft.Cores) != 4 {
+		t.Fatalf("cores = %d, want (k/2)^2 = 4", len(ft.Cores))
+	}
+	if len(ft.Aggs) != 4 || len(ft.Aggs[0]) != 2 || len(ft.Edges[0]) != 2 {
+		t.Fatalf("pod shape wrong: %d pods, %d aggs, %d edges",
+			len(ft.Aggs), len(ft.Aggs[0]), len(ft.Edges[0]))
+	}
+	if ft.NumWorkers() != 4*2*2 {
+		t.Fatalf("workers = %d, want 16", ft.NumWorkers())
+	}
+	// Port budget on the spine core: one link per pod.
+	if got := len(ft.Cores[0].Ports()); got != 4 {
+		t.Fatalf("core0 ports = %d, want k = 4", got)
+	}
+	// Every agg has k/2 core uplinks + k/2 edge downlinks.
+	if got := len(ft.Aggs[1][0].Ports()); got != 4 {
+		t.Fatalf("agg ports = %d, want k = 4", got)
+	}
+}
+
+func TestFatTreeK8Has1024WorkersWithDenseRacks(t *testing.T) {
+	k := sim.NewKernel()
+	defer k.Shutdown()
+	ft := BuildFatTree(k, 8, 32, TenGbE(), FortyGbE(), FortyGbE())
+	if ft.NumWorkers() != 1024 {
+		t.Fatalf("workers = %d, want 1024 (8 pods x 4 edges x 32 hosts)", ft.NumWorkers())
+	}
+	if len(ft.Cores) != 16 {
+		t.Fatalf("cores = %d, want 16", len(ft.Cores))
+	}
+	// Address plan must be collision-free.
+	seen := make(map[protocol.Addr]bool, ft.NumWorkers())
+	for _, h := range ft.Hosts {
+		if seen[h.Addr] {
+			t.Fatalf("duplicate host address %v", h.Addr)
+		}
+		seen[h.Addr] = true
+		if h.Addr.IP[0] != 11 {
+			t.Fatalf("host %v outside the 11.0.0.0/8 fat-tree plan", h.Addr)
+		}
+	}
+}
+
+// TestFatTreeCrossPodDelivery sends host→host across pods and within a
+// pod, exercising the full spine (edge → agg0 → core0 → agg0 → edge).
+func TestFatTreeCrossPodDelivery(t *testing.T) {
+	k := sim.NewKernel()
+	ft := BuildFatTree(k, 4, 2, TenGbE(), FortyGbE(), FortyGbE())
+	src := ft.Hosts[0]                      // pod 0
+	crossDst := ft.Hosts[ft.NumWorkers()-1] // pod 3
+	sameDst := ft.Hosts[1]                  // pod 0, same edge
+
+	got := make(map[protocol.Addr]int)
+	recv := func(h *Host) {
+		k.Spawn("recv", func(p *sim.Proc) {
+			pkt := h.Recv(p)
+			got[h.Addr] += len(pkt.Data)
+			pkt.Release()
+		})
+	}
+	recv(crossDst)
+	recv(sameDst)
+	k.Spawn("send", func(p *sim.Proc) {
+		src.Send(protocol.NewData(src.Addr, crossDst.Addr, 1, []float32{1, 2, 3}))
+		src.Send(protocol.NewData(src.Addr, sameDst.Addr, 2, []float32{4}))
+	})
+	k.Run()
+	k.Shutdown()
+	if got[crossDst.Addr] != 3 {
+		t.Fatalf("cross-pod delivery got %d floats, want 3", got[crossDst.Addr])
+	}
+	if got[sameDst.Addr] != 1 {
+		t.Fatalf("same-edge delivery got %d floats, want 1", got[sameDst.Addr])
+	}
+}
+
+func TestFatTreeRejectsBadK(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("BuildFatTree accepted odd k")
+		}
+	}()
+	BuildFatTree(sim.NewKernel(), 3, 1, TenGbE(), FortyGbE(), FortyGbE())
+}

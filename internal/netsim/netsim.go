@@ -147,6 +147,7 @@ func (p *Port) Send(pkt *protocol.Packet) {
 		if p.Trace != nil {
 			p.Trace(txEnd, "drop", pkt)
 		}
+		pkt.Release() // dropped frames go straight back to the pool
 		return
 	}
 	peer := p.peer
@@ -290,6 +291,7 @@ func (s *Switch) Forward(pkt *protocol.Packet) {
 	out, ok := s.RouteFor(pkt.Dst)
 	if !ok {
 		s.NoRoute++
+		pkt.Release() // unroutable frames are dropped
 		return
 	}
 	s.Forwarded++

@@ -150,6 +150,13 @@ type Packet struct {
 	// Data packet fields (ToS == ToSData).
 	Seg  uint64
 	Data []float32
+
+	// Pooling state (pool.go). pooled marks frames from GetPacket;
+	// dataBuf/valueBuf are owned backing arrays kept across Release so
+	// a recycled frame reuses its payload capacity.
+	pooled   bool
+	dataBuf  []float32
+	valueBuf []byte
 }
 
 // IsControl reports whether the packet is an iSwitch control packet.
@@ -180,6 +187,9 @@ func (p *Packet) WireLen() int {
 // each other's payload.
 func (p *Packet) Clone() *Packet {
 	q := *p
+	// The clone is an independent unpooled packet: it must not inherit
+	// the original's pooled mark or alias its backing arrays.
+	q.pooled, q.dataBuf, q.valueBuf = false, nil, nil
 	if p.Value != nil {
 		q.Value = append([]byte(nil), p.Value...)
 	}

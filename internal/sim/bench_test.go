@@ -52,3 +52,79 @@ func BenchmarkManyProcs(b *testing.B) {
 	b.ResetTimer()
 	k.Run()
 }
+
+// benchHold runs the hold model (pop one, reschedule one — the standard
+// DES scheduler benchmark) at a fixed steady-state queue size.
+func benchHold(b *testing.B, mk func() *Kernel, queueSize int) {
+	b.ReportAllocs()
+	b.ResetTimer()
+	res := RunHold(mk(), queueSize, b.N, 7)
+	b.StopTimer()
+	b.ReportMetric(res.EventsPerSec, "events/sec")
+	b.ReportMetric(res.AllocsPerEvent, "allocs/event")
+}
+
+func BenchmarkHoldCalendar64(b *testing.B)    { benchHold(b, NewKernel, 64) }
+func BenchmarkHoldCalendar1024(b *testing.B)  { benchHold(b, NewKernel, 1024) }
+func BenchmarkHoldCalendar16384(b *testing.B) { benchHold(b, NewKernel, 16384) }
+func BenchmarkHoldHeap64(b *testing.B)        { benchHold(b, NewHeapKernel, 64) }
+func BenchmarkHoldHeap1024(b *testing.B)      { benchHold(b, NewHeapKernel, 1024) }
+func BenchmarkHoldHeap16384(b *testing.B)     { benchHold(b, NewHeapKernel, 16384) }
+
+// BenchmarkChanSteadyState pins the ring-buffer rework: a
+// send-then-receive cycle at steady state must not allocate (waiter
+// records and buffer slots are recycled), and must not retain the
+// O(n) slid-off prefix the old slice-shift buffers kept alive.
+func BenchmarkChanSteadyState(b *testing.B) {
+	b.ReportAllocs()
+	k := NewKernel()
+	ch := NewChan[int](k, "ch")
+	k.Spawn("recv", func(p *Proc) {
+		for i := 0; i < b.N; i++ {
+			ch.Recv(p)
+		}
+	})
+	k.Spawn("send", func(p *Proc) {
+		for i := 0; i < b.N; i++ {
+			ch.Send(i)
+			p.Sleep(time.Microsecond)
+		}
+	})
+	b.ResetTimer()
+	k.Run()
+}
+
+// TestChanSteadyStateAllocFree is the allocation-regression gate for
+// the Chan ring buffers: after warm-up, a send/recv/timeout mix must
+// average well under one allocation per operation.
+func TestChanSteadyStateAllocFree(t *testing.T) {
+	const ops = 20000
+	allocs := testing.AllocsPerRun(1, func() {
+		k := NewKernel()
+		ch := NewChan[int](k, "ch")
+		k.Spawn("recv", func(p *Proc) {
+			for i := 0; i < ops; i++ {
+				if i%7 == 0 {
+					ch.RecvTimeout(p, 500*time.Nanosecond)
+				} else {
+					ch.Recv(p)
+				}
+			}
+		})
+		k.Spawn("send", func(p *Proc) {
+			for i := 0; i < ops; i++ {
+				ch.Send(i)
+				p.Sleep(time.Microsecond)
+			}
+		})
+		k.Run()
+		k.Shutdown()
+	})
+	// Fixed costs (kernel, channel, goroutines, ring growth) amortize
+	// over 2*ops operations; the steady state itself must be
+	// allocation-free. 0.05 allocs/op gives headroom for the fixed part
+	// while catching any per-operation regression.
+	if perOp := allocs / (2 * ops); perOp > 0.05 {
+		t.Fatalf("chan steady state allocates %.3f allocs/op (total %.0f); ring buffers should be allocation-free", perOp, allocs)
+	}
+}

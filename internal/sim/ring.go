@@ -1,0 +1,62 @@
+package sim
+
+// ring is a growable power-of-two circular buffer. It replaces the
+// `s = s[1:]` slice-shift queues the kernel used to keep for channel
+// buffers and waiter lists: shifting a slice head retains the whole
+// backing array (the garbage collector sees the popped prefix as live)
+// and re-appending after a shift degrades quadratically under bursty
+// senders. A ring reuses its backing array forever, pops in O(1), and
+// zeroes each vacated slot so popped values are collectable.
+type ring[T any] struct {
+	elems []T // len(elems) is always 0 or a power of two
+	head  int
+	n     int
+}
+
+// len reports the number of queued values.
+func (r *ring[T]) len() int { return r.n }
+
+// push appends v at the tail, growing the ring when full.
+func (r *ring[T]) push(v T) {
+	if r.n == len(r.elems) {
+		r.grow()
+	}
+	r.elems[(r.head+r.n)&(len(r.elems)-1)] = v
+	r.n++
+}
+
+// pop removes and returns the head value, clearing its slot.
+func (r *ring[T]) pop() T {
+	if r.n == 0 {
+		panic("sim: pop from empty ring")
+	}
+	var zero T
+	v := r.elems[r.head]
+	r.elems[r.head] = zero
+	r.head = (r.head + 1) & (len(r.elems) - 1)
+	r.n--
+	return v
+}
+
+// peek returns the head value without removing it.
+func (r *ring[T]) peek() T {
+	if r.n == 0 {
+		panic("sim: peek at empty ring")
+	}
+	return r.elems[r.head]
+}
+
+// grow doubles capacity (minimum 8), compacting the live window to the
+// front of the new array.
+func (r *ring[T]) grow() {
+	newCap := 2 * len(r.elems)
+	if newCap == 0 {
+		newCap = 8
+	}
+	elems := make([]T, newCap)
+	for i := 0; i < r.n; i++ {
+		elems[i] = r.elems[(r.head+i)&(len(r.elems)-1)]
+	}
+	r.elems = elems
+	r.head = 0
+}

@@ -9,10 +9,19 @@
 // Processes advance virtual time with Proc.Sleep and communicate through
 // virtual-time channels (Chan). Network links, switches, and training
 // workers in the iSwitch reproduction are all sim processes.
+//
+// The event queue behind the kernel is an O(1) calendar queue with a
+// binary-heap fallback for far-future events (calqueue.go); the seed's
+// binary heap survives as the reference scheduler (heapQueue) behind
+// NewHeapKernel, with pop order pinned byte-identical by the
+// differential suite. Events are pool-allocated through a free list, so
+// the steady-state hot path — After callbacks and process wakes —
+// performs no heap allocation. Pure-callback events (After) execute
+// inline in the kernel loop with no goroutine handoff; only waking a
+// parked process pays the two channel operations of the token exchange.
 package sim
 
 import (
-	"container/heap"
 	"fmt"
 	"time"
 )
@@ -22,33 +31,35 @@ type Time = time.Duration
 
 // event is a scheduled occurrence: at time t, run fn (kernel context)
 // and/or resume proc. seq breaks ties so ordering is deterministic.
+// Events are pooled: next links both a bucket chain inside the calendar
+// queue and the kernel's free list.
 type event struct {
 	t    Time
 	seq  uint64
 	fn   func()
 	proc *Proc
+	next *event
 }
 
-type eventQueue []*event
-
-func (q eventQueue) Len() int { return len(q) }
-func (q eventQueue) Less(i, j int) bool {
-	if q[i].t != q[j].t {
-		return q[i].t < q[j].t
+// before reports whether e precedes o in the kernel's total (t, seq)
+// event order.
+func (e *event) before(o *event) bool {
+	if e.t != o.t {
+		return e.t < o.t
 	}
-	return q[i].seq < q[j].seq
+	return e.seq < o.seq
 }
-func (q eventQueue) Swap(i, j int) { q[i], q[j] = q[j], q[i] }
-func (q *eventQueue) Push(x any)   { *q = append(*q, x.(*event)) }
-func (q *eventQueue) Pop() any {
-	old := *q
-	n := len(old)
-	e := old[n-1]
-	old[n-1] = nil
-	*q = old[:n-1]
-	return e
+
+// scheduler is the priority-queue implementation behind a Kernel. Both
+// implementations pop in exactly (t, seq) order; pooled reports whether
+// popped events may be recycled through the kernel's free list.
+type scheduler interface {
+	push(*event)
+	peek() *event
+	pop() *event
+	len() int
+	pooled() bool
 }
-func (q eventQueue) peek() *event { return q[0] }
 
 // Kernel owns the virtual clock and the event queue.
 //
@@ -56,17 +67,52 @@ func (q eventQueue) peek() *event { return q[0] }
 type Kernel struct {
 	now      Time
 	seq      uint64
-	queue    eventQueue
+	sched    scheduler
+	cal      *calQueue     // sched devirtualized, nil for other schedulers
+	pool     bool          // sched.pooled(), cached off the hot path
+	free     *event        // recycled events (calendar scheduler only)
 	parkCh   chan struct{} // processes signal "parked or finished"
 	stopped  bool
+	down     bool // Shutdown has begun; parked processes must unwind
 	panicVal any
-	procs    int // live (spawned, unfinished) processes
+	procs    int     // live (spawned, unfinished) processes
+	live     []*Proc // the live processes themselves (Shutdown resumes them)
+	events   uint64  // total events processed
 }
 
-// NewKernel returns a kernel with the clock at zero.
+// NewKernel returns a kernel with the clock at zero, scheduled by the
+// calendar queue.
 func NewKernel() *Kernel {
-	return &Kernel{parkCh: make(chan struct{})}
+	if useHeapScheduler {
+		return NewHeapKernel()
+	}
+	return newKernel(newCalQueue())
 }
+
+// NewHeapKernel returns a kernel scheduled by the reference binary
+// heap — the seed implementation, kept for differential tests and
+// old-vs-new benchmarks. Event order is byte-identical to NewKernel.
+func NewHeapKernel() *Kernel { return newKernel(newHeapQueue()) }
+
+func newKernel(s scheduler) *Kernel {
+	k := &Kernel{parkCh: make(chan struct{}), sched: s, pool: s.pooled()}
+	// Devirtualize the hot path: push/peek/pop run a few times per
+	// event, and the calendar queue is the production scheduler.
+	k.cal, _ = s.(*calQueue)
+	return k
+}
+
+// useHeapScheduler, when set, makes NewKernel produce heap-scheduled
+// kernels. Differential tests flip it to run unmodified experiment code
+// on the reference scheduler.
+var useHeapScheduler bool
+
+// UseHeapScheduler forces every subsequent NewKernel to use the
+// reference binary-heap scheduler (true) or the calendar queue (false,
+// the default). It exists for differential testing: toggle, rerun an
+// unmodified workload, and compare. Not safe to flip while kernels are
+// running in other goroutines.
+func UseHeapScheduler(on bool) { useHeapScheduler = on }
 
 // Now reports the current virtual time. Valid from kernel callbacks and
 // between Run calls; processes should use Proc.Now.
@@ -79,14 +125,53 @@ func (k *Kernel) Stop() { k.stopped = true }
 // Procs reports the number of live (spawned, unfinished) processes.
 func (k *Kernel) Procs() int { return k.procs }
 
+// Events reports the total number of events the kernel has processed —
+// the numerator of every events/sec measurement.
+func (k *Kernel) Events() uint64 { return k.events }
+
+// QueueLen reports the number of pending events.
+func (k *Kernel) QueueLen() int { return k.sched.len() }
+
+// schedule allocates an event (from the free list when the scheduler
+// pools) and enqueues it, returning its seq.
+func (k *Kernel) schedule(t Time, fn func(), proc *Proc) uint64 {
+	k.seq++
+	var e *event
+	if k.free != nil {
+		e = k.free
+		k.free = e.next
+		e.next = nil
+	} else {
+		e = &event{}
+	}
+	e.t, e.seq, e.fn, e.proc = t, k.seq, fn, proc
+	if k.cal != nil {
+		k.cal.push(e)
+	} else {
+		k.sched.push(e)
+	}
+	return k.seq
+}
+
+// recycle returns a popped event to the free list once its payload has
+// been captured. The reference heap scheduler opts out to preserve the
+// seed's allocation behavior.
+func (k *Kernel) recycle(e *event) {
+	if !k.pool {
+		return
+	}
+	e.fn, e.proc = nil, nil
+	e.next = k.free
+	k.free = e
+}
+
 // After schedules fn to run in kernel context d from now. fn must not
 // block; it may schedule further events and send on channels.
 func (k *Kernel) After(d Time, fn func()) {
 	if d < 0 {
 		d = 0
 	}
-	k.seq++
-	heap.Push(&k.queue, &event{t: k.now + d, seq: k.seq, fn: fn})
+	k.schedule(k.now+d, fn, nil)
 }
 
 // Spawn creates a process named name running fn, starting at the current
@@ -95,27 +180,40 @@ func (k *Kernel) After(d Time, fn func()) {
 func (k *Kernel) Spawn(name string, fn func(*Proc)) *Proc {
 	p := &Proc{k: k, name: name, resumeCh: make(chan struct{})}
 	k.procs++
+	p.liveIdx = len(k.live)
+	k.live = append(k.live, p)
 	go func() {
 		<-p.resumeCh // wait for the start event
 		defer func() {
-			if r := recover(); r != nil {
+			if r := recover(); r != nil && r != errShutdown {
 				p.k.panicVal = fmt.Sprintf("sim: process %q panicked: %v", p.name, r)
 			}
 			p.done = true
 			p.k.procs--
+			p.k.unlive(p)
 			p.k.parkCh <- struct{}{}
 		}()
-		fn(p)
+		if !p.k.down {
+			fn(p)
+		}
 	}()
-	k.seq++
-	heap.Push(&k.queue, &event{t: k.now, seq: k.seq, proc: p})
-	p.wakeSeq = k.seq
+	p.wakeSeq = k.schedule(k.now, nil, p)
 	return p
 }
 
+// unlive removes a finished process from the live list (swap-remove).
+func (k *Kernel) unlive(p *Proc) {
+	last := len(k.live) - 1
+	k.live[p.liveIdx] = k.live[last]
+	k.live[p.liveIdx].liveIdx = p.liveIdx
+	k.live[last] = nil
+	k.live = k.live[:last]
+}
+
 // Run processes events until the queue is empty or Stop is called.
-// Processes still parked on channels when the queue drains simply never
-// resume (this is how long-lived server loops end a simulation).
+// Processes still parked on channels when the queue drains do not
+// resume (this is how long-lived server loops end a simulation); call
+// Shutdown to release them and reclaim their goroutines.
 func (k *Kernel) Run() { k.run(-1) }
 
 // RunUntil processes events with timestamps <= t, then sets the clock to
@@ -124,20 +222,39 @@ func (k *Kernel) RunUntil(t Time) { k.run(t) }
 
 func (k *Kernel) run(limit Time) {
 	k.stopped = false
-	for len(k.queue) > 0 && !k.stopped {
-		if limit >= 0 && k.queue.peek().t > limit {
+	for !k.stopped {
+		var e *event
+		if k.cal != nil {
+			e = k.cal.peek()
+		} else {
+			e = k.sched.peek()
+		}
+		if e == nil {
+			break
+		}
+		if limit >= 0 && e.t > limit {
 			k.now = limit
 			return
 		}
-		ev := heap.Pop(&k.queue).(*event)
-		if ev.t > k.now {
-			k.now = ev.t
+		if k.cal != nil {
+			k.cal.pop()
+		} else {
+			k.sched.pop()
 		}
-		if ev.fn != nil {
-			ev.fn()
+		if e.t > k.now {
+			k.now = e.t
 		}
-		if ev.proc != nil && !ev.proc.done && !ev.proc.cancelWake(ev.seq) {
-			ev.proc.resumeCh <- struct{}{}
+		k.events++
+		// Capture the payload and recycle before running it: the
+		// callback may schedule new events, and the freed slot lets the
+		// hot fn-chain path run allocation-free.
+		fn, proc, seq := e.fn, e.proc, e.seq
+		k.recycle(e)
+		if fn != nil {
+			fn()
+		}
+		if proc != nil && !proc.done && !proc.cancelWake(seq) {
+			proc.resumeCh <- struct{}{}
 			<-k.parkCh
 		}
 		if k.panicVal != nil {
@@ -149,6 +266,36 @@ func (k *Kernel) run(limit Time) {
 	}
 }
 
+// errShutdown is the sentinel a parked process panics with when the
+// kernel shuts down; the Spawn wrapper swallows it so the goroutine
+// unwinds (running its defers) without reporting a failure.
+var errShutdown = &struct{ s string }{"sim: kernel shut down"}
+
+// Shutdown releases every parked process so its goroutine unwinds and
+// exits. Without it, processes still blocked on Chan.Recv when the
+// event queue drains — long-lived server loops — leak one goroutine
+// each for the life of the Go process, which across the thousands of
+// kernels a sweep runs adds up to real memory and scheduler pressure.
+//
+// Call it after Run returns (never from inside a running process). A
+// parked process observes shutdown as a panic with an internal sentinel
+// from inside its blocking call (Sleep, Recv, Barrier.Wait, ...): its
+// deferred functions still run, but the process can not block again —
+// any further blocking call re-panics. Recovering the sentinel and
+// parking anyway is unsupported. Pending events are discarded; the
+// kernel must not be used afterwards. Shutdown is idempotent.
+func (k *Kernel) Shutdown() {
+	k.down = true
+	for len(k.live) > 0 {
+		p := k.live[len(k.live)-1]
+		p.resumeCh <- struct{}{}
+		<-k.parkCh
+	}
+	for k.sched.pop() != nil {
+	}
+	k.free = nil
+}
+
 // Proc is a simulated process. All methods must be called from the
 // process's own goroutine while it holds the scheduler token (i.e., from
 // inside the fn passed to Spawn).
@@ -157,6 +304,7 @@ type Proc struct {
 	name     string
 	resumeCh chan struct{}
 	done     bool
+	liveIdx  int // index in k.live while live
 
 	// wakeSeq, when nonzero, identifies the single event allowed to wake
 	// this proc; events carrying any other seq are stale (for example a
@@ -180,6 +328,9 @@ func (p *Proc) Spawn(name string, fn func(*Proc)) *Proc { return p.k.Spawn(name,
 func (p *Proc) park() {
 	p.k.parkCh <- struct{}{}
 	<-p.resumeCh
+	if p.k.down {
+		panic(errShutdown)
+	}
 }
 
 // scheduleWake arranges for this proc to resume at now+d and records the
@@ -188,9 +339,7 @@ func (p *Proc) scheduleWake(d Time) uint64 {
 	if d < 0 {
 		d = 0
 	}
-	p.k.seq++
-	seq := p.k.seq
-	heap.Push(&p.k.queue, &event{t: p.k.now + d, seq: seq, proc: p})
+	seq := p.k.schedule(p.k.now+d, nil, p)
 	p.wakeSeq = seq
 	return seq
 }
@@ -213,19 +362,23 @@ func (p *Proc) Sleep(d Time) {
 
 // Chan is an unbounded virtual-time channel. Senders never block;
 // receivers block in virtual time until a value is available. Delivery
-// order is FIFO and deterministic.
+// order is FIFO and deterministic. Buffers and waiter lists are ring
+// buffers, and waiter records are recycled through a per-channel free
+// list, so steady-state send/recv traffic does not allocate.
 type Chan[T any] struct {
 	k       *Kernel
 	name    string
-	buf     []T
-	waiters []*chanWaiter[T]
+	buf     ring[T]
+	waiters ring[*chanWaiter[T]]
+	freeW   *chanWaiter[T]
 }
 
 type chanWaiter[T any] struct {
 	p       *Proc
 	got     bool
 	v       T
-	expired bool // timeout fired before a value arrived
+	expired bool           // timeout fired before a value arrived
+	next    *chanWaiter[T] // free-list link
 }
 
 // NewChan creates a channel on kernel k. name is for diagnostics.
@@ -234,7 +387,28 @@ func NewChan[T any](k *Kernel, name string) *Chan[T] {
 }
 
 // Len reports the number of buffered (undelivered) values.
-func (c *Chan[T]) Len() int { return len(c.buf) }
+func (c *Chan[T]) Len() int { return c.buf.len() }
+
+// getWaiter takes a waiter record from the free list (or allocates).
+func (c *Chan[T]) getWaiter(p *Proc) *chanWaiter[T] {
+	w := c.freeW
+	if w == nil {
+		w = &chanWaiter[T]{}
+	} else {
+		c.freeW = w.next
+	}
+	var zero T
+	w.p, w.got, w.v, w.expired, w.next = p, false, zero, false, nil
+	return w
+}
+
+// putWaiter recycles a waiter that is no longer queued.
+func (c *Chan[T]) putWaiter(w *chanWaiter[T]) {
+	var zero T
+	w.p, w.v = nil, zero
+	w.next = c.freeW
+	c.freeW = w
+}
 
 // Send enqueues v at the current virtual time. Callable from kernel
 // callbacks or from the running process.
@@ -248,10 +422,10 @@ func (c *Chan[T]) SendAfter(d Time, v T) {
 
 func (c *Chan[T]) deliver(v T) {
 	// Hand to the longest-waiting live receiver, if any.
-	for len(c.waiters) > 0 {
-		w := c.waiters[0]
-		c.waiters = c.waiters[1:]
+	for c.waiters.len() > 0 {
+		w := c.waiters.pop()
 		if w.expired {
+			c.putWaiter(w) // its receiver timed out and moved on
 			continue
 		}
 		w.got = true
@@ -259,49 +433,49 @@ func (c *Chan[T]) deliver(v T) {
 		w.p.scheduleWake(0)
 		return
 	}
-	c.buf = append(c.buf, v)
+	c.buf.push(v)
 }
 
 // Recv blocks the process in virtual time until a value is available.
 func (c *Chan[T]) Recv(p *Proc) T {
-	if len(c.buf) > 0 {
-		v := c.buf[0]
-		c.buf = c.buf[1:]
-		return v
+	if c.buf.len() > 0 {
+		return c.buf.pop()
 	}
-	w := &chanWaiter[T]{p: p}
-	c.waiters = append(c.waiters, w)
+	w := c.getWaiter(p)
+	c.waiters.push(w)
 	p.wakeSeq = 0 // the deliver call will arm the wake
 	p.park()
-	return w.v
+	v := w.v
+	c.putWaiter(w) // deliver already dequeued it
+	return v
 }
 
 // TryRecv returns a buffered value without blocking.
 func (c *Chan[T]) TryRecv() (T, bool) {
 	var zero T
-	if len(c.buf) == 0 {
+	if c.buf.len() == 0 {
 		return zero, false
 	}
-	v := c.buf[0]
-	c.buf = c.buf[1:]
-	return v, true
+	return c.buf.pop(), true
 }
 
 // RecvTimeout waits up to d for a value. ok is false on timeout.
 func (c *Chan[T]) RecvTimeout(p *Proc, d Time) (v T, ok bool) {
-	if len(c.buf) > 0 {
-		v := c.buf[0]
-		c.buf = c.buf[1:]
-		return v, true
+	if c.buf.len() > 0 {
+		return c.buf.pop(), true
 	}
-	w := &chanWaiter[T]{p: p}
-	c.waiters = append(c.waiters, w)
+	w := c.getWaiter(p)
+	c.waiters.push(w)
 	p.scheduleWake(d) // timeout wake; a deliver overrides it via scheduleWake(0)
 	p.park()
 	if !w.got {
+		// Still queued: mark it stale so a later deliver skips (and
+		// recycles) it instead of waking a process that moved on.
 		w.expired = true
 		var zero T
 		return zero, false
 	}
-	return w.v, true
+	v = w.v
+	c.putWaiter(w)
+	return v, true
 }

@@ -119,3 +119,65 @@ func BuildThreeTier(k *sim.Kernel, nAGGs, torsPerAGG, hostsPerToR int, edge, agg
 
 // ToROf3 returns the ToR iSwitch of worker i in a three-tier cluster.
 func (tc *ThreeTierCluster) ToROf3(i int) *ISwitch { return tc.ToRs[tc.Net.ToROf[i]] }
+
+// Fat-tree addresses live in 11.255.*.* — above the 11.pod.edge.host
+// worker plan, mirroring how the other topologies reserve high octets
+// for switch control planes.
+
+// FatCoreAddr is the spine core switch's control address.
+func FatCoreAddr() protocol.Addr { return protocol.AddrFrom(11, 255, 0, 1, SwitchPort) }
+
+// FatAggAddr is pod p's spine aggregation switch (agg0) address.
+func FatAggAddr(p int) protocol.Addr { return protocol.AddrFrom(11, 255, 1, byte(p+1), SwitchPort) }
+
+// FatEdgeAddr is the control address of edge switch e in pod p.
+func FatEdgeAddr(p, e int) protocol.Addr {
+	return protocol.AddrFrom(11, 255, byte(2+p), byte(e+1), SwitchPort)
+}
+
+// FatTreeCluster is a k-ary fat-tree with iSwitch aggregation on the
+// embedded spine tree: every edge switch aggregates its rack and
+// forwards partials to its pod's agg0, which forwards to core0, which
+// broadcasts the global aggregate back down.
+type FatTreeCluster struct {
+	Net     *netsim.FatTree
+	Core    *ISwitch   // on Cores[0]
+	Aggs    []*ISwitch // one per pod, on Aggs[pod][0]
+	Edges   [][]*ISwitch
+	Workers []*netsim.Host
+}
+
+// EdgeOfWorker returns the edge iSwitch worker i homes on.
+func (fc *FatTreeCluster) EdgeOfWorker(i int) *ISwitch {
+	return fc.Edges[fc.Net.PodOf[i]][fc.Net.EdgeOf[i]]
+}
+
+// BuildFatTree enables iSwitch on the spine of a k-ary fat-tree
+// (every edge switch, each pod's agg0, and core0). kAry must be even;
+// hostsPerEdge scales rack density (k=8 with 32 hosts/edge = 1024
+// workers).
+func BuildFatTree(k *sim.Kernel, kAry, hostsPerEdge int, edge, aggLink, coreLink netsim.LinkConfig, opts ...Option) *FatTreeCluster {
+	net := netsim.BuildFatTree(k, kAry, hostsPerEdge, edge, aggLink, coreLink)
+	core := Attach(net.Cores[0], FatCoreAddr(), opts...)
+	fc := &FatTreeCluster{Net: net, Core: core, Workers: net.Hosts}
+
+	for pod := 0; pod < kAry; pod++ {
+		aggSw := net.Aggs[pod][0]
+		agg := Attach(aggSw, FatAggAddr(pod), append([]Option{WithParent(FatCoreAddr(), net.AggUplinks[pod])}, opts...)...)
+		fc.Aggs = append(fc.Aggs, agg)
+		core.RegisterChildSwitch(FatAggAddr(pod))
+		coreDown := net.AggUplinks[pod].Peer()
+		net.Cores[0].AddRoute(protocol.Addr{IP: FatAggAddr(pod).IP}, coreDown)
+
+		var podEdges []*ISwitch
+		for e, edgeSw := range net.Edges[pod] {
+			es := Attach(edgeSw, FatEdgeAddr(pod, e), append([]Option{WithParent(FatAggAddr(pod), net.EdgeUplinks[pod][e])}, opts...)...)
+			podEdges = append(podEdges, es)
+			agg.RegisterChildSwitch(FatEdgeAddr(pod, e))
+			aggDown := net.EdgeUplinks[pod][e].Peer()
+			aggSw.AddRoute(protocol.Addr{IP: FatEdgeAddr(pod, e).IP}, aggDown)
+		}
+		fc.Edges = append(fc.Edges, podEdges)
+	}
+	return fc
+}

@@ -420,9 +420,11 @@ func (is *ISwitch) handleData(pkt *protocol.Packet, in *netsim.Port) {
 		return
 	}
 	// A data packet arriving from the parent is a downstream broadcast
-	// of a globally aggregated segment: replicate to the job's children.
+	// of a globally aggregated segment: replicate to the job's children
+	// (each child gets its own pooled copy) and retire the frame.
 	if is.hasParent && in == is.uplink {
 		is.broadcast(ctx, pkt)
+		pkt.Release()
 		return
 	}
 	// Otherwise it is an upstream contribution: run it through the
@@ -437,13 +439,16 @@ func (is *ISwitch) handleData(pkt *protocol.Packet, in *netsim.Port) {
 		contributor = pkt.Src.String()
 	}
 	sum, done, lat := ctx.acc.IngestFrom(pkt.Seg, contributor, pkt.Data)
+	seg := pkt.Seg
+	// The accelerator summed the payload into its own segment buffer;
+	// the contribution frame is spent.
+	pkt.Release()
 	if is.bus != nil {
 		lat = is.bus.Charge(is.sw.Kernel().Now(), uint16(ctx.job), lat)
 	}
 	if !done {
 		return
 	}
-	seg := pkt.Seg
 	is.sw.Kernel().After(lat, func() {
 		out := &protocol.Packet{Src: is.addr, ToS: protocol.ToSData,
 			Job: ctx.job, Seg: seg, Data: sum}
@@ -482,7 +487,10 @@ func (is *ISwitch) broadcast(ctx *jobCtx, pkt *protocol.Packet) {
 	is.Broadcasts++
 	ctx.cacheEmission(pkt.Seg, pkt.Data)
 	for _, m := range ctx.mem.Members() {
-		cp := pkt.Clone()
+		// Pooled flyweight copies: each receiver releases its own on
+		// delivery, so a W-member fan-out recycles W frames per segment
+		// instead of allocating them.
+		cp := pkt.PooledClone()
 		cp.Src = is.addr
 		cp.Dst = m.Addr
 		cp.Job = ctx.job
