@@ -13,6 +13,8 @@
 //	                              # a scalar-vs-SIMD throughput smoke
 //	iswitch-bench -simcore        # benchmark the calendar-queue event
 //	                              # scheduler against the reference heap
+//	iswitch-bench -lossy          # reliability sweep: loss × topology ×
+//	                              # mode plus crash and failover cells
 //
 // Experiments run on a bounded worker pool (-parallel); every
 // simulation cell is an isolated kernel with fixed seeds and results
@@ -85,6 +87,7 @@ func main() {
 		list    = flag.Bool("list", false, "list experiment ids and exit")
 		kern    = flag.Bool("kernels", false, "report float32 kernel backends and exit")
 		simcore = flag.Bool("simcore", false, "benchmark the event scheduler (calendar vs heap) and exit")
+		lossy   = flag.Bool("lossy", false, "run the reliability (loss/crash/failover) sweep and exit")
 		workers = flag.Int("parallel", runtime.GOMAXPROCS(0), "max concurrent simulation workers (<1: GOMAXPROCS)")
 	)
 	flag.Parse()
@@ -97,6 +100,12 @@ func main() {
 		// Wall-clock numbers, so it lives outside the deterministic
 		// experiment registry, like -kernels.
 		fmt.Println(experiments.SimCore().String())
+		return
+	}
+	if *lossy {
+		// Also registered as -exp lossy; the dedicated flag matches
+		// -simcore for the CI smoke.
+		fmt.Println(experiments.Lossy().String())
 		return
 	}
 	// Every results run records which gradient datapath produced it.

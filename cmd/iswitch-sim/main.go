@@ -103,8 +103,6 @@ func main() {
 		return
 	}
 	k := sim.NewKernel()
-	edge := netsim.TenGbE()
-	uplink := netsim.FortyGbE()
 
 	n := *workers
 	if *topology == "3tier" {
@@ -115,46 +113,68 @@ func main() {
 		agents[i] = core.NewSyntheticAgent(w.Floats())
 	}
 
-	switch *mode {
-	case "sync":
-		services := make([]core.Service, n)
-		var attach func(i int) core.Service
-		var traceHost *netsim.Host
-		switch {
-		case *strategy == "ps" && *topology == "star" && *psShards > 1:
-			c := core.NewShardedPSCluster(k, n, w.Floats(), *psShards, edge, core.PSConfigFor(w))
-			attach = c.Client
-		case *strategy == "ps" && *topology == "star":
-			c := core.NewPSCluster(k, n, w.Floats(), edge, core.PSConfigFor(w))
-			attach = c.Client
-		case *strategy == "ps" && *topology == "tree":
-			c := core.NewPSClusterTree(k, n, *perRack, w.Floats(), edge, uplink, core.PSConfigFor(w))
-			attach = c.Client
-		case *strategy == "ar" && *topology == "star":
-			c := core.NewARCluster(k, n, w.Floats(), edge, core.ARConfigFor(w))
-			attach = c.Client
-		case *strategy == "ar" && *topology == "tree":
-			c := core.NewARClusterTree(k, n, *perRack, w.Floats(), edge, uplink, core.ARConfigFor(w))
-			attach = c.Client
-		case *strategy == "isw" && *topology == "star":
-			c := core.NewISWStar(k, n, w.Floats(), edge, core.ISWConfigFor(w))
-			attach, traceHost = c.Client, c.Workers()[0]
-		case *strategy == "isw" && *topology == "tree":
-			c := core.NewISWTreeN(k, n, *perRack, w.Floats(), edge, uplink, core.ISWConfigFor(w))
-			attach, traceHost = c.Client, c.Workers()[0]
-		case *strategy == "isw" && *topology == "3tier":
-			e, a, cl := netsim.DefaultThreeTierLinks()
-			c := core.NewISWThreeTier(k, *aggs, *tors, *hosts, w.Floats(), e, a, cl, core.ISWConfigFor(w))
-			attach, traceHost = c.Client, c.Workers()[0]
-		default:
+	// One declarative spec covers every strategy × topology pairing; the
+	// pieces below only vary Mode (sync/async flavors) on top of it.
+	spec := core.ClusterSpec{
+		Workers:     n,
+		PerRack:     *perRack,
+		ModelFloats: w.Floats(),
+		Link:        netsim.TenGbE(),
+		Uplink:      netsim.FortyGbE(),
+		Shards:      *psShards,
+	}
+	switch *topology {
+	case "star":
+		spec.Topology = core.TopoStar
+	case "tree":
+		spec.Topology = core.TopoTree
+	case "3tier":
+		if *strategy != "isw" {
 			fmt.Fprintf(os.Stderr, "unsupported combination: %s over %s\n", *strategy, *topology)
 			os.Exit(1)
 		}
-		if *doTrace > 0 && traceHost != nil {
-			defer dumpTrace(newTraceRecorder(traceHost, *doTrace, *traceEnd))
+		spec.Topology = core.TopoThreeTier
+		spec.AGGs, spec.ToRsPerAGG, spec.HostsPerToR = *aggs, *tors, *hosts
+		spec.Link, spec.Uplink, spec.CoreLink = netsim.DefaultThreeTierLinks()
+	default:
+		fmt.Fprintf(os.Stderr, "unknown topology %q\n", *topology)
+		os.Exit(1)
+	}
+	switch *strategy {
+	case "ps":
+		cfg := core.PSConfigFor(w)
+		spec.PS = &cfg
+	case "ar":
+		cfg := core.ARConfigFor(w)
+		spec.AR = &cfg
+	case "isw":
+		cfg := core.ISWConfigFor(w)
+		spec.ISW = &cfg
+	default:
+		fmt.Fprintf(os.Stderr, "unknown strategy %q\n", *strategy)
+		os.Exit(1)
+	}
+
+	switch *mode {
+	case "sync":
+		switch *strategy {
+		case "ps":
+			spec.Mode = core.ModePS
+			if *psShards > 1 {
+				spec.Mode = core.ModeShardedPS
+			}
+		case "ar":
+			spec.Mode = core.ModeAllReduce
+		case "isw":
+			spec.Mode = core.ModeISW
 		}
+		c := core.Build(k, spec)
+		if *doTrace > 0 && *strategy == "isw" {
+			defer dumpTrace(newTraceRecorder(c.Workers()[0], *doTrace, *traceEnd))
+		}
+		services := make([]core.Service, n)
 		for i := range services {
-			services[i] = attach(i)
+			services[i] = c.Client(i)
 		}
 		stats := core.RunSync(k, agents, services, core.SyncConfig{
 			Iterations: *iters, LocalCompute: w.LocalCompute, WeightUpdate: w.WeightUpdate})
@@ -179,32 +199,21 @@ func main() {
 		var stats *core.AsyncStats
 		switch *strategy {
 		case "isw":
-			var c *core.ISWCluster
-			switch *topology {
-			case "star":
-				c = core.NewISWStar(k, n, w.Floats(), edge, core.ISWConfigFor(w))
-			case "tree":
-				c = core.NewISWTreeN(k, n, *perRack, w.Floats(), edge, uplink, core.ISWConfigFor(w))
-			case "3tier":
-				e, a, cl := netsim.DefaultThreeTierLinks()
-				c = core.NewISWThreeTier(k, *aggs, *tors, *hosts, w.Floats(), e, a, cl, core.ISWConfigFor(w))
-			}
+			spec.Mode = core.ModeISW
+			c := core.Build(k, spec).ISW
 			if *doTrace > 0 {
 				defer dumpTrace(newTraceRecorder(c.Workers()[0], *doTrace, *traceEnd))
 			}
 			stats = core.RunAsyncISW(k, agents, c, cfg)
 		case "ps":
 			if *psShards > 1 {
-				c := core.NewAsyncShardedPSCluster(k, n, w.Floats(), *psShards, edge, core.PSConfigFor(w))
+				spec.Mode = core.ModeAsyncShardedPS
+				c := core.Build(k, spec).Sharded
 				stats = core.RunAsyncShardedPS(k, agents, core.NewSyntheticAgent(w.Floats()), c, cfg)
 				break
 			}
-			var c *core.PSCluster
-			if *topology == "tree" {
-				c = core.NewAsyncPSClusterTree(k, n, *perRack, w.Floats(), edge, uplink, core.PSConfigFor(w))
-			} else {
-				c = core.NewAsyncPSCluster(k, n, w.Floats(), edge, core.PSConfigFor(w))
-			}
+			spec.Mode = core.ModeAsyncPS
+			c := core.Build(k, spec).PS
 			stats = core.RunAsyncPS(k, agents, core.NewSyntheticAgent(w.Floats()), c, cfg)
 		default:
 			fmt.Fprintln(os.Stderr, "async supports strategies: ps, isw")

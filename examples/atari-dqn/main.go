@@ -36,22 +36,29 @@ func main() {
 		k := sim.NewKernel()
 		agents := make([]rl.Agent, workers)
 		services := make([]core.Service, workers)
+		spec := core.ClusterSpec{
+			Topology:    core.TopoStar,
+			Workers:     workers,
+			ModelFloats: w.Floats(),
+			Link:        netsim.TenGbE(),
+		}
 		switch strategy {
 		case "PS":
-			c := core.NewPSCluster(k, workers, w.Floats(), netsim.TenGbE(), core.PSConfigFor(w))
-			for i := range agents {
-				agents[i], services[i] = core.NewSyntheticAgent(w.Floats()), c.Client(i)
-			}
+			spec.Mode = core.ModePS
+			cfg := core.PSConfigFor(w)
+			spec.PS = &cfg
 		case "AR":
-			c := core.NewARCluster(k, workers, w.Floats(), netsim.TenGbE(), core.ARConfigFor(w))
-			for i := range agents {
-				agents[i], services[i] = core.NewSyntheticAgent(w.Floats()), c.Client(i)
-			}
+			spec.Mode = core.ModeAllReduce
+			cfg := core.ARConfigFor(w)
+			spec.AR = &cfg
 		case "iSW":
-			c := core.NewISWStar(k, workers, w.Floats(), netsim.TenGbE(), core.ISWConfigFor(w))
-			for i := range agents {
-				agents[i], services[i] = core.NewSyntheticAgent(w.Floats()), c.Client(i)
-			}
+			spec.Mode = core.ModeISW
+			cfg := core.ISWConfigFor(w)
+			spec.ISW = &cfg
+		}
+		c := core.Build(k, spec)
+		for i := range agents {
+			agents[i], services[i] = core.NewSyntheticAgent(w.Floats()), c.Client(i)
 		}
 		stats := core.RunSync(k, agents, services, core.SyncConfig{
 			Iterations: 3, LocalCompute: w.LocalCompute, WeightUpdate: w.WeightUpdate})

@@ -1,9 +1,12 @@
 // Lossy-network training: synchronous distributed training surviving
-// injected packet loss through the iSwitch recovery protocol
-// (paper §3.3): a worker whose broadcast stalls sends a Help control
-// message; the switch relays it; everyone retransmits the affected
-// segment; the switch's contributor bitmap keeps the retransmissions
-// idempotent so the aggregated sums stay bit-exact.
+// injected faults through the iSwitch reliability layer (paper §3.3).
+// The whole fault model is one declarative netsim.FaultPlan — per-link
+// loss, a mid-run crash/rejoin — applied to a cluster built from one
+// declarative core.ClusterSpec. A worker whose broadcast stalls sends a
+// Help; the switch answers from its per-round shadow slot or relays the
+// Help to exactly the contributors it is missing; the contributor
+// bitmap keeps every retransmission idempotent so the aggregated sums
+// stay bit-exact.
 //
 //	go run ./examples/lossy
 package main
@@ -33,27 +36,45 @@ func main() {
 		agents[i] = a
 	}
 
-	k := sim.NewKernel()
-	cfg := core.DefaultISWConfig()
-	// Arm worker-side recovery. The timeout must sit comfortably above
-	// one iteration's compute+aggregation time: a worker whose peers are
-	// merely still computing must not mistake silence for loss (the
-	// dedup bitmap keeps premature Helps harmless, but they flood the
-	// fabric with pointless retransmissions).
-	cfg.RecoveryTimeout = 40 * time.Millisecond
-	cluster := core.NewISWStar(k, workers, agents[0].GradLen(), netsim.TenGbE(), cfg)
-	cluster.StarSwitch.SetDedup(true) // idempotent retransmissions
+	w, _ := perfmodel.WorkloadByName("A2C")
+	link := netsim.TenGbE()
 
-	// Worker 0 suffers loss in both directions.
-	cluster.Workers()[0].Port().SetLoss(lossRate, 17)
-	cluster.StarSwitch.Switch().Ports()[0].SetLoss(lossRate, 23)
+	// Arm worker-side recovery. RecoveryTimeoutFor sets the Help timer
+	// from the perfmodel's expected round time, comfortably above one
+	// iteration's compute+aggregation: a worker whose peers are merely
+	// still computing must not mistake silence for loss.
+	cfg := core.DefaultISWConfig()
+	cfg.RecoveryTimeout = core.RecoveryTimeoutFor(w, link)
+
+	// The fault model, as data: worker 0 suffers loss both ways, and
+	// worker 2 crashes mid-upload at iteration 800, rejoining 30ms later.
+	plan := &netsim.FaultPlan{
+		Seed: 17,
+		Links: []netsim.LinkFault{
+			{Worker: 0, Dir: netsim.DirBoth, Loss: lossRate},
+		},
+		Crashes: []netsim.CrashFault{
+			{Worker: 2, AtRound: 800, PartialSegs: 3, Rejoin: true, Outage: 30 * time.Millisecond},
+		},
+	}
+
+	k := sim.NewKernel()
+	cluster := core.Build(k, core.ClusterSpec{
+		Topology:    core.TopoStar,
+		Mode:        core.ModeISW,
+		Workers:     workers,
+		ModelFloats: agents[0].GradLen(),
+		Link:        link,
+		ISW:         &cfg,
+		Dedup:       true, // contributor bitmap: targeted, idempotent recovery
+		Faults:      plan,
+	})
 
 	services := make([]core.Service, workers)
 	for i := range services {
 		services[i] = cluster.Client(i)
 	}
-	w, _ := perfmodel.WorkloadByName("A2C")
-	fmt.Printf("training A2C over a lossy fabric (%.1f%% loss on worker 0's links)...\n", lossRate*100)
+	fmt.Printf("training A2C over a lossy fabric (%.1f%% loss on worker 0's links, crash/rejoin at iter 800)...\n", lossRate*100)
 	stats := core.RunSync(k, agents, services, core.SyncConfig{
 		Iterations:   iterations,
 		LocalCompute: w.LocalCompute,
@@ -73,13 +94,20 @@ func main() {
 	fmt.Printf("reward: first fifth %.1f → last fifth %.1f (still learning through loss)\n",
 		early/float64(kth), late/float64(kth))
 
-	dropped := cluster.Workers()[0].Port().Dropped + cluster.StarSwitch.Switch().Ports()[0].Dropped
-	acc := cluster.StarSwitch.Accelerator().Stats()
+	isw := cluster.ISW
+	sw := isw.StarSwitch
+	dropped := cluster.Workers()[0].Port().Dropped + sw.Switch().Ports()[0].Dropped
+	acc := sw.Accelerator().Stats()
+	shadow := sw.Shadow().Stats()
 	fmt.Printf("\nrecovery machinery:\n")
 	fmt.Printf("  packets dropped by the fabric:    %d\n", dropped)
-	fmt.Printf("  Help requests relayed:            %d\n", cluster.StarSwitch.HelpRelayed)
+	fmt.Printf("  Helps sent by stalled workers:    %d\n", isw.HelpsSent)
+	fmt.Printf("  served from shadow slots:         %d\n", sw.HelpServed)
+	fmt.Printf("  relayed to missing contributors:  %d\n", sw.HelpTargeted)
 	fmt.Printf("  duplicate retransmits absorbed:   %d (contributor bitmap)\n", acc.DupDropped)
+	fmt.Printf("  crash rejoins completed:          %d\n", isw.Rejoins)
+	fmt.Printf("  shadow slots written/hit:         %d/%d\n", shadow.Puts, shadow.Hits)
 	fmt.Printf("  per-iteration time:               %v (vs lossless ≈ %v)\n",
 		stats.MeanIter().Round(1e4), (w.LocalCompute + w.WeightUpdate + 4*time.Millisecond).Round(1e4))
-	fmt.Println("\nevery replica applied identical sums despite the loss — recovery is exact.")
+	fmt.Println("\nevery replica applied identical sums despite the faults — recovery is exact.")
 }

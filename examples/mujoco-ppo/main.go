@@ -37,7 +37,13 @@ func main() {
 	}
 
 	k := sim.NewKernel()
-	cluster := core.NewISWStar(k, workers, agents[0].GradLen(), netsim.TenGbE(), core.DefaultISWConfig())
+	cluster := core.Build(k, core.ClusterSpec{
+		Topology:    core.TopoStar,
+		Mode:        core.ModeISW,
+		Workers:     workers,
+		ModelFloats: agents[0].GradLen(),
+		Link:        netsim.TenGbE(),
+	}).ISW
 	fmt.Printf("async PPO on Pendulum: %d workers, S=%d, target %d weight updates...\n",
 		workers, stalenessBound, updates)
 	stats := core.RunAsyncISW(k, agents, cluster, core.AsyncConfig{

@@ -37,7 +37,13 @@ func main() {
 
 	// One iSwitch-enabled top-of-rack switch, one 10GbE link per worker.
 	k := sim.NewKernel()
-	cluster := core.NewISWStar(k, workers, agents[0].GradLen(), netsim.TenGbE(), core.DefaultISWConfig())
+	cluster := core.Build(k, core.ClusterSpec{
+		Topology:    core.TopoStar,
+		Mode:        core.ModeISW,
+		Workers:     workers,
+		ModelFloats: agents[0].GradLen(),
+		Link:        netsim.TenGbE(),
+	}).ISW
 	services := make([]core.Service, workers)
 	for i := range services {
 		services[i] = cluster.Client(i)

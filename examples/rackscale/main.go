@@ -35,8 +35,15 @@ func main() {
 		agents[i] = a
 	}
 	k := sim.NewKernel()
-	cluster := core.NewISWTreeN(k, workers, perRack, agents[0].GradLen(),
-		netsim.TenGbE(), netsim.FortyGbE(), core.DefaultISWConfig())
+	cluster := core.Build(k, core.ClusterSpec{
+		Topology:    core.TopoTree,
+		Mode:        core.ModeISW,
+		Workers:     workers,
+		PerRack:     perRack,
+		ModelFloats: agents[0].GradLen(),
+		Link:        netsim.TenGbE(),
+		Uplink:      netsim.FortyGbE(),
+	}).ISW
 	services := make([]core.Service, workers)
 	for i := range services {
 		services[i] = cluster.Client(i)
@@ -64,22 +71,31 @@ func main() {
 			kk := sim.NewKernel()
 			ag := make([]rl.Agent, n)
 			svc := make([]core.Service, n)
+			spec := core.ClusterSpec{
+				Topology:    core.TopoTree,
+				Workers:     n,
+				PerRack:     perRack,
+				ModelFloats: w.Floats(),
+				Link:        netsim.TenGbE(),
+				Uplink:      netsim.FortyGbE(),
+			}
 			switch strategy {
 			case "PS":
-				c := core.NewPSClusterTree(kk, n, perRack, w.Floats(), netsim.TenGbE(), netsim.FortyGbE(), core.PSConfigFor(w))
-				for i := range ag {
-					ag[i], svc[i] = core.NewSyntheticAgent(w.Floats()), c.Client(i)
-				}
+				spec.Mode = core.ModePS
+				cfg := core.PSConfigFor(w)
+				spec.PS = &cfg
 			case "AR":
-				c := core.NewARClusterTree(kk, n, perRack, w.Floats(), netsim.TenGbE(), netsim.FortyGbE(), core.ARConfigFor(w))
-				for i := range ag {
-					ag[i], svc[i] = core.NewSyntheticAgent(w.Floats()), c.Client(i)
-				}
+				spec.Mode = core.ModeAllReduce
+				cfg := core.ARConfigFor(w)
+				spec.AR = &cfg
 			case "iSW":
-				c := core.NewISWTreeN(kk, n, perRack, w.Floats(), netsim.TenGbE(), netsim.FortyGbE(), core.ISWConfigFor(w))
-				for i := range ag {
-					ag[i], svc[i] = core.NewSyntheticAgent(w.Floats()), c.Client(i)
-				}
+				spec.Mode = core.ModeISW
+				cfg := core.ISWConfigFor(w)
+				spec.ISW = &cfg
+			}
+			c := core.Build(kk, spec)
+			for i := range ag {
+				ag[i], svc[i] = core.NewSyntheticAgent(w.Floats()), c.Client(i)
 			}
 			st := core.RunSync(kk, ag, svc, core.SyncConfig{
 				Iterations: 2, LocalCompute: w.LocalCompute, WeightUpdate: w.WeightUpdate})

@@ -1,0 +1,90 @@
+package accel
+
+import "iswitch/internal/protocol"
+
+// ShadowStore is the shadow copy of the aggregation slots (SwitchML's
+// slot-pair design, Sapio et al.): when the primary slot for a segment
+// emits its aggregate and is reused by the next round, the emitted sum
+// moves into the shadow slot for the same spatial segment index. A
+// worker that lost the broadcast of round r can then be re-served from
+// the shadow while round r+1 is already accumulating in the primary —
+// the switch never has to ask anyone to retransmit data it has already
+// summed.
+//
+// Slots are keyed by the 48-bit spatial segment index; each slot
+// remembers the full round-tagged Seg value it holds, so a Get for a
+// stale or future round misses instead of serving the wrong iteration.
+// Untagged traffic (round tag 0: async mode, or recovery off) degrades
+// to "most recent emission per segment", which is exactly the legacy
+// emission-cache contract.
+//
+// One slot per model segment, reused every round with the buffer
+// storage recycled in place — the SRAM cost is a second copy of the
+// model, fixed for the lifetime of the job, matching a hardware
+// double-buffered BRAM bank.
+type ShadowStore struct {
+	slots map[uint64]*shadowSlot
+	stats ShadowStats
+}
+
+type shadowSlot struct {
+	tagged uint64 // full Seg value (round tag | index) the buf answers
+	buf    []float32
+}
+
+// ShadowStats counts shadow-slot activity.
+type ShadowStats struct {
+	Puts       uint64 // emissions recorded
+	Overwrites uint64 // slot reused by a newer round
+	Hits       uint64 // Gets served
+	Misses     uint64 // Gets that found no slot or a different round
+}
+
+// NewShadowStore returns an empty store.
+func NewShadowStore() *ShadowStore {
+	return &ShadowStore{slots: make(map[uint64]*shadowSlot)}
+}
+
+// Put records an emitted aggregate under its (possibly round-tagged)
+// Seg value, copying sum into the slot's reused storage.
+func (s *ShadowStore) Put(taggedSeg uint64, sum []float32) {
+	idx := protocol.SegIndex(taggedSeg)
+	sl := s.slots[idx]
+	if sl == nil {
+		sl = &shadowSlot{}
+		s.slots[idx] = sl
+	} else if sl.tagged != taggedSeg {
+		s.stats.Overwrites++
+	}
+	sl.tagged = taggedSeg
+	sl.buf = append(sl.buf[:0], sum...)
+	s.stats.Puts++
+}
+
+// Get returns the shadow copy for an exact round-tagged Seg value. A
+// slot holding a different round's aggregate misses: serving round r+1's
+// sum to a worker stalled on round r would corrupt its weights.
+func (s *ShadowStore) Get(taggedSeg uint64) ([]float32, bool) {
+	sl := s.slots[protocol.SegIndex(taggedSeg)]
+	if sl == nil || sl.tagged != taggedSeg {
+		s.stats.Misses++
+		return nil, false
+	}
+	s.stats.Hits++
+	return sl.buf, true
+}
+
+// Len reports how many segments currently hold a shadow copy.
+func (s *ShadowStore) Len() int { return len(s.slots) }
+
+// Stats returns a snapshot of the activity counters.
+func (s *ShadowStore) Stats() ShadowStats { return s.stats }
+
+// Reset drops every shadow copy (job reset), keeping slot storage.
+func (s *ShadowStore) Reset() {
+	for _, sl := range s.slots {
+		sl.tagged = 0
+		sl.buf = sl.buf[:0]
+	}
+	clear(s.slots)
+}

@@ -1,0 +1,112 @@
+package accel
+
+import (
+	"testing"
+
+	"iswitch/internal/protocol"
+)
+
+func TestShadowStoreExactTagSemantics(t *testing.T) {
+	s := NewShadowStore()
+	seg := uint64(5)
+	s.Put(protocol.TagSeg(3, seg), []float32{1, 2, 3})
+
+	if got, ok := s.Get(protocol.TagSeg(3, seg)); !ok || len(got) != 3 || got[0] != 1 || got[2] != 3 {
+		t.Fatalf("exact-tag Get = %v, %v; want [1 2 3], true", got, ok)
+	}
+	// A stale round and a future round both share the spatial index but
+	// must miss: serving another round's sum corrupts the stalled worker.
+	if _, ok := s.Get(protocol.TagSeg(2, seg)); ok {
+		t.Fatal("stale-round Get hit; want miss")
+	}
+	if _, ok := s.Get(protocol.TagSeg(4, seg)); ok {
+		t.Fatal("future-round Get hit; want miss")
+	}
+	if _, ok := s.Get(protocol.TagSeg(3, seg+1)); ok {
+		t.Fatal("unknown-segment Get hit; want miss")
+	}
+	st := s.Stats()
+	if st.Puts != 1 || st.Hits != 1 || st.Misses != 3 || st.Overwrites != 0 {
+		t.Fatalf("stats = %+v; want 1 put, 1 hit, 3 misses, 0 overwrites", st)
+	}
+}
+
+func TestShadowStoreOverwriteOnRoundReuse(t *testing.T) {
+	s := NewShadowStore()
+	seg := uint64(9)
+	s.Put(protocol.TagSeg(1, seg), []float32{10})
+	s.Put(protocol.TagSeg(2, seg), []float32{20})
+
+	if _, ok := s.Get(protocol.TagSeg(1, seg)); ok {
+		t.Fatal("round-1 copy survived round-2 Put; want evicted")
+	}
+	if got, ok := s.Get(protocol.TagSeg(2, seg)); !ok || got[0] != 20 {
+		t.Fatalf("round-2 Get = %v, %v; want [20], true", got, ok)
+	}
+	if s.Len() != 1 {
+		t.Fatalf("Len = %d; one segment must hold exactly one slot", s.Len())
+	}
+	if st := s.Stats(); st.Overwrites != 1 {
+		t.Fatalf("Overwrites = %d, want 1", st.Overwrites)
+	}
+
+	// Re-Putting the same round into the same slot is a refresh, not an
+	// overwrite.
+	s.Put(protocol.TagSeg(2, seg), []float32{21})
+	if st := s.Stats(); st.Overwrites != 1 {
+		t.Fatalf("same-round re-Put counted as overwrite: %d", st.Overwrites)
+	}
+}
+
+// TestShadowStoreUntagged pins the degraded async-mode contract: with no
+// round tag (tag 0), the store serves the most recent emission per
+// segment — the legacy emission-cache behavior.
+func TestShadowStoreUntagged(t *testing.T) {
+	s := NewShadowStore()
+	s.Put(7, []float32{1})
+	s.Put(7, []float32{2})
+	if got, ok := s.Get(7); !ok || got[0] != 2 {
+		t.Fatalf("untagged Get = %v, %v; want most recent [2], true", got, ok)
+	}
+}
+
+func TestShadowStorePutCopiesAndReusesStorage(t *testing.T) {
+	s := NewShadowStore()
+	src := []float32{1, 2, 3}
+	s.Put(protocol.TagSeg(1, 0), src)
+	src[0] = 99
+	if got, _ := s.Get(protocol.TagSeg(1, 0)); got[0] != 1 {
+		t.Fatalf("Put aliased the caller's buffer: got[0] = %v", got[0])
+	}
+
+	// The slot's backing array must be recycled across rounds — the
+	// hardware analogue is a fixed double-buffered BRAM bank, so steady
+	// state allocates nothing.
+	first, _ := s.Get(protocol.TagSeg(1, 0))
+	s.Put(protocol.TagSeg(2, 0), []float32{4, 5, 6})
+	second, _ := s.Get(protocol.TagSeg(2, 0))
+	if &first[0] != &second[0] {
+		t.Fatal("round reuse reallocated the slot buffer; want in-place recycle")
+	}
+}
+
+func TestShadowStoreReset(t *testing.T) {
+	s := NewShadowStore()
+	for seg := uint64(0); seg < 4; seg++ {
+		s.Put(protocol.TagSeg(1, seg), []float32{float32(seg)})
+	}
+	if s.Len() != 4 {
+		t.Fatalf("Len = %d, want 4", s.Len())
+	}
+	s.Reset()
+	if s.Len() != 0 {
+		t.Fatalf("Len after Reset = %d, want 0", s.Len())
+	}
+	if _, ok := s.Get(protocol.TagSeg(1, 0)); ok {
+		t.Fatal("Get hit after Reset")
+	}
+	// Counters survive Reset (job reset clears state, not telemetry).
+	if st := s.Stats(); st.Puts != 4 {
+		t.Fatalf("Puts after Reset = %d, want 4", st.Puts)
+	}
+}

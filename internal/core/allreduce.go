@@ -63,13 +63,22 @@ type ARCluster struct {
 }
 
 // NewARCluster builds nWorkers workers on one plain switch.
+//
+// Deprecated: use Build with ClusterSpec{Topology: TopoStar, Mode: ModeAllReduce}.
 func NewARCluster(k *sim.Kernel, nWorkers, modelFloats int, link netsim.LinkConfig, cfg ARConfig) *ARCluster {
+	return Build(k, ClusterSpec{Topology: TopoStar, Mode: ModeAllReduce, Workers: nWorkers, ModelFloats: modelFloats, Link: link, AR: &cfg}).AR
+}
+
+func newARCluster(k *sim.Kernel, nWorkers, modelFloats int, link netsim.LinkConfig, cfg ARConfig) *ARCluster {
 	if nWorkers < 2 {
 		panic("core: Ring-AllReduce needs at least 2 workers")
 	}
 	star := netsim.BuildStar(k, nWorkers, link)
 	return &ARCluster{Star: star, workers: star.Hosts, n: modelFloats, cfg: cfg}
 }
+
+// Workers exposes the worker hosts.
+func (c *ARCluster) Workers() []*netsim.Host { return c.workers }
 
 // Client returns worker i's aggregation handle.
 func (c *ARCluster) Client(i int) Service {

@@ -108,6 +108,12 @@ func SpawnAsyncISW(k *sim.Kernel, agents []rl.Agent, cluster *ISWCluster, cfg As
 		panic("core: agents/cluster size mismatch")
 	}
 	stats := &AsyncStats{RunStats: RunStats{Updates: cfg.Updates}}
+	if cluster.cfg.RecoveryTimeout > 0 {
+		// Worker rounds never align in the asynchronous pipeline, so a
+		// shared round tag is meaningless: run recovery untagged (Help
+		// timers plus blind self-retransmission).
+		cluster.cfg.Untagged = true
+	}
 	for range agents {
 		stats.Workers = append(stats.Workers, &WorkerStats{})
 	}
@@ -307,8 +313,8 @@ func RunAsyncPS(k *sim.Kernel, agents []rl.Agent, masterAgent rl.Agent, cluster 
 
 // NewAsyncPSCluster builds a PS cluster without spawning the
 // synchronous server (RunAsyncPS provides its own).
+//
+// Deprecated: use Build with ClusterSpec{Topology: TopoStar, Mode: ModeAsyncPS}.
 func NewAsyncPSCluster(k *sim.Kernel, nWorkers, modelFloats int, link netsim.LinkConfig, cfg PSConfig) *PSCluster {
-	star := netsim.BuildStar(k, nWorkers, link)
-	server := star.AttachHost(k, PSServerAddr(), link)
-	return &PSCluster{Star: star, Server: server, workers: star.Hosts[:nWorkers], n: modelFloats, cfg: cfg}
+	return Build(k, ClusterSpec{Topology: TopoStar, Mode: ModeAsyncPS, Workers: nWorkers, ModelFloats: modelFloats, Link: link, PS: &cfg}).PS
 }

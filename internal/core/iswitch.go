@@ -37,11 +37,31 @@ type ISWConfig struct {
 	// retransmissions stay idempotent (paper §3.3 loss handling).
 	//
 	// Choose it comfortably above one iteration's compute+aggregation
-	// time: with a too-small timeout, a worker whose peers are merely
-	// still computing mistakes the silence for loss and floods the
-	// fabric with Help/retransmission traffic (harmless to correctness
-	// — the bitmap absorbs duplicates — but costly to throughput).
+	// time (RecoveryTimeoutFor derives it from the perfmodel): with a
+	// too-small timeout, a worker whose peers are merely still computing
+	// mistakes the silence for loss and floods the fabric with
+	// Help/retransmission traffic (harmless to correctness — the bitmap
+	// absorbs duplicates — but costly to throughput). Consecutive
+	// fruitless timeouts back off exponentially with deterministic
+	// jitter, capped at MaxBackoff.
 	RecoveryTimeout sim.Time
+	// MaxBackoff caps the backed-off Help timer (0: 16× RecoveryTimeout).
+	MaxBackoff sim.Time
+	// Untagged runs recovery without round tags: Help timers and blind
+	// self-retransmission only, no per-round switch state. This is the
+	// asynchronous pipeline's mode (worker rounds do not align, so a
+	// shared round tag is meaningless); SpawnAsyncISW sets it
+	// automatically when recovery is armed.
+	Untagged bool
+	// FailoverAfter, when positive, arms whole-switch failover: a worker
+	// whose Help timer fires this many consecutive times with neither
+	// data nor a switch ack concludes the aggregation plane is dead and
+	// falls back to the software relay path (contributions unicast to
+	// the relay worker, which sums at H and re-broadcasts). Failover is
+	// sticky and synchronous-only.
+	FailoverAfter int
+	// Relay is the backup software aggregator's address (zero: worker 0).
+	Relay protocol.Addr
 }
 
 // DefaultISWConfig mirrors the raw-UDP client implementation.
@@ -72,34 +92,35 @@ type ISWCluster struct {
 	StarSwitch *switchnet.ISwitch
 	Tree       *switchnet.TreeCluster
 	ThreeTier  *switchnet.ThreeTierCluster
+	FatTree    *switchnet.FatTreeCluster
+
+	// crashes holds the per-worker crash schedule (ScheduleCrash).
+	crashes map[int][]netsim.CrashFault
+
+	// workerIdx maps worker addresses to indices, for the relay path.
+	workerIdx map[protocol.Addr]int
+
+	// Recovery accounting (single-threaded kernel: plain counters).
+	HelpsSent   uint64 // Help controls sent by stalled workers
+	Retransmits uint64 // contribution segments resent on relayed Helps
+	Failovers   uint64 // workers that switched to the relay path
+	Rejoins     uint64 // crashed workers re-admitted
 }
 
 // NewISWStar builds nWorkers workers under one iSwitch.
+//
+// Deprecated: use Build with ClusterSpec{Topology: TopoStar, Mode: ModeISW}.
 func NewISWStar(k *sim.Kernel, nWorkers, modelFloats int, link netsim.LinkConfig, cfg ISWConfig) *ISWCluster {
-	sc := switchnet.BuildStar(k, nWorkers, link)
-	c := &ISWCluster{
-		workers: sc.Workers, n: modelFloats, h: nWorkers, cfg: cfg,
-		StarSwitch: sc.IS,
-	}
-	for range sc.Workers {
-		c.target = append(c.target, sc.IS.Addr())
-	}
-	return c
+	return Build(k, ClusterSpec{Topology: TopoStar, Mode: ModeISW, Workers: nWorkers, ModelFloats: modelFloats, Link: link, ISW: &cfg}).ISW
 }
 
 // NewISWTree builds the rack-scale hierarchy (§3.4): nRacks racks of
 // perRack workers, ToR switches aggregating locally (H = perRack) and a
 // root switch aggregating across racks (H = nRacks).
+//
+// Deprecated: use Build with ClusterSpec{Topology: TopoTree, Mode: ModeISW}.
 func NewISWTree(k *sim.Kernel, nRacks, perRack, modelFloats int, edge, uplink netsim.LinkConfig, cfg ISWConfig) *ISWCluster {
-	tc := switchnet.BuildTree(k, nRacks, perRack, edge, uplink)
-	c := &ISWCluster{
-		workers: tc.Workers, n: modelFloats, h: nRacks * perRack, cfg: cfg,
-		Tree: tc,
-	}
-	for i := range tc.Workers {
-		c.target = append(c.target, tc.ToROf(i).Addr())
-	}
-	return c
+	return Build(k, ClusterSpec{Topology: TopoTree, Mode: ModeISW, Workers: nRacks * perRack, PerRack: perRack, ModelFloats: modelFloats, Link: edge, Uplink: uplink, ISW: &cfg}).ISW
 }
 
 // NewISWOnFabric builds an ISWCluster over hosts of an already-built
@@ -124,24 +145,21 @@ func (c *ISWCluster) Workers() []*netsim.Host { return c.workers }
 
 // Client returns worker i's aggregation handle.
 func (c *ISWCluster) Client(i int) Service {
-	return &iswClient{cluster: c, host: c.workers[i], sw: c.target[i]}
+	return &iswClient{cluster: c, host: c.workers[i], sw: c.target[i], idx: i}
 }
 
-// roundShift places the recovery-mode round tag in the Seg field's high
-// 16 bits, leaving 48 bits of segment index. Tagging keeps switch state
-// of adjacent rounds disjoint so retransmitted segments can never mix
-// iterations; rounds wrap mod 2^16 (any stale switch partial from 65536
-// rounds ago would be a lost-cause leak, not a correctness hazard,
-// because its contributors' dedup entries still block completion).
+// The round-tag layout lives in protocol (RoundShift and friends);
+// these aliases keep the client code terse.
 const (
-	roundShift = 48
-	segMask    = (uint64(1) << roundShift) - 1
+	roundShift = protocol.RoundShift
+	segMask    = protocol.SegIndexMask
 )
 
 type iswClient struct {
 	cluster *ISWCluster
 	host    *netsim.Host
 	sw      protocol.Addr
+	idx     int
 	asm     *protocol.Assembler
 
 	// Recovery-mode state: the current round number and the gradients
@@ -150,21 +168,39 @@ type iswClient struct {
 	round    uint64
 	curGrad  []float32
 	prevGrad []float32
+
+	// level is the exponential-backoff level of the Help timer;
+	// fruitless counts consecutive timeouts with neither data nor a
+	// switch ack (the failover trigger).
+	level     int
+	fruitless int
+
+	// failedOver marks the sticky switch-to-relay failover; relay holds
+	// the software aggregation engine when this worker is the relay.
+	failedOver bool
+	relay      *relayState
 }
 
 // roundTag returns the Seg-field tag for the current round (0 when
-// recovery mode is off, preserving plain segment numbering for the
-// asynchronous pipeline where worker rounds do not align).
+// recovery mode is off or running untagged, preserving plain segment
+// numbering for the asynchronous pipeline where worker rounds do not
+// align).
 func (ic *iswClient) roundTag() uint64 {
-	if ic.cluster.cfg.RecoveryTimeout <= 0 {
+	if ic.cluster.cfg.RecoveryTimeout <= 0 || ic.cluster.cfg.Untagged {
 		return 0
 	}
-	return (ic.round % (1 << 16)) << roundShift
+	return protocol.RoundTag(ic.round)
 }
 
 // Setup implements Service: Join the training job and wait for the Ack
-// (Table 2), retrying on timeout when loss recovery is armed.
+// (Table 2), retrying on timeout when loss recovery is armed. When
+// failover is armed and the switch never answers (a rejoin after the
+// aggregation plane died), Setup escalates to the relay path instead of
+// retrying forever.
 func (ic *iswClient) Setup(p *sim.Proc) {
+	if ic.failedOver {
+		return // the relay path has no admission protocol
+	}
 	join := func() {
 		pkt := protocol.NewControl(ic.host.Addr, ic.sw, protocol.ActionJoin,
 			protocol.JoinValue(uint64(ic.cluster.n)))
@@ -172,12 +208,18 @@ func (ic *iswClient) Setup(p *sim.Proc) {
 		ic.host.Send(pkt)
 	}
 	join()
+	retries := 0
 	for {
 		var pkt *protocol.Packet
 		if to := ic.cluster.cfg.RecoveryTimeout; to > 0 {
 			var ok bool
 			pkt, ok = ic.host.RecvTimeout(p, to)
 			if !ok {
+				retries++
+				if fa := ic.cluster.cfg.FailoverAfter; fa > 0 && retries >= fa && !ic.cluster.cfg.Untagged {
+					ic.enterFailover()
+					return
+				}
 				join() // Join or its Ack was lost; retry (idempotent)
 				continue
 			}
@@ -201,8 +243,12 @@ func (ic *iswClient) Setup(p *sim.Proc) {
 func (ic *iswClient) H() int { return ic.cluster.h }
 
 // Aggregate implements Service: stream the gradient as tagged data
-// packets and reassemble the broadcast aggregate.
+// packets and reassemble the broadcast aggregate. A scheduled crash
+// (ScheduleCrash / FaultPlan) fires here, at the round it names.
 func (ic *iswClient) Aggregate(p *sim.Proc, grad []float32) []float32 {
+	if f, ok := ic.takeCrash(); ok {
+		return ic.crashedAggregate(p, grad, f)
+	}
 	p.Sleep(ic.cluster.cfg.WorkerBase)
 	ic.SendGradient(grad)
 	return ic.CollectAggregate(p)
@@ -211,17 +257,30 @@ func (ic *iswClient) Aggregate(p *sim.Proc, grad []float32) []float32 {
 // SendGradient is the non-blocking upload half of Aggregate — the
 // asynchronous pipeline's LGC thread uses it alone (Algorithm 1's
 // "nonblocking send g_w to switch").
-func (ic *iswClient) SendGradient(grad []float32) {
+func (ic *iswClient) SendGradient(grad []float32) { ic.sendGradient(grad, -1) }
+
+// sendGradient uploads the gradient, optionally truncated to the first
+// limit segments (how a scheduled crash models dying mid-upload).
+func (ic *iswClient) sendGradient(grad []float32, limit int) {
 	if ic.cluster.cfg.RecoveryTimeout > 0 {
 		ic.round++
 		ic.prevGrad = ic.curGrad
 		ic.curGrad = append(ic.curGrad[:0:0], grad...) // copy: caller reuses grad
 	}
+	if ic.failedOver {
+		ic.relayContribute(ic.round%protocol.RoundTagMod, ic.curGrad, limit)
+		return
+	}
 	tag := ic.roundTag()
+	sent := 0
 	for _, pkt := range protocol.SegmentWith(ic.host.Addr, ic.sw, grad, ic.cluster.cfg.perPacket()) {
+		if limit >= 0 && sent >= limit {
+			break
+		}
 		pkt.Seg |= tag
 		pkt.Job = ic.cluster.cfg.Job
 		ic.host.Send(pkt)
+		sent++
 	}
 }
 
@@ -229,13 +288,17 @@ func (ic *iswClient) SendGradient(grad []float32) {
 // round-tagged) segment, if the matching round's gradient is retained.
 func (ic *iswClient) retransmit(taggedSeg uint64) {
 	var grad []float32
-	switch taggedSeg >> roundShift {
-	case (ic.round) % (1 << 16):
-		grad = ic.curGrad
-	case (ic.round - 1) % (1 << 16):
-		grad = ic.prevGrad
-	default:
-		return // too old to serve
+	if ic.cluster.cfg.Untagged {
+		grad = ic.curGrad // untagged: only the latest gradient is held
+	} else {
+		switch taggedSeg >> roundShift {
+		case (ic.round) % protocol.RoundTagMod:
+			grad = ic.curGrad
+		case (ic.round - 1) % protocol.RoundTagMod:
+			grad = ic.prevGrad
+		default:
+			return // too old to serve
+		}
 	}
 	if grad == nil {
 		return
@@ -248,33 +311,56 @@ func (ic *iswClient) retransmit(taggedSeg uint64) {
 	pkt := protocol.NewData(ic.host.Addr, ic.sw, taggedSeg, grad[lo:hi])
 	pkt.Job = ic.cluster.cfg.Job
 	ic.host.Send(pkt)
+	ic.cluster.Retransmits++
 }
 
 // CollectAggregate is the blocking download half of Aggregate — the
 // asynchronous pipeline's LWU thread uses it alone (Algorithm 1's "wait
 // until g_sum received").
+//
+// Recovery behaviour when RecoveryTimeout is armed: a stall sends Help
+// for each missing segment (and, in untagged/async mode, blindly
+// retransmits the worker's own contributions — with round tags the
+// switch instead relays the Help to exactly the contributors it is
+// missing, so only the lost data moves again). Consecutive fruitless
+// stalls back the timer off exponentially; with failover armed, enough
+// of them with no sign of switch life (no data, no ack) trips the
+// sticky switch-to-relay failover.
 func (ic *iswClient) CollectAggregate(p *sim.Proc) []float32 {
 	if ic.asm == nil {
 		ic.asm = protocol.NewAssemblerWith(ic.cluster.n, ic.cluster.cfg.perPacket())
 	} else {
 		ic.asm.Reset()
 	}
+	if ic.failedOver {
+		return ic.collectViaRelay(p)
+	}
+	cfg := &ic.cluster.cfg
 	tag := ic.roundTag()
 	for !ic.asm.Complete() {
 		var pkt *protocol.Packet
-		if to := ic.cluster.cfg.RecoveryTimeout; to > 0 {
+		if cfg.RecoveryTimeout > 0 {
 			var ok bool
-			pkt, ok = ic.host.RecvTimeout(p, to)
+			pkt, ok = ic.host.RecvTimeout(p, ic.backoffTimeout())
 			if !ok {
-				// Stalled: request recovery for every missing segment
-				// and retransmit our own contributions (the switch's
-				// dedup bitmap drops any that were not actually lost).
+				ic.level++
+				ic.fruitless++
+				if cfg.FailoverAfter > 0 && !cfg.Untagged && ic.fruitless >= cfg.FailoverAfter {
+					ic.enterFailover()
+					return ic.collectViaRelay(p)
+				}
+				// Stalled: request recovery for every missing segment.
 				for _, seg := range ic.asm.Missing() {
 					help := protocol.NewControl(ic.host.Addr, ic.sw,
 						protocol.ActionHelp, protocol.HelpValue(seg|tag))
-					help.Job = ic.cluster.cfg.Job
+					help.Job = cfg.Job
 					ic.host.Send(help)
-					ic.retransmit(seg | tag)
+					ic.cluster.HelpsSent++
+					if cfg.Untagged {
+						// No switch-side bitmap to target retransmission
+						// with: resend our own contribution blindly.
+						ic.retransmit(seg | tag)
+					}
 				}
 				continue
 			}
@@ -288,9 +374,20 @@ func (ic *iswClient) CollectAggregate(p *sim.Proc) []float32 {
 		// no shallow copy that would alias pooled payload.
 		switch {
 		case pkt.IsData():
-			if pkt.Job != ic.cluster.cfg.Job {
+			if pkt.Job != cfg.Job {
 				pkt.Release()
 				continue // another tenant's broadcast (shared host)
+			}
+			if cfg.FailoverAfter > 0 && pkt.Src != ic.sw {
+				// Relay-path traffic reaching a worker still on the
+				// switch path: peers have already failed over.
+				ic.relaySidecar(pkt, tag)
+				if ic.failedOver {
+					// A relay-served aggregate for our round arrived: the
+					// sidecar flipped us; finish the round on the relay path.
+					return ic.collectViaRelay(p)
+				}
+				continue
 			}
 			if pkt.Seg>>roundShift != tag>>roundShift {
 				pkt.Release()
@@ -302,10 +399,18 @@ func (ic *iswClient) CollectAggregate(p *sim.Proc) []float32 {
 			if err != nil {
 				continue
 			}
+			ic.level, ic.fruitless = 0, 0 // progress: the path is alive
 		case pkt.IsControl() && pkt.Action == protocol.ActionHelp:
+			if ic.cluster.relayArmed() && pkt.Src != ic.sw {
+				ic.relayHelpSidecar(pkt)
+				continue
+			}
 			if seg, err := protocol.ParseHelp(pkt.Value); err == nil {
 				ic.retransmit(seg)
 			}
+			pkt.Release()
+		case pkt.IsControl() && pkt.Action == protocol.ActionAck:
+			ic.fruitless = 0 // the switch is alive; peers are just slow
 			pkt.Release()
 		default:
 			pkt.Release()

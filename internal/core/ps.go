@@ -87,14 +87,15 @@ type PSCluster struct {
 // PSServerAddr is the parameter server's address.
 func PSServerAddr() protocol.Addr { return protocol.AddrFrom(10, 0, 0, 10, 9990) }
 
+// Workers exposes the worker hosts (the server is separate).
+func (c *PSCluster) Workers() []*netsim.Host { return c.workers }
+
 // NewPSCluster builds nWorkers workers plus a server on one plain
 // (non-programmable) switch. modelFloats is the gradient length.
+//
+// Deprecated: use Build with ClusterSpec{Topology: TopoStar, Mode: ModePS}.
 func NewPSCluster(k *sim.Kernel, nWorkers, modelFloats int, link netsim.LinkConfig, cfg PSConfig) *PSCluster {
-	star := netsim.BuildStar(k, nWorkers, link)
-	server := star.AttachHost(k, PSServerAddr(), link)
-	c := &PSCluster{Star: star, Server: server, workers: star.Hosts[:nWorkers], n: modelFloats, cfg: cfg}
-	c.startServer(k)
-	return c
+	return Build(k, ClusterSpec{Topology: TopoStar, Mode: ModePS, Workers: nWorkers, ModelFloats: modelFloats, Link: link, PS: &cfg}).PS
 }
 
 // startServer spawns the synchronous aggregation server process.

@@ -59,18 +59,26 @@ type ShardedPSCluster struct {
 // servers on one plain switch and spawns the synchronous shard-server
 // processes. The effective shard count is clamped to the model's
 // packet-segment count (a shard must own at least one segment).
+//
+// Deprecated: use Build with ClusterSpec{Topology: TopoStar, Mode: ModeShardedPS}.
 func NewShardedPSCluster(k *sim.Kernel, nWorkers, modelFloats, nShards int, link netsim.LinkConfig, cfg PSConfig) *ShardedPSCluster {
+	return Build(k, ClusterSpec{Topology: TopoStar, Mode: ModeShardedPS, Workers: nWorkers, ModelFloats: modelFloats, Shards: nShards, Link: link, PS: &cfg}).Sharded
+}
+
+// NewAsyncShardedPSCluster builds the same topology without spawning
+// the synchronous servers (RunAsyncShardedPS provides its own).
+//
+// Deprecated: use Build with ClusterSpec{Topology: TopoStar, Mode: ModeAsyncShardedPS}.
+func NewAsyncShardedPSCluster(k *sim.Kernel, nWorkers, modelFloats, nShards int, link netsim.LinkConfig, cfg PSConfig) *ShardedPSCluster {
+	return Build(k, ClusterSpec{Topology: TopoStar, Mode: ModeAsyncShardedPS, Workers: nWorkers, ModelFloats: modelFloats, Shards: nShards, Link: link, PS: &cfg}).Sharded
+}
+
+func newSyncShardedPSCluster(k *sim.Kernel, nWorkers, modelFloats, nShards int, link netsim.LinkConfig, cfg PSConfig) *ShardedPSCluster {
 	c := newShardedPSCluster(k, nWorkers, modelFloats, nShards, link, cfg)
 	for s := range c.Servers {
 		c.startShardServer(k, s)
 	}
 	return c
-}
-
-// NewAsyncShardedPSCluster builds the same topology without spawning
-// the synchronous servers (RunAsyncShardedPS provides its own).
-func NewAsyncShardedPSCluster(k *sim.Kernel, nWorkers, modelFloats, nShards int, link netsim.LinkConfig, cfg PSConfig) *ShardedPSCluster {
-	return newShardedPSCluster(k, nWorkers, modelFloats, nShards, link, cfg)
 }
 
 func newShardedPSCluster(k *sim.Kernel, nWorkers, modelFloats, nShards int, link netsim.LinkConfig, cfg PSConfig) *ShardedPSCluster {

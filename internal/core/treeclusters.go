@@ -4,7 +4,6 @@ import (
 	"iswitch/internal/netsim"
 	"iswitch/internal/perfmodel"
 	"iswitch/internal/sim"
-	"iswitch/internal/switchnet"
 )
 
 // Rack-scale (two-level) variants of the three strategies for the
@@ -16,56 +15,43 @@ import (
 
 // NewISWTreeN is NewISWTree for a worker count that may not fill its
 // last rack.
+//
+// Deprecated: use Build with ClusterSpec{Topology: TopoTree, Mode: ModeISW}.
 func NewISWTreeN(k *sim.Kernel, totalWorkers, perRack, modelFloats int, edge, uplink netsim.LinkConfig, cfg ISWConfig) *ISWCluster {
-	tc := switchnet.BuildTreeN(k, totalWorkers, perRack, edge, uplink)
-	c := &ISWCluster{
-		workers: tc.Workers, n: modelFloats, h: len(tc.Workers), cfg: cfg,
-		Tree: tc,
-	}
-	for i := range tc.Workers {
-		c.target = append(c.target, tc.ToROf(i).Addr())
-	}
-	return c
+	return Build(k, ClusterSpec{Topology: TopoTree, Mode: ModeISW, Workers: totalWorkers, PerRack: perRack, ModelFloats: modelFloats, Link: edge, Uplink: uplink, ISW: &cfg}).ISW
 }
 
 // NewPSClusterTree builds a PS cluster over a two-level topology with
 // the server attached to the root switch.
+//
+// Deprecated: use Build with ClusterSpec{Topology: TopoTree, Mode: ModePS}.
 func NewPSClusterTree(k *sim.Kernel, totalWorkers, perRack, modelFloats int, edge, uplink netsim.LinkConfig, cfg PSConfig) *PSCluster {
-	tr := netsim.BuildRacksN(k, totalWorkers, perRack, edge, uplink)
-	server := tr.AttachRootHost(k, PSServerAddr(), uplink)
-	c := &PSCluster{Server: server, workers: tr.Hosts, n: modelFloats, cfg: cfg}
-	c.startServer(k)
-	return c
+	return Build(k, ClusterSpec{Topology: TopoTree, Mode: ModePS, Workers: totalWorkers, PerRack: perRack, ModelFloats: modelFloats, Link: edge, Uplink: uplink, PS: &cfg}).PS
 }
 
 // NewAsyncPSClusterTree is NewPSClusterTree without the synchronous
 // server (RunAsyncPS provides its own).
+//
+// Deprecated: use Build with ClusterSpec{Topology: TopoTree, Mode: ModeAsyncPS}.
 func NewAsyncPSClusterTree(k *sim.Kernel, totalWorkers, perRack, modelFloats int, edge, uplink netsim.LinkConfig, cfg PSConfig) *PSCluster {
-	tr := netsim.BuildRacksN(k, totalWorkers, perRack, edge, uplink)
-	server := tr.AttachRootHost(k, PSServerAddr(), uplink)
-	return &PSCluster{Server: server, workers: tr.Hosts, n: modelFloats, cfg: cfg}
+	return Build(k, ClusterSpec{Topology: TopoTree, Mode: ModeAsyncPS, Workers: totalWorkers, PerRack: perRack, ModelFloats: modelFloats, Link: edge, Uplink: uplink, PS: &cfg}).PS
 }
 
 // NewARClusterTree builds an AllReduce cluster over a two-level
 // topology; the ring follows worker index order, so rack boundaries
 // add root-switch crossings.
+//
+// Deprecated: use Build with ClusterSpec{Topology: TopoTree, Mode: ModeAllReduce}.
 func NewARClusterTree(k *sim.Kernel, totalWorkers, perRack, modelFloats int, edge, uplink netsim.LinkConfig, cfg ARConfig) *ARCluster {
-	tr := netsim.BuildRacksN(k, totalWorkers, perRack, edge, uplink)
-	return &ARCluster{workers: tr.Hosts, n: modelFloats, cfg: cfg}
+	return Build(k, ClusterSpec{Topology: TopoTree, Mode: ModeAllReduce, Workers: totalWorkers, PerRack: perRack, ModelFloats: modelFloats, Link: edge, Uplink: uplink, AR: &cfg}).AR
 }
 
 // NewISWThreeTier builds an iSwitch cluster over the full three-tier
 // ToR→AGG→Core fabric of Figure 10.
+//
+// Deprecated: use Build with ClusterSpec{Topology: TopoThreeTier, Mode: ModeISW}.
 func NewISWThreeTier(k *sim.Kernel, nAGGs, torsPerAGG, hostsPerToR, modelFloats int, edge, aggLink, coreLink netsim.LinkConfig, cfg ISWConfig) *ISWCluster {
-	tc := switchnet.BuildThreeTier(k, nAGGs, torsPerAGG, hostsPerToR, edge, aggLink, coreLink)
-	c := &ISWCluster{
-		workers: tc.Workers, n: modelFloats, h: len(tc.Workers), cfg: cfg,
-		ThreeTier: tc,
-	}
-	for i := range tc.Workers {
-		c.target = append(c.target, tc.ToROf3(i).Addr())
-	}
-	return c
+	return Build(k, ClusterSpec{Topology: TopoThreeTier, Mode: ModeISW, AGGs: nAGGs, ToRsPerAGG: torsPerAGG, HostsPerToR: hostsPerToR, ModelFloats: modelFloats, Link: edge, Uplink: aggLink, CoreLink: coreLink, ISW: &cfg}).ISW
 }
 
 // ISWConfigFor adapts the default iSwitch config to a workload (kept

@@ -76,7 +76,14 @@ func simSyncThreeTier(w perfmodel.Workload, nAGGs, torsPerAGG, hostsPerToR, iter
 	k := sim.NewKernel()
 	defer k.Shutdown()
 	edge, aggL, coreL := netsim.DefaultThreeTierLinks()
-	c := core.NewISWThreeTier(k, nAGGs, torsPerAGG, hostsPerToR, w.Floats(), edge, aggL, coreL, core.ISWConfigFor(w))
+	cfg := core.ISWConfigFor(w)
+	c := core.Build(k, core.ClusterSpec{
+		Topology: core.TopoThreeTier, Mode: core.ModeISW,
+		AGGs: nAGGs, ToRsPerAGG: torsPerAGG, HostsPerToR: hostsPerToR,
+		ModelFloats: w.Floats(),
+		Link:        edge, Uplink: aggL, CoreLink: coreL,
+		ISW: &cfg,
+	}).ISW
 	n := nAGGs * torsPerAGG * hostsPerToR
 	agents := make([]rl.Agent, n)
 	services := make([]core.Service, n)
@@ -142,7 +149,10 @@ func AblationMTU() Result {
 		defer k.Shutdown()
 		cfg := core.DefaultISWConfig()
 		cfg.FloatsPerPacket = protocol.FloatsPerPacket / fracs[fi]
-		c := core.NewISWStar(k, 4, w.Floats(), netsim.TenGbE(), cfg)
+		c := core.Build(k, core.ClusterSpec{
+			Topology: core.TopoStar, Mode: core.ModeISW, Workers: 4,
+			ModelFloats: w.Floats(), Link: netsim.TenGbE(), ISW: &cfg,
+		}).ISW
 		agents := make([]rl.Agent, 4)
 		services := make([]core.Service, 4)
 		for i := range agents {

@@ -7,7 +7,6 @@ import (
 
 	"iswitch/internal/core"
 	"iswitch/internal/envs"
-	"iswitch/internal/netsim"
 	"iswitch/internal/perfmodel"
 	"iswitch/internal/rl"
 	"iswitch/internal/sim"
@@ -146,13 +145,13 @@ func Figure14(opts CurveOpts) Result {
 			LocalCompute: w.LocalCompute, WeightUpdate: w.WeightUpdate,
 		}
 		var stats *core.AsyncStats
+		spec := strategySpec(w, strategy, workers, 0, true)
+		spec.ModelFloats = agents[0].GradLen()
 		if strategy == StratISW {
-			c := core.NewISWStar(k, workers, agents[0].GradLen(), netsim.TenGbE(), core.ISWConfigFor(w))
-			stats = core.RunAsyncISW(k, agents, c, cfg)
+			stats = core.RunAsyncISW(k, agents, core.Build(k, spec).ISW, cfg)
 		} else {
-			c := core.NewAsyncPSCluster(k, workers, agents[0].GradLen(), netsim.TenGbE(), core.PSConfigFor(w))
 			master := rl.NewDQN(newGridPong(999), rl.DefaultDQNConfig(), 42, 999)
-			stats = core.RunAsyncPS(k, agents, master, c, cfg)
+			stats = core.RunAsyncPS(k, agents, master, core.Build(k, spec).PS, cfg)
 		}
 		// Full-model per-update time from the synthetic timing run.
 		full := simAsync(w, strategy, workers, 0, 40, 3)

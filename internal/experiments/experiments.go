@@ -50,6 +50,44 @@ func hours(iters int64, perIter time.Duration) float64 {
 	return float64(iters) * perIter.Seconds() / 3600
 }
 
+// strategySpec maps a comparison strategy and rack shape onto a
+// ClusterSpec: perRack <= 0 selects the flat single-switch testbed,
+// otherwise the two-level rack topology; async picks the asynchronous
+// flavor of the parameter server.
+func strategySpec(w perfmodel.Workload, strategy string, nWorkers, perRack int, async bool) core.ClusterSpec {
+	spec := core.ClusterSpec{
+		Topology:    core.TopoStar,
+		Workers:     nWorkers,
+		ModelFloats: w.Floats(),
+		Link:        netsim.TenGbE(),
+		Uplink:      netsim.FortyGbE(),
+	}
+	if perRack > 0 {
+		spec.Topology = core.TopoTree
+		spec.PerRack = perRack
+	}
+	switch strategy {
+	case StratPS:
+		spec.Mode = core.ModePS
+		if async {
+			spec.Mode = core.ModeAsyncPS
+		}
+		cfg := core.PSConfigFor(w)
+		spec.PS = &cfg
+	case StratAR:
+		spec.Mode = core.ModeAllReduce
+		cfg := core.ARConfigFor(w)
+		spec.AR = &cfg
+	case StratISW:
+		spec.Mode = core.ModeISW
+		cfg := core.ISWConfigFor(w)
+		spec.ISW = &cfg
+	default:
+		panic("experiments: unknown strategy " + strategy)
+	}
+	return spec
+}
+
 // simSync runs a synchronous timing simulation: nWorkers synthetic
 // agents carrying workload w's exact model size, under the given
 // strategy, measuring per-iteration time. perRack <= 0 selects the flat
@@ -57,45 +95,12 @@ func hours(iters int64, perIter time.Duration) float64 {
 func simSync(w perfmodel.Workload, strategy string, nWorkers, perRack, iters int) *core.RunStats {
 	k := sim.NewKernel()
 	defer k.Shutdown() // release parked server loops (goroutine leak fix)
-	edge := netsim.TenGbE()
-	uplink := netsim.FortyGbE()
 	agents := make([]rl.Agent, nWorkers)
 	services := make([]core.Service, nWorkers)
 
-	newAgent := func() rl.Agent { return core.NewSyntheticAgent(w.Floats()) }
-	switch {
-	case strategy == StratPS && perRack <= 0:
-		c := core.NewPSCluster(k, nWorkers, w.Floats(), edge, core.PSConfigFor(w))
-		for i := range agents {
-			agents[i], services[i] = newAgent(), c.Client(i)
-		}
-	case strategy == StratPS:
-		c := core.NewPSClusterTree(k, nWorkers, perRack, w.Floats(), edge, uplink, core.PSConfigFor(w))
-		for i := range agents {
-			agents[i], services[i] = newAgent(), c.Client(i)
-		}
-	case strategy == StratAR && perRack <= 0:
-		c := core.NewARCluster(k, nWorkers, w.Floats(), edge, core.ARConfigFor(w))
-		for i := range agents {
-			agents[i], services[i] = newAgent(), c.Client(i)
-		}
-	case strategy == StratAR:
-		c := core.NewARClusterTree(k, nWorkers, perRack, w.Floats(), edge, uplink, core.ARConfigFor(w))
-		for i := range agents {
-			agents[i], services[i] = newAgent(), c.Client(i)
-		}
-	case strategy == StratISW && perRack <= 0:
-		c := core.NewISWStar(k, nWorkers, w.Floats(), edge, core.ISWConfigFor(w))
-		for i := range agents {
-			agents[i], services[i] = newAgent(), c.Client(i)
-		}
-	case strategy == StratISW:
-		c := core.NewISWTreeN(k, nWorkers, perRack, w.Floats(), edge, uplink, core.ISWConfigFor(w))
-		for i := range agents {
-			agents[i], services[i] = newAgent(), c.Client(i)
-		}
-	default:
-		panic("experiments: unknown strategy " + strategy)
+	c := core.Build(k, strategySpec(w, strategy, nWorkers, perRack, false))
+	for i := range agents {
+		agents[i], services[i] = core.NewSyntheticAgent(w.Floats()), c.Client(i)
 	}
 	return core.RunSync(k, agents, services, core.SyncConfig{
 		Iterations:   iters,
@@ -110,8 +115,6 @@ func simSync(w perfmodel.Workload, strategy string, nWorkers, perRack, iters int
 func simAsync(w perfmodel.Workload, strategy string, nWorkers, perRack int, updates int64, staleness int64) *core.AsyncStats {
 	k := sim.NewKernel()
 	defer k.Shutdown()
-	edge := netsim.TenGbE()
-	uplink := netsim.FortyGbE()
 	cfg := core.AsyncConfig{
 		Updates: updates, StalenessBound: staleness,
 		LocalCompute: w.LocalCompute, WeightUpdate: w.WeightUpdate,
@@ -120,23 +123,12 @@ func simAsync(w perfmodel.Workload, strategy string, nWorkers, perRack int, upda
 	for i := range agents {
 		agents[i] = core.NewSyntheticAgent(w.Floats())
 	}
+	spec := strategySpec(w, strategy, nWorkers, perRack, true)
 	switch strategy {
 	case StratPS:
-		var c *core.PSCluster
-		if perRack <= 0 {
-			c = core.NewAsyncPSCluster(k, nWorkers, w.Floats(), edge, core.PSConfigFor(w))
-		} else {
-			c = core.NewAsyncPSClusterTree(k, nWorkers, perRack, w.Floats(), edge, uplink, core.PSConfigFor(w))
-		}
-		return core.RunAsyncPS(k, agents, core.NewSyntheticAgent(w.Floats()), c, cfg)
+		return core.RunAsyncPS(k, agents, core.NewSyntheticAgent(w.Floats()), core.Build(k, spec).PS, cfg)
 	case StratISW:
-		var c *core.ISWCluster
-		if perRack <= 0 {
-			c = core.NewISWStar(k, nWorkers, w.Floats(), edge, core.ISWConfigFor(w))
-		} else {
-			c = core.NewISWTreeN(k, nWorkers, perRack, w.Floats(), edge, uplink, core.ISWConfigFor(w))
-		}
-		return core.RunAsyncISW(k, agents, c, cfg)
+		return core.RunAsyncISW(k, agents, core.Build(k, spec).ISW, cfg)
 	}
 	panic("experiments: unknown async strategy " + strategy)
 }

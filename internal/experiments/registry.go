@@ -29,6 +29,7 @@ func Specs(opts CurveOpts) []Spec {
 		{ID: "figure15", Title: "Scalability", Run: Figure15},
 		{ID: "shard-sweep", Title: "Sharded-PS shard-count sweep", Run: ShardSweep},
 		{ID: "job-sweep", Title: "Multi-tenant job-count sweep", Run: JobSweep},
+		{ID: "lossy", Title: "Reliability: loss, crash, failover sweep", Run: Lossy},
 		{ID: "ablation-staleness", Title: "Staleness bound sweep", Run: AblationStaleness},
 		{ID: "ablation-h", Title: "Aggregation threshold sweep", Run: AblationH},
 		{ID: "ablation-hierarchical", Title: "Hierarchical vs flat", Run: AblationHierarchical},

@@ -38,7 +38,12 @@ func shardSweepWorkloads() []perfmodel.Workload {
 func simSyncShardedPS(w perfmodel.Workload, nWorkers, shards, iters int) *core.RunStats {
 	k := sim.NewKernel()
 	defer k.Shutdown()
-	c := core.NewShardedPSCluster(k, nWorkers, w.Floats(), shards, netsim.TenGbE(), core.PSConfigFor(w))
+	cfg := core.PSConfigFor(w)
+	c := core.Build(k, core.ClusterSpec{
+		Topology: core.TopoStar, Mode: core.ModeShardedPS,
+		Workers: nWorkers, Shards: shards,
+		ModelFloats: w.Floats(), Link: netsim.TenGbE(), PS: &cfg,
+	}).Sharded
 	agents := make([]rl.Agent, nWorkers)
 	services := make([]core.Service, nWorkers)
 	for i := range agents {
@@ -56,7 +61,12 @@ func simSyncShardedPS(w perfmodel.Workload, nWorkers, shards, iters int) *core.R
 func simAsyncShardedPS(w perfmodel.Workload, nWorkers, shards int, updates, staleness int64) *core.AsyncStats {
 	k := sim.NewKernel()
 	defer k.Shutdown()
-	c := core.NewAsyncShardedPSCluster(k, nWorkers, w.Floats(), shards, netsim.TenGbE(), core.PSConfigFor(w))
+	cfg := core.PSConfigFor(w)
+	c := core.Build(k, core.ClusterSpec{
+		Topology: core.TopoStar, Mode: core.ModeAsyncShardedPS,
+		Workers: nWorkers, Shards: shards,
+		ModelFloats: w.Floats(), Link: netsim.TenGbE(), PS: &cfg,
+	}).Sharded
 	agents := make([]rl.Agent, nWorkers)
 	for i := range agents {
 		agents[i] = core.NewSyntheticAgent(w.Floats())

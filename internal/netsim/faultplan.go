@@ -1,0 +1,163 @@
+// Declarative fault injection. A FaultPlan is the single description of
+// everything that goes wrong in a run — per-link loss rates, surgical
+// one-shot drops, link outage windows, worker crash/rejoin schedules,
+// and switch failures — so an experiment states its fault model as data
+// instead of scattering imperative Port.SetLoss calls across setup
+// code. The plan is applied to a built cluster in one call
+// (core.Cluster.ApplyFaults), which resolves worker/switch indices to
+// concrete ports and switches for the chosen topology.
+package netsim
+
+import (
+	"fmt"
+
+	"iswitch/internal/sim"
+)
+
+// LinkDir selects which transmit direction(s) of a worker's access link
+// a LinkFault applies to.
+type LinkDir int
+
+const (
+	// DirBoth faults the worker's uplink and downlink.
+	DirBoth LinkDir = iota
+	// DirUp faults only worker → switch transmissions.
+	DirUp
+	// DirDown faults only switch → worker transmissions.
+	DirDown
+)
+
+func (d LinkDir) String() string {
+	switch d {
+	case DirUp:
+		return "up"
+	case DirDown:
+		return "down"
+	default:
+		return "both"
+	}
+}
+
+// LinkFault describes impairments on one worker's access link.
+type LinkFault struct {
+	// Worker is the worker index the link belongs to.
+	Worker int
+	// Dir selects the faulted direction(s).
+	Dir LinkDir
+	// Loss is an i.i.d. per-packet drop probability in [0, 1).
+	Loss float64
+	// DropTx lists one-shot drops by transmit ordinal (1-based TxPackets
+	// count on the faulted direction).
+	DropTx []uint64
+	// DownAt/DownUntil, when DownUntil > DownAt, take the direction(s)
+	// down for the window [DownAt, DownUntil).
+	DownAt, DownUntil sim.Time
+}
+
+// CrashFault schedules a worker process crash.
+type CrashFault struct {
+	// Worker is the crashing worker's index.
+	Worker int
+	// AtRound is the 1-based aggregation round during which the worker
+	// dies (after sending PartialSegs of its contribution segments).
+	AtRound int
+	// PartialSegs is how many contribution segments escape before the
+	// crash (0: the worker dies before transmitting anything).
+	PartialSegs int
+	// Rejoin, when true, restarts the worker after Outage of dead time;
+	// otherwise the crash is permanent and the round can only complete
+	// if the fabric's liveness horizon evicts the corpse.
+	Rejoin bool
+	// Outage is how long the worker stays dead before rejoining.
+	Outage sim.Time
+}
+
+// SwitchFault schedules an aggregation-plane failure.
+type SwitchFault struct {
+	// Switch indexes the cluster's Switches() list (root/core first).
+	// -1 fails every aggregation switch — the whole in-network
+	// aggregation plane dies and workers must fail over to the backup
+	// software relay path. Plain L2/L3 forwarding survives.
+	Switch int
+	// At is the virtual time of the failure.
+	At sim.Time
+}
+
+// FaultPlan is the full declarative fault model for one run.
+type FaultPlan struct {
+	// Seed derives the per-link loss RNG streams (so one scalar
+	// reproduces the whole plan deterministically). A LinkFault's stream
+	// is seeded from Seed, the worker index, and the direction.
+	Seed int64
+	// Links lists access-link impairments.
+	Links []LinkFault
+	// Crashes lists worker crash/rejoin events (in-switch modes only).
+	Crashes []CrashFault
+	// Switches lists aggregation-switch failures (in-switch modes only).
+	Switches []SwitchFault
+}
+
+// Validate checks plan-internal consistency (index bounds are checked
+// at apply time, when the cluster's size is known).
+func (fp *FaultPlan) Validate() error {
+	for _, lf := range fp.Links {
+		if lf.Worker < 0 {
+			return fmt.Errorf("faultplan: link fault worker %d < 0", lf.Worker)
+		}
+		if lf.Loss < 0 || lf.Loss >= 1 {
+			return fmt.Errorf("faultplan: worker %d loss %v outside [0,1)", lf.Worker, lf.Loss)
+		}
+		if lf.DownUntil < lf.DownAt {
+			return fmt.Errorf("faultplan: worker %d down window ends before it starts", lf.Worker)
+		}
+	}
+	for _, cf := range fp.Crashes {
+		if cf.Worker < 0 {
+			return fmt.Errorf("faultplan: crash worker %d < 0", cf.Worker)
+		}
+		if cf.AtRound < 1 {
+			return fmt.Errorf("faultplan: crash at round %d (rounds are 1-based)", cf.AtRound)
+		}
+		if cf.PartialSegs < 0 {
+			return fmt.Errorf("faultplan: crash partial segs %d < 0", cf.PartialSegs)
+		}
+		if cf.Rejoin && cf.Outage <= 0 {
+			return fmt.Errorf("faultplan: worker %d rejoin needs a positive outage", cf.Worker)
+		}
+	}
+	for _, sf := range fp.Switches {
+		if sf.Switch < -1 {
+			return fmt.Errorf("faultplan: switch index %d < -1", sf.Switch)
+		}
+	}
+	return nil
+}
+
+// LinkSeed derives the deterministic loss-RNG seed for one faulted
+// direction, mixing the plan seed, worker index, and direction so every
+// stream is independent but reproducible from the one plan seed.
+func (fp *FaultPlan) LinkSeed(worker int, dir LinkDir) int64 {
+	return fp.Seed*1_000_003 + int64(worker)*7 + int64(dir) + 1
+}
+
+// ApplyLink installs one link fault onto a worker's NIC port pair:
+// up is the worker's transmit side, down the switch's transmit side.
+func (fp *FaultPlan) ApplyLink(lf LinkFault, up, down *Port) {
+	apply := func(p *Port, dir LinkDir) {
+		if lf.Loss > 0 {
+			p.SetLoss(lf.Loss, fp.LinkSeed(lf.Worker, dir))
+		}
+		if len(lf.DropTx) > 0 {
+			p.DropNth(lf.DropTx...)
+		}
+		if lf.DownUntil > lf.DownAt {
+			p.SetDownWindow(lf.DownAt, lf.DownUntil)
+		}
+	}
+	if lf.Dir == DirUp || lf.Dir == DirBoth {
+		apply(up, DirUp)
+	}
+	if lf.Dir == DirDown || lf.Dir == DirBoth {
+		apply(down, DirDown)
+	}
+}

@@ -1,0 +1,147 @@
+package netsim
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"iswitch/internal/sim"
+)
+
+func TestFaultPlanValidate(t *testing.T) {
+	cases := []struct {
+		name string
+		plan FaultPlan
+		want string // substring of the error; "" = valid
+	}{
+		{"empty", FaultPlan{}, ""},
+		{"valid", FaultPlan{
+			Links:    []LinkFault{{Worker: 0, Dir: DirBoth, Loss: 0.05, DropTx: []uint64{3}}},
+			Crashes:  []CrashFault{{Worker: 1, AtRound: 2, Rejoin: true, Outage: time.Millisecond}},
+			Switches: []SwitchFault{{Switch: -1, At: time.Millisecond}},
+		}, ""},
+		{"negative-link-worker", FaultPlan{Links: []LinkFault{{Worker: -1}}}, "worker -1"},
+		{"loss-too-high", FaultPlan{Links: []LinkFault{{Worker: 0, Loss: 1.0}}}, "outside [0,1)"},
+		{"inverted-down-window", FaultPlan{Links: []LinkFault{
+			{Worker: 0, DownAt: 2 * time.Millisecond, DownUntil: time.Millisecond}}}, "down window"},
+		{"negative-crash-worker", FaultPlan{Crashes: []CrashFault{{Worker: -2, AtRound: 1}}}, "worker -2"},
+		{"crash-round-zero", FaultPlan{Crashes: []CrashFault{{Worker: 0, AtRound: 0}}}, "1-based"},
+		{"negative-partial-segs", FaultPlan{Crashes: []CrashFault{
+			{Worker: 0, AtRound: 1, PartialSegs: -1}}}, "partial segs"},
+		{"rejoin-without-outage", FaultPlan{Crashes: []CrashFault{
+			{Worker: 0, AtRound: 1, Rejoin: true}}}, "positive outage"},
+		{"switch-below-minus-one", FaultPlan{Switches: []SwitchFault{{Switch: -2}}}, "-2"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			err := tc.plan.Validate()
+			if tc.want == "" {
+				if err != nil {
+					t.Fatalf("valid plan rejected: %v", err)
+				}
+				return
+			}
+			if err == nil || !strings.Contains(err.Error(), tc.want) {
+				t.Fatalf("got error %v, want one containing %q", err, tc.want)
+			}
+		})
+	}
+}
+
+// TestFaultPlanLinkSeedsIndependent pins the determinism contract: one
+// plan seed derives a distinct stream per (worker, direction), and the
+// same plan seed always derives the same streams.
+func TestFaultPlanLinkSeedsIndependent(t *testing.T) {
+	fp := FaultPlan{Seed: 7}
+	seen := map[int64]string{}
+	for w := 0; w < 4; w++ {
+		for _, dir := range []LinkDir{DirUp, DirDown} {
+			s := fp.LinkSeed(w, dir)
+			if prev, dup := seen[s]; dup {
+				t.Fatalf("seed collision: worker %d %v and %s both derive %d", w, dir, prev, s)
+			}
+			seen[s] = dir.String()
+		}
+	}
+	if fp.LinkSeed(2, DirUp) != (&FaultPlan{Seed: 7}).LinkSeed(2, DirUp) {
+		t.Fatal("same plan seed derived different link seeds")
+	}
+}
+
+// faultPair wires two hosts together and returns them with their ports.
+func faultPair(k *sim.Kernel) (a, b *Host, pa, pb *Port) {
+	a = NewHost(k, HostAddr(0, 0))
+	b = NewHost(k, HostAddr(0, 1))
+	pa, pb = Connect(k, testLink(), a, "a", b, "b")
+	a.SetPort(pa)
+	b.SetPort(pb)
+	return
+}
+
+// TestFaultPlanApplyLinkDropTx: a one-shot DropTx fault applied through
+// the plan must drop exactly the named transmit ordinal, in the faulted
+// direction only.
+func TestFaultPlanApplyLinkDropTx(t *testing.T) {
+	k := sim.NewKernel()
+	a, b, pa, pb := faultPair(k)
+	fp := &FaultPlan{Links: []LinkFault{{Worker: 0, Dir: DirUp, DropTx: []uint64{2}}}}
+	fp.ApplyLink(fp.Links[0], pa, pb)
+
+	var got []uint64
+	k.Spawn("recv", func(p *sim.Proc) {
+		for {
+			pkt, ok := b.RecvTimeout(p, 10*time.Millisecond)
+			if !ok {
+				return
+			}
+			got = append(got, pkt.Seg)
+		}
+	})
+	k.Spawn("send", func(p *sim.Proc) {
+		for seg := uint64(1); seg <= 3; seg++ {
+			a.Send(dataPkt(a.Addr, b.Addr, seg, 10))
+			p.Sleep(time.Millisecond)
+		}
+	})
+	k.Run()
+	if len(got) != 2 || got[0] != 1 || got[1] != 3 {
+		t.Fatalf("delivered segs %v, want [1 3] (ordinal 2 dropped)", got)
+	}
+	if pa.Dropped != 1 || pb.Dropped != 0 {
+		t.Fatalf("dropped up=%d down=%d, want 1/0 (DirUp only)", pa.Dropped, pb.Dropped)
+	}
+}
+
+// TestFaultPlanApplyLinkDownWindow: an outage window kills frames whose
+// serialization starts inside it and lets later traffic through.
+func TestFaultPlanApplyLinkDownWindow(t *testing.T) {
+	k := sim.NewKernel()
+	a, b, pa, pb := faultPair(k)
+	fp := &FaultPlan{Links: []LinkFault{{
+		Worker: 0, Dir: DirBoth,
+		DownAt: 500 * time.Microsecond, DownUntil: 1500 * time.Microsecond,
+	}}}
+	fp.ApplyLink(fp.Links[0], pa, pb)
+
+	var got []uint64
+	k.Spawn("recv", func(p *sim.Proc) {
+		for {
+			pkt, ok := b.RecvTimeout(p, 10*time.Millisecond)
+			if !ok {
+				return
+			}
+			got = append(got, pkt.Seg)
+		}
+	})
+	k.Spawn("send", func(p *sim.Proc) {
+		for seg := uint64(1); seg <= 3; seg++ {
+			// Sends at t=0, 1ms, 2ms: the second lands inside the window.
+			a.Send(dataPkt(a.Addr, b.Addr, seg, 10))
+			p.Sleep(time.Millisecond)
+		}
+	})
+	k.Run()
+	if len(got) != 2 || got[0] != 1 || got[1] != 3 {
+		t.Fatalf("delivered segs %v, want [1 3] (window swallowed the middle send)", got)
+	}
+}

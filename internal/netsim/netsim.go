@@ -71,6 +71,13 @@ type Port struct {
 	lossRate  float64
 	lossRNG   *rand.Rand
 
+	// Fault-injection state (FaultPlan): outage windows during which
+	// every frame serialized on this direction is discarded, and one-shot
+	// ordinal drops (the Nth transmitted frame vanishes — a surgical way
+	// to lose exactly one contribution or broadcast).
+	downWindows []downWindow
+	dropNth     map[uint64]struct{}
+
 	// Trace, when set, observes this port's traffic: called with "tx"
 	// when serialization starts, "rx" on delivery to the peer, and
 	// "drop" when loss injection discards a frame.
@@ -116,6 +123,35 @@ func (p *Port) SetLoss(rate float64, seed int64) {
 	p.lossRNG = rand.New(rand.NewSource(seed))
 }
 
+// SetDownWindow schedules a link outage on this transmit direction:
+// frames whose serialization starts in [from, until) are dropped.
+// Multiple windows may be stacked.
+func (p *Port) SetDownWindow(from, until sim.Time) {
+	p.downWindows = append(p.downWindows, downWindow{from, until})
+}
+
+// DropNth marks one-shot drops by transmit ordinal: the nth frame
+// (1-based, counted by TxPackets) ever sent on this direction is lost.
+func (p *Port) DropNth(ns ...uint64) {
+	if p.dropNth == nil {
+		p.dropNth = make(map[uint64]struct{}, len(ns))
+	}
+	for _, n := range ns {
+		p.dropNth[n] = struct{}{}
+	}
+}
+
+type downWindow struct{ from, until sim.Time }
+
+func (p *Port) isDown(at sim.Time) bool {
+	for _, w := range p.downWindows {
+		if at >= w.from && at < w.until {
+			return true
+		}
+	}
+	return false
+}
+
 // Send serializes pkt onto the link. If the transmitter is busy the
 // packet queues behind in-flight frames (FIFO), which is how contention
 // at a hot link (e.g. the parameter server's downlink) manifests.
@@ -142,7 +178,17 @@ func (p *Port) Send(pkt *protocol.Packet) {
 		p.Trace(start, "tx", pkt)
 	}
 
-	if p.lossRate > 0 && p.lossRNG.Float64() < p.lossRate {
+	drop := p.lossRate > 0 && p.lossRNG.Float64() < p.lossRate
+	if !drop && p.dropNth != nil {
+		if _, hit := p.dropNth[p.TxPackets]; hit {
+			delete(p.dropNth, p.TxPackets)
+			drop = true
+		}
+	}
+	if !drop && p.downWindows != nil && p.isDown(start) {
+		drop = true
+	}
+	if drop {
 		p.Dropped++
 		if p.Trace != nil {
 			p.Trace(txEnd, "drop", pkt)

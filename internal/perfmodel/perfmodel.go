@@ -209,3 +209,15 @@ const (
 	// raw UDP packetization without the framework stack.
 	ISWWorkerBase = 500 * time.Microsecond
 )
+
+// ExpectedSyncRound estimates the duration of one healthy synchronous
+// in-switch aggregation round for a workload: local gradient compute,
+// the per-round client base cost, serializing the full model up and the
+// aggregate back down at the access-link rate, and the optimizer step.
+// Recovery machinery derives Help timers from this (see
+// core.RecoveryTimeoutFor) so a slow-but-healthy peer is not mistaken
+// for packet loss.
+func ExpectedSyncRound(w Workload, linkBitsPerSec float64) time.Duration {
+	wire := time.Duration(float64(w.ModelBytes*8*2) / linkBitsPerSec * float64(time.Second))
+	return w.LocalCompute + w.WeightUpdate + ISWWorkerBase + wire
+}

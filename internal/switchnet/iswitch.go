@@ -7,6 +7,7 @@ import (
 	"iswitch/internal/accel"
 	"iswitch/internal/netsim"
 	"iswitch/internal/protocol"
+	"iswitch/internal/sim"
 )
 
 // ISwitch augments a netsim.Switch with the iSwitch control plane and
@@ -51,7 +52,19 @@ type ISwitch struct {
 	hasParent bool
 	uplink    *netsim.Port // ingress from the parent (broadcasts arrive here)
 
-	// HelpServed counts Helps answered from the emission caches.
+	// horizon, when positive, arms lazy liveness detection: a worker
+	// whose contribution is blocking a segment and that has not been
+	// heard from within horizon is evicted (Leave + SetH adjustment)
+	// the next time a Help forces the switch to look at the segment.
+	horizon sim.Time
+
+	// failed marks a dead aggregation plane: the switch stops consuming
+	// iSwitch traffic addressed to itself (control and data alike) while
+	// plain L2/L3 forwarding keeps working — the failure model for
+	// whole-switch failover to the backup software relay path.
+	failed bool
+
+	// HelpServed counts Helps answered from the shadow slots.
 	HelpServed uint64
 
 	// Stats
@@ -59,37 +72,49 @@ type ISwitch struct {
 	DataIn          uint64
 	Broadcasts      uint64
 	UpForwards      uint64
-	HelpRelayed     uint64
+	HelpRelayed     uint64 // Helps relayed to every other member (storm path)
+	HelpTargeted    uint64 // Helps relayed only to missing contributors
+	HelpUpForwards  uint64 // Helps escalated to the parent switch
+	Evicted         uint64 // workers removed by the liveness horizon
+	FailDrops       uint64 // iSwitch frames discarded by a failed switch
 	UnknownJobDrops uint64 // packets for unadmitted jobs discarded
 }
 
 // jobCtx is one training job's slice of the switch: its accelerator
 // (segment buffers + counters), membership table, auto-H mode, and the
-// emission cache that re-serves lost broadcasts.
+// shadow aggregation slots that re-serve lost broadcasts.
 type jobCtx struct {
 	job   protocol.JobID
 	acc   *accel.Accelerator
 	mem   *Membership
 	autoH bool // H tracks member count until SetH overrides
 
-	// emitCache holds the most recently emitted aggregate per segment
-	// key so a lost broadcast copy can be re-served directly to the
-	// requester of a Help — without this, a worker that loses the last
-	// broadcast of a job has no live peers left to recover through.
-	// Bounded FIFO sized for one full model's worth of segments.
-	emitCache    map[uint64][]float32
-	emitOrder    []uint64
-	emitCacheCap int
+	// shadow holds each segment's most recently emitted aggregate
+	// (keyed by round tag when the job runs tagged recovery) so a lost
+	// broadcast copy can be re-served directly to the requester of a
+	// Help while the next round is already accumulating in the primary
+	// slot — without this, a worker that loses the last broadcast of a
+	// job has no live peers left to recover through.
+	shadow *accel.ShadowStore
+
+	// lastSeen tracks when each member last transmitted anything, for
+	// the liveness horizon. Only maintained when the horizon is armed.
+	lastSeen map[protocol.Addr]sim.Time
+
+	// helpUpSince counts Helps escalated to the parent with no parent
+	// broadcast observed in between — the signal that the upstream
+	// aggregation path is dead and worker acks must be withheld so
+	// workers escalate to failover.
+	helpUpSince int
 }
 
 func newJobCtx(job protocol.JobID) *jobCtx {
 	return &jobCtx{
-		job:          job,
-		acc:          accel.New(accel.DefaultConfig()),
-		mem:          NewMembership(),
-		autoH:        true,
-		emitCache:    make(map[uint64][]float32),
-		emitCacheCap: 8192,
+		job:    job,
+		acc:    accel.New(accel.DefaultConfig()),
+		mem:    NewMembership(),
+		autoH:  true,
+		shadow: accel.NewShadowStore(),
 	}
 }
 
@@ -243,15 +268,54 @@ func (is *ISwitch) Jobs() []protocol.JobID {
 	return out
 }
 
+// Fail kills the switch's aggregation plane: from now on every iSwitch
+// frame addressed to this switch (contributions, Joins, Helps) is
+// discarded, while ordinary forwarding — including worker-to-worker
+// relay traffic for the backup aggregation path — keeps working. This
+// models an accelerator/control-plane death that leaves the L2/L3
+// pipeline up; there is no un-fail.
+func (is *ISwitch) Fail() { is.failed = true }
+
+// Failed reports whether the aggregation plane has been killed.
+func (is *ISwitch) Failed() bool { return is.failed }
+
+// SetLivenessHorizon arms dead-contributor detection: when a Help forces
+// the switch to inspect a stalled segment, any worker whose contribution
+// is missing and that has been silent for longer than d is evicted from
+// the membership (lowering auto-H) so the round completes with the
+// survivors. Zero disables detection (the default): a crashed worker
+// then stalls its job forever, exactly as before.
+func (is *ISwitch) SetLivenessHorizon(d sim.Time) { is.horizon = d }
+
+// LivenessHorizon returns the armed horizon (zero = off).
+func (is *ISwitch) LivenessHorizon() sim.Time { return is.horizon }
+
+// Shadow exposes the default job's shadow aggregation slots.
+func (is *ISwitch) Shadow() *accel.ShadowStore { return is.def.shadow }
+
 // tap is the data-plane intercept. It runs in kernel context after the
 // switch's forwarding-pipeline delay.
 func (is *ISwitch) tap(pkt *protocol.Packet, in *netsim.Port) bool {
+	if is.failed {
+		if (pkt.IsControl() || pkt.IsData()) && pkt.Dst == is.addr {
+			is.FailDrops++
+			pkt.Release()
+			return true
+		}
+		return false // plain forwarding survives the aggregation plane
+	}
 	switch {
 	case pkt.IsControl():
 		is.ControlIn++
 		is.handleControl(pkt)
 		return true
 	case pkt.IsData():
+		// Data not addressed to this switch and not arriving from the
+		// parent is transit traffic (e.g. the backup relay path crossing
+		// a healthy fabric): forward it, never aggregate it.
+		if pkt.Dst != is.addr {
+			return false
+		}
 		is.DataIn++
 		is.handleData(pkt, in)
 		return true
@@ -275,6 +339,7 @@ func (is *ISwitch) handleControl(pkt *protocol.Packet) {
 		is.ack(pkt.Src, pkt.Job, false)
 		return
 	}
+	is.touch(ctx, pkt.Src)
 	switch pkt.Action {
 	case protocol.ActionJoin:
 		floats, err := protocol.ParseJoin(pkt.Value)
@@ -293,19 +358,7 @@ func (is *ISwitch) handleControl(pkt *protocol.Packet) {
 		is.refreshAutoH(ctx)
 		// Rounds that were only waiting on the departed worker are now
 		// satisfied at the lowered H: emit them so nobody stalls.
-		segs, sums := ctx.acc.DrainSatisfied()
-		for i, seg := range segs {
-			out := &protocol.Packet{Src: is.addr, ToS: protocol.ToSData,
-				Job: ctx.job, Seg: seg, Data: sums[i]}
-			if is.hasParent {
-				out.Dst = is.parent
-				is.UpForwards++
-				is.uplink.Send(out) // the packet retains the buffer
-			} else {
-				is.broadcast(ctx, out) // broadcast copies per child: buffer is free
-				ctx.acc.Recycle(sums[i])
-			}
-		}
+		is.emitDrained(ctx)
 		is.ack(pkt.Src, pkt.Job, ok)
 	case protocol.ActionReset:
 		ctx.acc.Reset()
@@ -325,20 +378,59 @@ func (is *ISwitch) handleControl(pkt *protocol.Packet) {
 		}
 		is.ack(pkt.Src, pkt.Job, true)
 	case protocol.ActionHelp:
-		// Loss recovery. If the requested segment's aggregate was
-		// already emitted, re-serve it from the emission cache — the
-		// requester simply lost its broadcast copy. Otherwise relay the
-		// Help to the job's other workers so they retransmit their
-		// contributions (paper §3.3: the switch otherwise only
-		// accepts/forwards such control messages).
-		if seg, err := protocol.ParseHelp(pkt.Value); err == nil {
-			if sum, ok := ctx.emitCache[seg]; ok {
-				is.HelpServed++
-				is.unicast(&protocol.Packet{Src: is.addr, Dst: pkt.Src,
-					ToS: protocol.ToSData, Job: ctx.job, Seg: seg, Data: sum})
-				return
-			}
+		is.handleHelp(ctx, pkt)
+	case protocol.ActionAck:
+		// A liveness acknowledgement bounced off a peer switch (e.g. the
+		// parent answering a forwarded Help): absorb, never re-ack, or
+		// two switches would nack each other forever.
+	case protocol.ActionHalt:
+		for _, m := range ctx.mem.Members() {
+			halt := protocol.NewControl(is.addr, m.Addr, protocol.ActionHalt, nil)
+			halt.Job = ctx.job
+			is.unicast(halt)
 		}
+	default:
+		is.ack(pkt.Src, pkt.Job, false)
+	}
+}
+
+// handleHelp implements loss recovery (paper §3.3 extended with
+// SwitchML-style slot state). Resolution order:
+//
+//  1. Shadow slot hit — the aggregate was already emitted and the
+//     requester lost its broadcast copy: re-serve it directly.
+//  2. Without the dedup bitmap (async jobs, legacy fabrics) the switch
+//     has no idea who contributed: relay the Help to every other worker
+//     so they all retransmit (the storm path, unchanged).
+//  3. With dedup armed and the segment holding partial state, relay the
+//     Help only to the members whose contribution is missing — the
+//     requester included, which is what re-gathers a rejoined worker.
+//     Missing workers past the liveness horizon are evicted instead.
+//  4. With no slot state at a non-root switch, escalate the Help to the
+//     parent: the aggregate lives (or stalled) further up.
+//  5. With no slot state at the root (or on a Help pushed down by the
+//     parent), re-gather: ask every local member to retransmit.
+//
+// Helps from workers are acknowledged (when not answered with data) so
+// a worker can distinguish "switch alive, peers slow" from "switch
+// dead" — except when the switch's own parent path looks dead, in which
+// case acks are withheld and the worker escalates to relay failover.
+func (is *ISwitch) handleHelp(ctx *jobCtx, pkt *protocol.Packet) {
+	seg, err := protocol.ParseHelp(pkt.Value)
+	if err != nil {
+		is.ack(pkt.Src, pkt.Job, false)
+		return
+	}
+	if sum, ok := ctx.shadow.Get(seg); ok {
+		is.HelpServed++
+		// The response owns a pooled copy: the shadow slot's storage is
+		// reused on the next emission, possibly before delivery.
+		resp := &protocol.Packet{Src: is.addr, Dst: pkt.Src,
+			ToS: protocol.ToSData, Job: ctx.job, Seg: seg, Data: sum}
+		is.unicast(resp.PooledClone())
+		return
+	}
+	if !ctx.acc.Dedup() {
 		is.HelpRelayed++
 		for _, m := range ctx.mem.Workers() {
 			if m.Addr == pkt.Src {
@@ -348,14 +440,137 @@ func (is *ISwitch) handleControl(pkt *protocol.Packet) {
 			relay.Job = ctx.job
 			is.unicast(relay)
 		}
-	case protocol.ActionHalt:
-		for _, m := range ctx.mem.Members() {
-			halt := protocol.NewControl(is.addr, m.Addr, protocol.ActionHalt, nil)
-			halt.Job = ctx.job
-			is.unicast(halt)
+		return
+	}
+	if ctx.acc.CountOf(seg) > 0 {
+		is.relayToMissing(ctx, seg, pkt.Value)
+		is.maybeAckHelp(ctx, pkt.Src, false)
+		return
+	}
+	if is.hasParent && pkt.Src != is.parent {
+		up := protocol.NewControl(is.addr, is.parent, protocol.ActionHelp, pkt.Value)
+		up.Job = ctx.job
+		is.HelpUpForwards++
+		ctx.helpUpSince++
+		is.uplink.Send(up)
+		is.maybeAckHelp(ctx, pkt.Src, true)
+		return
+	}
+	// Root with no state, or a re-gather request from the parent: the
+	// requester is ahead of everyone, or the segment's state was lost
+	// with a lower level's emission. Ask all local members to resend.
+	is.HelpRelayed++
+	for _, m := range ctx.mem.Members() {
+		if m.Addr == pkt.Src {
+			continue
 		}
-	default:
-		is.ack(pkt.Src, pkt.Job, false)
+		relay := protocol.NewControl(is.addr, m.Addr, protocol.ActionHelp, pkt.Value)
+		relay.Job = ctx.job
+		is.unicast(relay)
+	}
+	is.maybeAckHelp(ctx, pkt.Src, false)
+}
+
+// relayToMissing forwards a Help only to the members whose contribution
+// to seg has not been seen, evicting missing contributors that are past
+// the liveness horizon — workers and child switches alike (a child
+// switch whose only worker died goes silent exactly like a dead worker;
+// hosts-per-edge=1 fat-trees hit this). If eviction lowers H enough to
+// complete segments, they are emitted immediately.
+func (is *ISwitch) relayToMissing(ctx *jobCtx, seg uint64, helpValue []byte) {
+	seen := make(map[string]bool)
+	for _, c := range ctx.acc.SeenBy(seg) {
+		seen[c] = true
+	}
+	now := is.sw.Kernel().Now()
+	var targets []protocol.Addr
+	evicted := false
+	for _, m := range ctx.mem.Members() {
+		if seen[m.Addr.String()] {
+			continue
+		}
+		if is.horizon > 0 {
+			if last, ok := ctx.lastSeen[m.Addr]; ok && now-last > is.horizon {
+				ctx.mem.Leave(m.Addr)
+				delete(ctx.lastSeen, m.Addr)
+				is.Evicted++
+				evicted = true
+				continue
+			}
+		}
+		targets = append(targets, m.Addr)
+	}
+	if evicted {
+		is.refreshAutoH(ctx)
+		is.emitDrained(ctx)
+	}
+	if ctx.acc.CountOf(seg) == 0 {
+		return // eviction completed and emitted the segment
+	}
+	is.HelpTargeted++
+	for _, t := range targets {
+		relay := protocol.NewControl(is.addr, t, protocol.ActionHelp, helpValue)
+		relay.Job = ctx.job
+		is.unicast(relay)
+	}
+	if is.hasParent {
+		// Chasing missing members can outlast the parent's liveness
+		// horizon (this switch is waiting out its own horizon before
+		// evicting a dead contributor, and emits nothing upward in the
+		// meantime). Refresh liveness with an Ack so an alive-but-stalled
+		// switch is not itself evicted while it resolves the round; a
+		// truly dead subtree sends nothing and ages out as intended.
+		up := protocol.NewControl(is.addr, is.parent, protocol.ActionAck, protocol.AckOK)
+		up.Job = ctx.job
+		is.uplink.Send(up)
+	}
+}
+
+// helpUpSuppressAfter is how many consecutive unanswered parent
+// escalations a switch tolerates before it stops acking worker Helps,
+// letting workers conclude the aggregation path is dead.
+const helpUpSuppressAfter = 3
+
+// maybeAckHelp acknowledges a worker's Help that was not answered with
+// data, as proof the switch (and, transitively, the path it can still
+// reach) is alive.
+func (is *ISwitch) maybeAckHelp(ctx *jobCtx, req protocol.Addr, escalated bool) {
+	m, ok := ctx.mem.Lookup(req)
+	if !ok || m.Type != MemberWorker {
+		return // peer switches judge liveness by broadcasts, not acks
+	}
+	if escalated && ctx.helpUpSince > helpUpSuppressAfter {
+		return
+	}
+	is.ack(req, ctx.job, true)
+}
+
+// touch records member liveness when the horizon is armed.
+func (is *ISwitch) touch(ctx *jobCtx, src protocol.Addr) {
+	if is.horizon <= 0 {
+		return
+	}
+	if ctx.lastSeen == nil {
+		ctx.lastSeen = make(map[protocol.Addr]sim.Time)
+	}
+	ctx.lastSeen[src] = is.sw.Kernel().Now()
+}
+
+// emitDrained emits every segment whose counter satisfies the (possibly
+// just lowered) threshold H — shared by Leave and liveness eviction.
+func (is *ISwitch) emitDrained(ctx *jobCtx) {
+	segs, sums := ctx.acc.DrainSatisfied()
+	for i, seg := range segs {
+		out := &protocol.Packet{Src: is.addr, ToS: protocol.ToSData,
+			Job: ctx.job, Seg: seg, Data: sums[i]}
+		if is.hasParent {
+			out.Dst = is.parent
+			is.UpForwards++
+			is.uplink.Send(out) // the packet retains the buffer
+		} else {
+			is.broadcast(ctx, out) // broadcast copies per child: buffer is free
+			ctx.acc.Recycle(sums[i])
+		}
 	}
 }
 
@@ -421,12 +636,15 @@ func (is *ISwitch) handleData(pkt *protocol.Packet, in *netsim.Port) {
 	}
 	// A data packet arriving from the parent is a downstream broadcast
 	// of a globally aggregated segment: replicate to the job's children
-	// (each child gets its own pooled copy) and retire the frame.
+	// (each child gets its own pooled copy) and retire the frame. It is
+	// also proof the upstream aggregation path is alive.
 	if is.hasParent && in == is.uplink {
+		ctx.helpUpSince = 0
 		is.broadcast(ctx, pkt)
 		pkt.Release()
 		return
 	}
+	is.touch(ctx, pkt.Src)
 	// Otherwise it is an upstream contribution: run it through the
 	// job's accelerator (keyed by source for the optional dedup
 	// bitmap), charging the datapath latency before any output. With a
@@ -466,26 +684,14 @@ func (is *ISwitch) handleData(pkt *protocol.Packet, in *netsim.Port) {
 	})
 }
 
-// cacheEmission records an emitted aggregate for Help re-serving.
-func (ctx *jobCtx) cacheEmission(seg uint64, sum []float32) {
-	if _, exists := ctx.emitCache[seg]; !exists {
-		if len(ctx.emitOrder) >= ctx.emitCacheCap {
-			evict := ctx.emitOrder[0]
-			ctx.emitOrder = ctx.emitOrder[1:]
-			delete(ctx.emitCache, evict)
-		}
-		ctx.emitOrder = append(ctx.emitOrder, seg)
-	}
-	ctx.emitCache[seg] = append([]float32(nil), sum...)
-}
-
 // broadcast replicates a data packet to every member of the job
 // (workers and child switches), one unicast copy per child so each
 // egress link serializes independently, exactly as port-replication
-// hardware behaves.
+// hardware behaves. The emitted aggregate moves into the segment's
+// shadow slot on the way out, ready to re-serve lost copies.
 func (is *ISwitch) broadcast(ctx *jobCtx, pkt *protocol.Packet) {
 	is.Broadcasts++
-	ctx.cacheEmission(pkt.Seg, pkt.Data)
+	ctx.shadow.Put(pkt.Seg, pkt.Data)
 	for _, m := range ctx.mem.Members() {
 		// Pooled flyweight copies: each receiver releases its own on
 		// delivery, so a W-member fan-out recycles W frames per segment
