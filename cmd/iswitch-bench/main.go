@@ -15,6 +15,8 @@
 //	                              # scheduler against the reference heap
 //	iswitch-bench -lossy          # reliability sweep: loss × topology ×
 //	                              # mode plus crash and failover cells
+//	iswitch-bench -quant          # quantized/sparse aggregation sweep:
+//	                              # scheme × round time × wire bytes
 //
 // Experiments run on a bounded worker pool (-parallel); every
 // simulation cell is an isolated kernel with fixed seeds and results
@@ -88,6 +90,7 @@ func main() {
 		kern    = flag.Bool("kernels", false, "report float32 kernel backends and exit")
 		simcore = flag.Bool("simcore", false, "benchmark the event scheduler (calendar vs heap) and exit")
 		lossy   = flag.Bool("lossy", false, "run the reliability (loss/crash/failover) sweep and exit")
+		quant   = flag.Bool("quant", false, "run the quantized/sparse compression sweep and exit")
 		workers = flag.Int("parallel", runtime.GOMAXPROCS(0), "max concurrent simulation workers (<1: GOMAXPROCS)")
 	)
 	flag.Parse()
@@ -106,6 +109,11 @@ func main() {
 		// Also registered as -exp lossy; the dedicated flag matches
 		// -simcore for the CI smoke.
 		fmt.Println(experiments.Lossy().String())
+		return
+	}
+	if *quant {
+		// Also registered as -exp quant.
+		fmt.Println(experiments.Quant().String())
 		return
 	}
 	// Every results run records which gradient datapath produced it.

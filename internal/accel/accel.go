@@ -30,6 +30,7 @@ import (
 	"time"
 
 	"iswitch/internal/tensor"
+	tensorkernels "iswitch/internal/tensor/kernels"
 )
 
 // Config describes the accelerator datapath. The defaults mirror the
@@ -61,9 +62,14 @@ func (c Config) AddersPerCycle() int { return c.BusWidthBits / 32 }
 
 // segState is one segment's accumulation buffer and counter. seen is
 // the optional contributor bitmap (hardware analog: one bit per member
-// port) that makes retransmissions idempotent.
+// port) that makes retransmissions idempotent. A segment accumulates in
+// exactly one of buf (float32 adders: raw, fp16, and sparse traffic) or
+// qbuf (the saturating int32 adders of the block-scaled quantized
+// path) — the job's compression scheme is fixed at Join, so the two
+// never mix within a job.
 type segState struct {
 	buf   []float32
+	qbuf  []int32
 	count uint32
 	seen  map[string]struct{}
 }
@@ -78,11 +84,15 @@ type Accelerator struct {
 	segs  map[uint64]*segState
 	dedup bool
 
-	// pool recycles segState records (and their float32 buffers) so
+	// pool recycles segState records (and their payload buffers) so
 	// steady-state aggregation never allocates: emission hands the
 	// buffer to the caller and banks the record; Recycle returns the
 	// buffer for the next round.
 	pool sync.Pool
+
+	// qscratch re-widens narrowed child partials (q << shift) before
+	// the saturating add, without mutating the caller's payload.
+	qscratch []int32
 
 	stats Stats
 }
@@ -149,6 +159,26 @@ func (a *Accelerator) newSegState(n int) *segState {
 	} else {
 		st.buf = make([]float32, n)
 	}
+	st.qbuf = st.qbuf[:0]
+	st.count = 0
+	clear(st.seen)
+	return st
+}
+
+// newSegStateQ is newSegState for the integer datapath: a zeroed
+// n-element int32 accumulator.
+func (a *Accelerator) newSegStateQ(n int) *segState {
+	st, _ := a.pool.Get().(*segState)
+	if st == nil {
+		return &segState{qbuf: make([]int32, n)}
+	}
+	if cap(st.qbuf) >= n {
+		st.qbuf = st.qbuf[:n]
+		clear(st.qbuf)
+	} else {
+		st.qbuf = make([]int32, n)
+	}
+	st.buf = st.buf[:0]
 	st.count = 0
 	clear(st.seen)
 	return st
@@ -169,6 +199,14 @@ func (a *Accelerator) takeBuf(st *segState) []float32 {
 	return buf
 }
 
+// takeQBuf is takeBuf for the integer datapath.
+func (a *Accelerator) takeQBuf(st *segState) []int32 {
+	buf := st.qbuf
+	st.qbuf = nil
+	a.recycleState(st)
+	return buf
+}
+
 // Recycle returns an aggregate buffer previously handed out by Ingest,
 // IngestFrom, DrainSatisfied, or Flush to the segment-buffer pool. Call
 // it once the aggregate has been consumed (e.g. serialized onto the
@@ -185,6 +223,22 @@ func (a *Accelerator) Recycle(buf []float32) {
 	}
 	if cap(buf) >= cap(st.buf) {
 		st.buf = buf[:0]
+	}
+	a.pool.Put(st)
+}
+
+// RecycleQ is Recycle for integer aggregate buffers handed out by
+// IngestQFrom, DrainSatisfiedQ, or FlushQ.
+func (a *Accelerator) RecycleQ(buf []int32) {
+	if buf == nil {
+		return
+	}
+	st, _ := a.pool.Get().(*segState)
+	if st == nil {
+		st = &segState{}
+	}
+	if cap(buf) >= cap(st.qbuf) {
+		st.qbuf = buf[:0]
 	}
 	a.pool.Put(st)
 }
@@ -219,21 +273,23 @@ func (a *Accelerator) Ingest(seg uint64, data []float32) (sum []float32, done bo
 // IngestFrom is Ingest with a contributor identity for dedup mode. An
 // empty contributor is never deduplicated.
 func (a *Accelerator) IngestFrom(seg uint64, contributor string, data []float32) (sum []float32, done bool, latency time.Duration) {
+	return a.IngestFromBytes(seg, contributor, data, 4*len(data))
+}
+
+// IngestFromBytes is IngestFrom with an explicit wire-payload byte
+// count for the datapath latency charge — how the fp16 scheme's
+// half-width payloads consume half the bus bursts while the in-memory
+// representation stays float32.
+func (a *Accelerator) IngestFromBytes(seg uint64, contributor string, data []float32, payloadBytes int) (sum []float32, done bool, latency time.Duration) {
 	a.stats.PacketsIn++
 	st := a.segs[seg]
 	if st == nil {
 		st = a.newSegState(len(data))
 		a.segs[seg] = st
 	}
-	if a.dedup && contributor != "" {
-		if st.seen == nil {
-			st.seen = make(map[string]struct{})
-		}
-		if _, dup := st.seen[contributor]; dup {
-			a.stats.DupDropped++
-			return nil, false, a.packetLatency(len(data))
-		}
-		st.seen[contributor] = struct{}{}
+	latency = a.packetLatencyBytes(payloadBytes)
+	if a.isDup(st, contributor) {
+		return nil, false, latency
 	}
 	if len(st.buf) != len(data) {
 		// A malformed or inconsistent segment length; hardware would
@@ -247,7 +303,103 @@ func (a *Accelerator) IngestFrom(seg uint64, contributor string, data []float32)
 	}
 	tensor.Add(st.buf[:len(data)], data)
 	st.count++
-	latency = a.packetLatency(len(data))
+
+	if st.count >= a.h {
+		delete(a.segs, seg)
+		a.stats.PacketsOut++
+		return a.takeBuf(st), true, latency
+	}
+	return nil, false, latency
+}
+
+// isDup applies the dedup bitmap: true means this contribution was
+// already counted and must be ignored.
+func (a *Accelerator) isDup(st *segState, contributor string) bool {
+	if !a.dedup || contributor == "" {
+		return false
+	}
+	if st.seen == nil {
+		st.seen = make(map[string]struct{})
+	}
+	if _, dup := st.seen[contributor]; dup {
+		a.stats.DupDropped++
+		return true
+	}
+	st.seen[contributor] = struct{}{}
+	return false
+}
+
+// IngestQFrom accumulates one block-scaled quantized contribution on
+// the integer datapath: the payload is re-widened by its narrowing
+// shift (q << shift, exact) onto the segment's base grid and added with
+// the saturating int32 adders — an exactly associative sum, so the
+// aggregate is bit-identical under any arrival order. When the H-th
+// contribution lands, the completed sum is narrowed back into the int16
+// wire range and returned with its narrowing shift; ownership of the
+// returned slice transfers to the caller (hand it back via RecycleQ).
+func (a *Accelerator) IngestQFrom(seg uint64, contributor string, q []int32, shift uint8) (qsum []int32, outShift uint8, done bool, latency time.Duration) {
+	a.stats.PacketsIn++
+	st := a.segs[seg]
+	if st == nil {
+		st = a.newSegStateQ(len(q))
+		a.segs[seg] = st
+	}
+	latency = a.packetLatencyBytes(1 + 2*len(q))
+	if a.isDup(st, contributor) {
+		return nil, 0, false, latency
+	}
+	if len(q) > len(st.qbuf) {
+		grown := make([]int32, len(q))
+		copy(grown, st.qbuf)
+		st.qbuf = grown
+	}
+	addend := q
+	if shift > 0 {
+		// Re-widen into scratch so the caller's payload stays intact.
+		if cap(a.qscratch) < len(q) {
+			a.qscratch = make([]int32, len(q))
+		}
+		addend = a.qscratch[:len(q)]
+		copy(addend, q)
+		tensorkernels.ShlI32(addend, shift)
+	}
+	tensorkernels.AddSatInt32(st.qbuf[:len(q)], addend)
+	st.count++
+
+	if st.count >= a.h {
+		delete(a.segs, seg)
+		a.stats.PacketsOut++
+		sum := a.takeQBuf(st)
+		k := tensorkernels.NarrowShift(tensorkernels.MaxAbsI32(sum))
+		tensorkernels.ShrI32(sum, k)
+		return sum, k, true, latency
+	}
+	return nil, 0, false, latency
+}
+
+// IngestSparseFrom accumulates one top-k sparse contribution:
+// scatter-add the (index, value) pairs into the segment's dense float32
+// buffer, sized segLen. An empty pair list still counts as the worker's
+// contribution — that is how a segment with no selected elements
+// completes. The emitted aggregate is dense.
+func (a *Accelerator) IngestSparseFrom(seg uint64, contributor string, idx []uint16, vals []float32, segLen int) (sum []float32, done bool, latency time.Duration) {
+	a.stats.PacketsIn++
+	st := a.segs[seg]
+	if st == nil {
+		st = a.newSegState(segLen)
+		a.segs[seg] = st
+	}
+	latency = a.packetLatencyBytes(2 + 6*len(idx))
+	if a.isDup(st, contributor) {
+		return nil, false, latency
+	}
+	if segLen > len(st.buf) {
+		grown := make([]float32, segLen)
+		copy(grown, st.buf)
+		st.buf = grown
+	}
+	tensorkernels.ScatterAdd(st.buf, idx, vals)
+	st.count++
 
 	if st.count >= a.h {
 		delete(a.segs, seg)
@@ -271,6 +423,23 @@ func (a *Accelerator) Flush(seg uint64) (sum []float32, count uint32, ok bool) {
 	return a.takeBuf(st), count, true
 }
 
+// FlushQ is Flush for the integer datapath: the partial sum is narrowed
+// the same way a completed emission would be, so downstream decoding is
+// uniform.
+func (a *Accelerator) FlushQ(seg uint64) (q []int32, shift uint8, count uint32, ok bool) {
+	st := a.segs[seg]
+	if st == nil {
+		return nil, 0, 0, false
+	}
+	delete(a.segs, seg)
+	a.stats.Flushes++
+	count = st.count
+	sum := a.takeQBuf(st)
+	k := tensorkernels.NarrowShift(tensorkernels.MaxAbsI32(sum))
+	tensorkernels.ShrI32(sum, k)
+	return sum, k, count, true
+}
+
 // DrainSatisfied emits every pending segment whose counter already
 // meets the (possibly just lowered) threshold H — how the control plane
 // unblocks rounds that were waiting on a worker that left the job.
@@ -286,6 +455,25 @@ func (a *Accelerator) DrainSatisfied() (segs []uint64, sums [][]float32) {
 		}
 	}
 	return segs, sums
+}
+
+// DrainSatisfiedQ is DrainSatisfied for the integer datapath, narrowing
+// each emitted sum and reporting its per-segment shift.
+func (a *Accelerator) DrainSatisfiedQ() (segs []uint64, sums [][]int32, shifts []uint8) {
+	for _, s := range a.PendingSegs() {
+		st := a.segs[s]
+		if st.count >= a.h {
+			segs = append(segs, s)
+			delete(a.segs, s)
+			sum := a.takeQBuf(st)
+			k := tensorkernels.NarrowShift(tensorkernels.MaxAbsI32(sum))
+			tensorkernels.ShrI32(sum, k)
+			sums = append(sums, sum)
+			shifts = append(shifts, k)
+			a.stats.PacketsOut++
+		}
+	}
+	return segs, sums, shifts
 }
 
 // PendingSegs lists the segments holding partial sums, ascending.
@@ -313,11 +501,12 @@ func (a *Accelerator) FlushAll() []uint64 {
 	return segs
 }
 
-// packetLatency models the datapath cost of one packet: pipeline fill
-// plus one cycle per bus burst of header and payload.
-func (a *Accelerator) packetLatency(nFloats int) time.Duration {
+// packetLatencyBytes models the datapath cost of one packet: pipeline
+// fill plus one cycle per bus burst of header and payload. Compressed
+// payloads occupy fewer bursts, which is where the quantized schemes'
+// datapath speedup comes from.
+func (a *Accelerator) packetLatencyBytes(payloadBytes int) time.Duration {
 	burstBytes := a.cfg.BusWidthBits / 8
-	payloadBytes := 4 * nFloats
 	headerBytes := 14 + 20 + 8 + 8 // ETH + IP + UDP + Seg
 	bursts := ceilDiv(headerBytes, burstBytes) + ceilDiv(payloadBytes, burstBytes)
 	cycles := a.cfg.PipelineDepth + bursts

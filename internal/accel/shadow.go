@@ -28,8 +28,11 @@ type ShadowStore struct {
 }
 
 type shadowSlot struct {
-	tagged uint64 // full Seg value (round tag | index) the buf answers
+	tagged uint64 // full Seg value (round tag | index) the slot answers
 	buf    []float32
+	qbuf   []int32
+	shift  uint8
+	quant  bool // slot holds a quantized (qbuf) aggregate, not buf
 }
 
 // ShadowStats counts shadow-slot activity.
@@ -58,6 +61,27 @@ func (s *ShadowStore) Put(taggedSeg uint64, sum []float32) {
 	}
 	sl.tagged = taggedSeg
 	sl.buf = append(sl.buf[:0], sum...)
+	sl.quant = false
+	s.stats.Puts++
+}
+
+// PutQ records an emitted quantized aggregate (with its narrowing
+// shift) the same way Put records a float one. A job emits under exactly
+// one representation, so a slot flips wholesale when a scheme's traffic
+// lands in it.
+func (s *ShadowStore) PutQ(taggedSeg uint64, q []int32, shift uint8) {
+	idx := protocol.SegIndex(taggedSeg)
+	sl := s.slots[idx]
+	if sl == nil {
+		sl = &shadowSlot{}
+		s.slots[idx] = sl
+	} else if sl.tagged != taggedSeg {
+		s.stats.Overwrites++
+	}
+	sl.tagged = taggedSeg
+	sl.qbuf = append(sl.qbuf[:0], q...)
+	sl.shift = shift
+	sl.quant = true
 	s.stats.Puts++
 }
 
@@ -66,12 +90,24 @@ func (s *ShadowStore) Put(taggedSeg uint64, sum []float32) {
 // sum to a worker stalled on round r would corrupt its weights.
 func (s *ShadowStore) Get(taggedSeg uint64) ([]float32, bool) {
 	sl := s.slots[protocol.SegIndex(taggedSeg)]
-	if sl == nil || sl.tagged != taggedSeg {
+	if sl == nil || sl.tagged != taggedSeg || sl.quant {
 		s.stats.Misses++
 		return nil, false
 	}
 	s.stats.Hits++
 	return sl.buf, true
+}
+
+// GetQ is Get for quantized slots; a slot holding a float aggregate
+// misses (the representations never cross-serve).
+func (s *ShadowStore) GetQ(taggedSeg uint64) (q []int32, shift uint8, ok bool) {
+	sl := s.slots[protocol.SegIndex(taggedSeg)]
+	if sl == nil || sl.tagged != taggedSeg || !sl.quant {
+		s.stats.Misses++
+		return nil, 0, false
+	}
+	s.stats.Hits++
+	return sl.qbuf, sl.shift, true
 }
 
 // Len reports how many segments currently hold a shadow copy.
@@ -85,6 +121,8 @@ func (s *ShadowStore) Reset() {
 	for _, sl := range s.slots {
 		sl.tagged = 0
 		sl.buf = sl.buf[:0]
+		sl.qbuf = sl.qbuf[:0]
+		sl.quant = false
 	}
 	clear(s.slots)
 }

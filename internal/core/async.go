@@ -7,6 +7,7 @@ import (
 	"iswitch/internal/protocol"
 	"iswitch/internal/rl"
 	"iswitch/internal/sim"
+	"iswitch/internal/tensor/kernels"
 )
 
 // Asynchronous distributed training, two designs:
@@ -108,6 +109,15 @@ func SpawnAsyncISW(k *sim.Kernel, agents []rl.Agent, cluster *ISWCluster, cfg As
 		panic("core: agents/cluster size mismatch")
 	}
 	stats := &AsyncStats{RunStats: RunStats{Updates: cfg.Updates}}
+	switch cluster.cfg.Compression {
+	case protocol.CompInt32Block, protocol.CompTopK:
+		// Both schemes carry per-round state (shared grid exponents,
+		// cached selections) that only makes sense when every worker's
+		// round r is the same round — the asynchronous pipeline has no
+		// such alignment, so the job must run CompNone or CompFP16
+		// (stateless).
+		panic(fmt.Sprintf("core: SpawnAsyncISW: %v compression is synchronous-only", cluster.cfg.Compression))
+	}
 	if cluster.cfg.RecoveryTimeout > 0 {
 		// Worker rounds never align in the asynchronous pipeline, so a
 		// shared round tag is meaningless: run recovery untagged (Help
@@ -276,6 +286,7 @@ func RunAsyncPS(k *sim.Kernel, agents []rl.Agent, masterAgent rl.Agent, cluster 
 		k.Spawn(fmt.Sprintf("async-ps-worker-%d", i), func(p *sim.Proc) {
 			weights := protocol.NewAssembler(nFloats)
 			grad := make([]float32, agent.GradLen())
+			fp16 := cluster.scheme == protocol.CompFP16
 			for iter := 0; !stop; iter++ {
 				// Pull the latest weights.
 				p.Sleep(cluster.cfg.WorkerBase)
@@ -299,8 +310,17 @@ func RunAsyncPS(k *sim.Kernel, agents []rl.Agent, masterAgent rl.Agent, cluster 
 				for _, r := range agent.DrainEpisodes() {
 					ws.Rewards = append(ws.Rewards, RewardPoint{Time: p.Now(), Reward: r})
 				}
-				// Push.
+				// Push. Under fp16 the gradient is rounded through the
+				// wire precision (the server applies what the wire
+				// carried); weight pulls stay raw float32 so the
+				// authoritative weights never lose precision.
+				if fp16 {
+					kernels.F16RoundInPlace(grad)
+				}
 				for _, pkt := range protocol.Segment(host.Addr, server.Addr, grad) {
+					if fp16 {
+						pkt.Enc = protocol.CompFP16
+					}
 					host.Send(pkt)
 				}
 			}

@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"iswitch/internal/netsim"
+	"iswitch/internal/protocol"
 	"iswitch/internal/sim"
 	"iswitch/internal/switchnet"
 )
@@ -101,6 +102,14 @@ type ClusterSpec struct {
 	// Shards is the server count for the sharded-PS modes.
 	Shards int
 
+	// Compression selects the gradient wire scheme for the whole job
+	// (CompNone: the paper's raw float32). Validate documents which
+	// mode×scheme pairings are supported; Build rejects the rest. For
+	// ModeISW the value is copied into the ISW config (and a non-zero
+	// ISWConfig.Compression on a spec with CompNone is honoured), so
+	// either field may name the scheme.
+	Compression protocol.Compression
+
 	// Link is the worker access link (zero value: 10 GbE). Uplink feeds
 	// ToR→root / ToR→AGG / edge→AGG tiers and CoreLink the AGG→core tier;
 	// each zero value inherits the next-lower tier's config (so a spec
@@ -183,10 +192,57 @@ func (c *Cluster) Switches() []*switchnet.ISwitch {
 	return nil
 }
 
+// scheme resolves the spec's effective compression: the spec-level
+// field wins; a ModeISW spec may instead name it on the ISW config.
+func (s ClusterSpec) scheme() protocol.Compression {
+	if s.Compression != protocol.CompNone {
+		return s.Compression
+	}
+	if s.Mode == ModeISW && s.ISW != nil {
+		return s.ISW.Compression
+	}
+	return protocol.CompNone
+}
+
+// Validate checks the spec's compression scheme against its aggregation
+// mode, returning a descriptive error for unsupported pairings. Build
+// calls it and panics on failure; tests and experiment drivers may call
+// it directly to probe support.
+func (s ClusterSpec) Validate() error {
+	scheme := s.scheme()
+	if !scheme.Valid() {
+		return fmt.Errorf("core: unknown compression scheme Compression(%d)", uint8(scheme))
+	}
+	switch scheme {
+	case protocol.CompFP16:
+		switch s.Mode {
+		case ModeISW, ModePS, ModeAsyncPS:
+			// Supported: one aggregation point that re-rounds emissions.
+		default:
+			return fmt.Errorf("core: fp16 compression is not supported under %v: the scheme needs a single aggregation point that re-rounds emissions (in-switch or parameter server); sharded and ring strategies splice raw float32 chunks between peers", s.Mode)
+		}
+	case protocol.CompInt32Block:
+		if s.Mode != ModeISW {
+			return fmt.Errorf("core: int32block compression requires ModeISW (got %v): only the in-switch integer datapath has the saturating adders and emission narrowing the wire format assumes", s.Mode)
+		}
+	case protocol.CompTopK:
+		if s.Mode != ModeISW {
+			return fmt.Errorf("core: topk compression requires ModeISW (got %v): the sparse scatter-add lives in the switch accelerator", s.Mode)
+		}
+		if s.ISW != nil && s.ISW.FloatsPerPacket != 0 && s.ISW.FloatsPerPacket != protocol.FloatsPerPacket {
+			return fmt.Errorf("core: topk compression requires the default per-packet payload (%d floats): block-local sparse indices are sized to the MTU segment grid, got %d", protocol.FloatsPerPacket, s.ISW.FloatsPerPacket)
+		}
+	}
+	return nil
+}
+
 // Build constructs the cluster a spec describes. It panics on a
 // malformed spec or an unsupported topology×mode pairing (construction
 // is test/experiment setup; errors there are programming mistakes).
 func Build(k *sim.Kernel, spec ClusterSpec) *Cluster {
+	if err := spec.Validate(); err != nil {
+		panic("core: Build: " + err.Error())
+	}
 	link := spec.Link
 	if link == (netsim.LinkConfig{}) {
 		link = netsim.TenGbE()
@@ -259,6 +315,7 @@ func buildISW(k *sim.Kernel, spec ClusterSpec, link, uplink, coreLink netsim.Lin
 	if spec.ISW != nil {
 		cfg = *spec.ISW
 	}
+	cfg.Compression = spec.scheme()
 	var c *ISWCluster
 	switch spec.Topology {
 	case TopoStar:
@@ -308,6 +365,14 @@ func buildISW(k *sim.Kernel, spec ClusterSpec, link, uplink, coreLink netsim.Lin
 			}
 		}
 	}
+	if cfg.Compression != protocol.CompNone {
+		// Pin the scheme on every aggregation level: parent switches
+		// never see a worker Join, yet must interpret and re-emit their
+		// children's partials under the job's wire format.
+		for _, is := range c.Switches() {
+			is.SetCompression(cfg.Job, cfg.Compression, uint64(spec.ModelFloats))
+		}
+	}
 	return c
 }
 
@@ -321,7 +386,7 @@ func buildPS(k *sim.Kernel, spec ClusterSpec, link, uplink netsim.LinkConfig) *P
 	case TopoStar:
 		star := netsim.BuildStar(k, spec.Workers, link)
 		server := star.AttachHost(k, PSServerAddr(), link)
-		c := &PSCluster{Star: star, Server: server, workers: star.Hosts[:spec.Workers], n: spec.ModelFloats, cfg: cfg}
+		c := &PSCluster{Star: star, Server: server, workers: star.Hosts[:spec.Workers], n: spec.ModelFloats, cfg: cfg, scheme: spec.scheme()}
 		if sync {
 			c.startServer(k)
 		}
@@ -329,7 +394,7 @@ func buildPS(k *sim.Kernel, spec ClusterSpec, link, uplink netsim.LinkConfig) *P
 	case TopoTree:
 		tr := netsim.BuildRacksN(k, spec.Workers, rackWidth(spec), link, uplink)
 		server := tr.AttachRootHost(k, PSServerAddr(), uplink)
-		c := &PSCluster{Server: server, workers: tr.Hosts, n: spec.ModelFloats, cfg: cfg}
+		c := &PSCluster{Server: server, workers: tr.Hosts, n: spec.ModelFloats, cfg: cfg, scheme: spec.scheme()}
 		if sync {
 			c.startServer(k)
 		}

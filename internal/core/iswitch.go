@@ -3,11 +3,13 @@ package core
 import (
 	"fmt"
 
+	"iswitch/internal/compress"
 	"iswitch/internal/netsim"
 	"iswitch/internal/perfmodel"
 	"iswitch/internal/protocol"
 	"iswitch/internal/sim"
 	"iswitch/internal/switchnet"
+	"iswitch/internal/tensor/kernels"
 )
 
 // iSwitch aggregation (Figure 1c): workers send their gradient packets
@@ -24,6 +26,12 @@ type ISWConfig struct {
 	// (0 selects the MTU-filling protocol default). Exposed for the
 	// packet-size ablation.
 	FloatsPerPacket int
+	// Compression selects the job's gradient wire scheme (CompNone: the
+	// paper's raw float32). Negotiated with the switch at Join time and
+	// fixed for the job's lifetime. CompInt32Block and CompTopK are
+	// synchronous-only (SpawnAsyncISW rejects them); the software relay
+	// failover path always runs raw float32 regardless of scheme.
+	Compression protocol.Compression
 	// Job tags every packet this client sends (data and control) with a
 	// training-job ID so a multi-tenant switch demultiplexes it into the
 	// right aggregation context. Zero — the default — is the unmetered
@@ -179,6 +187,22 @@ type iswClient struct {
 	// the software aggregation engine when this worker is the relay.
 	failedOver bool
 	relay      *relayState
+
+	// codec holds the compression state (lazily built when the job's
+	// scheme needs one); fpGrad is the fp16 rounding scratch and decBuf
+	// the per-segment dequantization scratch.
+	codec  *compress.Codec
+	fpGrad []float32
+	decBuf []float32
+}
+
+// ensureCodec lazily builds the worker's compression codec.
+func (ic *iswClient) ensureCodec() *compress.Codec {
+	if ic.codec == nil {
+		ic.codec = compress.NewCodec(compress.Config{Scheme: ic.cluster.cfg.Compression},
+			ic.cluster.n, ic.cluster.cfg.perPacket())
+	}
+	return ic.codec
 }
 
 // roundTag returns the Seg-field tag for the current round (0 when
@@ -202,8 +226,11 @@ func (ic *iswClient) Setup(p *sim.Proc) {
 		return // the relay path has no admission protocol
 	}
 	join := func() {
-		pkt := protocol.NewControl(ic.host.Addr, ic.sw, protocol.ActionJoin,
-			protocol.JoinValue(uint64(ic.cluster.n)))
+		value := protocol.JoinValue(uint64(ic.cluster.n))
+		if s := ic.cluster.cfg.Compression; s != protocol.CompNone {
+			value = protocol.JoinValueScheme(uint64(ic.cluster.n), s)
+		}
+		pkt := protocol.NewControl(ic.host.Addr, ic.sw, protocol.ActionJoin, value)
 		pkt.Job = ic.cluster.cfg.Job
 		ic.host.Send(pkt)
 	}
@@ -262,33 +289,88 @@ func (ic *iswClient) SendGradient(grad []float32) { ic.sendGradient(grad, -1) }
 // sendGradient uploads the gradient, optionally truncated to the first
 // limit segments (how a scheduled crash models dying mid-upload).
 func (ic *iswClient) sendGradient(grad []float32, limit int) {
-	if ic.cluster.cfg.RecoveryTimeout > 0 {
+	cfg := &ic.cluster.cfg
+	switch cfg.Compression {
+	case protocol.CompFP16:
+		// Round through the wire precision up front: the retained
+		// recovery copy and the relay fallback then hold exactly the
+		// values the switch will sum, so retransmissions are
+		// bit-identical to the original upload.
+		ic.fpGrad = append(ic.fpGrad[:0], grad...)
+		kernels.F16RoundInPlace(ic.fpGrad)
+		grad = ic.fpGrad
+	case protocol.CompTopK:
+		// One global selection per round, cached for retransmissions.
+		ic.ensureCodec().SelectTopK(grad)
+	}
+	if cfg.RecoveryTimeout > 0 {
 		ic.round++
 		ic.prevGrad = ic.curGrad
 		ic.curGrad = append(ic.curGrad[:0:0], grad...) // copy: caller reuses grad
 	}
 	if ic.failedOver {
+		// The software relay path aggregates raw float32 regardless of
+		// the job's wire scheme.
 		ic.relayContribute(ic.round%protocol.RoundTagMod, ic.curGrad, limit)
 		return
 	}
 	tag := ic.roundTag()
+	per := cfg.perPacket()
 	sent := 0
-	for _, pkt := range protocol.SegmentWith(ic.host.Addr, ic.sw, grad, ic.cluster.cfg.perPacket()) {
-		if limit >= 0 && sent >= limit {
-			break
+	switch cfg.Compression {
+	case protocol.CompInt32Block:
+		codec := ic.ensureCodec()
+		for s := uint64(0); int(s) < protocol.SegmentCountWith(len(grad), per); s++ {
+			if limit >= 0 && sent >= limit {
+				break
+			}
+			lo, hi := protocol.SegmentRangeWith(len(grad), s, per)
+			q := codec.EncodeQ(s, grad[lo:hi])
+			tmp := protocol.NewQData(ic.host.Addr, ic.sw, s|tag, q, 0)
+			tmp.Job = cfg.Job
+			ic.host.Send(tmp.PooledClone()) // clone owns a copy of the codec scratch
+			sent++
 		}
-		pkt.Seg |= tag
-		pkt.Job = ic.cluster.cfg.Job
-		ic.host.Send(pkt)
-		sent++
+	case protocol.CompTopK:
+		codec := ic.codec
+		for s := uint64(0); int(s) < protocol.SegmentCountWith(len(grad), per); s++ {
+			if limit >= 0 && sent >= limit {
+				break
+			}
+			idx, vals := codec.Sparse(s)
+			tmp := protocol.NewSparseData(ic.host.Addr, ic.sw, s|tag, idx, vals)
+			tmp.Job = cfg.Job
+			ic.host.Send(tmp.PooledClone())
+			sent++
+		}
+	default:
+		for _, pkt := range protocol.SegmentWith(ic.host.Addr, ic.sw, grad, per) {
+			if limit >= 0 && sent >= limit {
+				break
+			}
+			pkt.Seg |= tag
+			pkt.Job = cfg.Job
+			if cfg.Compression == protocol.CompFP16 {
+				pkt.Enc = protocol.CompFP16
+			}
+			ic.host.Send(pkt)
+			sent++
+		}
 	}
 }
 
 // retransmit resends this worker's contribution for one (possibly
 // round-tagged) segment, if the matching round's gradient is retained.
+// The resend is bit-identical to the original upload under every
+// scheme: fp16 gradients were rounded before retention, quantized
+// segments re-encode on the grid their round used (current or
+// previous — the codec retains both), and sparse segments replay the
+// cached selection.
 func (ic *iswClient) retransmit(taggedSeg uint64) {
+	cfg := &ic.cluster.cfg
 	var grad []float32
-	if ic.cluster.cfg.Untagged {
+	prevRound := false
+	if cfg.Untagged {
 		grad = ic.curGrad // untagged: only the latest gradient is held
 	} else {
 		switch taggedSeg >> roundShift {
@@ -296,6 +378,7 @@ func (ic *iswClient) retransmit(taggedSeg uint64) {
 			grad = ic.curGrad
 		case (ic.round - 1) % protocol.RoundTagMod:
 			grad = ic.prevGrad
+			prevRound = true
 		default:
 			return // too old to serve
 		}
@@ -304,12 +387,38 @@ func (ic *iswClient) retransmit(taggedSeg uint64) {
 		return
 	}
 	seg := taggedSeg & segMask
-	lo, hi := protocol.SegmentRangeWith(ic.cluster.n, seg, ic.cluster.cfg.perPacket())
+	lo, hi := protocol.SegmentRangeWith(len(grad), seg, cfg.perPacket())
 	if lo >= hi {
 		return
 	}
-	pkt := protocol.NewData(ic.host.Addr, ic.sw, taggedSeg, grad[lo:hi])
-	pkt.Job = ic.cluster.cfg.Job
+	var pkt *protocol.Packet
+	switch cfg.Compression {
+	case protocol.CompInt32Block:
+		codec := ic.ensureCodec()
+		var q []int32
+		if prevRound {
+			q = codec.EncodeQPrev(seg, grad[lo:hi])
+		} else {
+			q = codec.EncodeQ(seg, grad[lo:hi])
+		}
+		pkt = protocol.NewQData(ic.host.Addr, ic.sw, taggedSeg, q, 0).PooledClone()
+	case protocol.CompTopK:
+		codec := ic.ensureCodec()
+		var idx []uint16
+		var vals []float32
+		if prevRound {
+			idx, vals = codec.SparsePrev(seg)
+		} else {
+			idx, vals = codec.Sparse(seg)
+		}
+		pkt = protocol.NewSparseData(ic.host.Addr, ic.sw, taggedSeg, idx, vals).PooledClone()
+	default:
+		pkt = protocol.NewData(ic.host.Addr, ic.sw, taggedSeg, grad[lo:hi])
+		if cfg.Compression == protocol.CompFP16 {
+			pkt.Enc = protocol.CompFP16 // grad already holds rounded values
+		}
+	}
+	pkt.Job = cfg.Job
 	ic.host.Send(pkt)
 	ic.cluster.Retransmits++
 }
@@ -394,7 +503,12 @@ func (ic *iswClient) CollectAggregate(p *sim.Proc) []float32 {
 				continue // stale re-broadcast from a completed round
 			}
 			pkt.Seg &= segMask
-			err := ic.asm.Add(pkt)
+			var err error
+			if pkt.Enc == protocol.CompInt32Block {
+				err = ic.addQuantized(pkt)
+			} else {
+				err = ic.asm.Add(pkt)
+			}
 			pkt.Release()
 			if err != nil {
 				continue
@@ -416,5 +530,28 @@ func (ic *iswClient) CollectAggregate(p *sim.Proc) []float32 {
 			pkt.Release()
 		}
 	}
+	if ic.codec != nil && ic.codec.Scheme() == protocol.CompInt32Block {
+		// Commit the grid exponents derived from this round's aggregate;
+		// every worker decoded identical (q, shift) pairs, so every
+		// worker advances to identical exponents.
+		ic.codec.Advance()
+	}
 	return append([]float32(nil), ic.asm.Vector()...)
+}
+
+// addQuantized decodes one quantized aggregate segment through the
+// codec and places it in the assembler. Re-decoding a re-served shadow
+// copy is idempotent.
+func (ic *iswClient) addQuantized(pkt *protocol.Packet) error {
+	lo, hi := protocol.SegmentRangeWith(ic.cluster.n, pkt.Seg, ic.cluster.cfg.perPacket())
+	if len(pkt.QData) != hi-lo {
+		return fmt.Errorf("core: quantized segment %d carries %d values, want %d",
+			pkt.Seg, len(pkt.QData), hi-lo)
+	}
+	if cap(ic.decBuf) < hi-lo {
+		ic.decBuf = make([]float32, ic.cluster.cfg.perPacket())
+	}
+	dst := ic.decBuf[:hi-lo]
+	ic.ensureCodec().DecodeQ(pkt.Seg, pkt.QData, pkt.Shift, dst)
+	return ic.asm.AddFloats(pkt.Seg, dst)
 }

@@ -6,6 +6,7 @@ import (
 	"iswitch/internal/perfmodel"
 	"iswitch/internal/protocol"
 	"iswitch/internal/sim"
+	"iswitch/internal/tensor/kernels"
 )
 
 // Parameter-server aggregation (Figure 1a): every worker ships its full
@@ -82,7 +83,16 @@ type PSCluster struct {
 	workers []*netsim.Host
 	n       int
 	cfg     PSConfig
+
+	// scheme is the job's gradient wire format. The PS path supports
+	// CompNone and CompFP16 (gradients and sync replies rounded through
+	// half precision and carried at 2 B/element; async weight pulls stay
+	// raw float32 so the authoritative weights never lose precision).
+	scheme protocol.Compression
 }
+
+// Compression returns the cluster's gradient wire scheme.
+func (c *PSCluster) Compression() protocol.Compression { return c.scheme }
 
 // PSServerAddr is the parameter server's address.
 func PSServerAddr() protocol.Addr { return protocol.AddrFrom(10, 0, 0, 10, 9990) }
@@ -132,10 +142,18 @@ func (c *PSCluster) startServer(k *sim.Kernel) {
 			// order; charge the vectorized add cost once per round.
 			p.Sleep(accel.SumLatency(c.n, len(round), c.cfg.SumRate))
 			// Reply to each worker of the round; the server NIC
-			// serializes these N vectors back-to-back.
+			// serializes these N vectors back-to-back. Under fp16 the
+			// reply is rounded through the wire precision once — every
+			// worker then applies identical values.
+			if c.scheme == protocol.CompFP16 {
+				kernels.F16RoundInPlace(sum)
+			}
 			for _, dst := range round {
 				p.Sleep(c.cfg.msgCost(c.n))
 				for _, pkt := range protocol.Segment(c.Server.Addr, dst, sum) {
+					if c.scheme == protocol.CompFP16 {
+						pkt.Enc = protocol.CompFP16
+					}
 					c.Server.Send(pkt)
 				}
 			}
@@ -152,6 +170,7 @@ type psClient struct {
 	cluster *PSCluster
 	host    *netsim.Host
 	asm     *protocol.Assembler
+	fpGrad  []float32 // fp16 rounding scratch
 }
 
 // Setup implements Service (the PS design has no handshake).
@@ -166,7 +185,16 @@ func (pc *psClient) H() int { return len(pc.cluster.workers) }
 // whole-vector allocation.
 func (pc *psClient) Aggregate(p *sim.Proc, grad []float32) []float32 {
 	p.Sleep(pc.cluster.cfg.WorkerBase)
+	fp16 := pc.cluster.scheme == protocol.CompFP16
+	if fp16 {
+		pc.fpGrad = append(pc.fpGrad[:0], grad...)
+		kernels.F16RoundInPlace(pc.fpGrad)
+		grad = pc.fpGrad
+	}
 	for _, pkt := range protocol.Segment(pc.host.Addr, pc.cluster.Server.Addr, grad) {
+		if fp16 {
+			pkt.Enc = protocol.CompFP16
+		}
 		pc.host.Send(pkt)
 	}
 	if pc.asm == nil {

@@ -1,0 +1,199 @@
+package experiments
+
+import (
+	"encoding/json"
+	"os"
+	"strings"
+	"testing"
+	"time"
+
+	"iswitch/internal/protocol"
+	"iswitch/internal/rl"
+)
+
+// TestRenderQuant pins the report layout without running the sweep.
+func TestRenderQuant(t *testing.T) {
+	d := QuantData{
+		Cells: []QuantCell{
+			{Scheme: "none", Workers: 16, Iterations: 8, MeanIter: 7190 * time.Microsecond,
+				AccessBytes: 1694_000_000, Speedup: 1.0, ByteRatio: 1.0},
+			{Scheme: "int32block", Workers: 16, Iterations: 8, MeanIter: 4630 * time.Microsecond,
+				AccessBytes: 876_000_000, Speedup: 1.55, ByteRatio: 1.93},
+		},
+		Ablation: []QuantAblationRow{
+			{Workload: "A2C", Scheme: "int32block", RelErr: 2.7e-4, UploadBytes: 19600, ParamDrift: 3.2e-3},
+		},
+	}
+	text := renderQuant(d).Text
+	for _, want := range []string{"int32block", "1.55x", "1.93x", "A2C", "fat-tree", "order-invariance"} {
+		if !strings.Contains(text, want) {
+			t.Fatalf("quant report missing %q:\n%s", want, text)
+		}
+	}
+}
+
+// TestQuantConvergenceGate is the tier-1 convergence regression gate:
+// every paper workload trained through every lossy scheme must stay
+// within fixed accuracy envelopes. fp16 and int32block are
+// near-lossless (the int32block grid adapts within the first rounds);
+// top-k is biased by design but must still carry a usable fraction of
+// the gradient (relative error strictly below 1.0 — the error of
+// sending nothing — with headroom). Bounds are generous multiples of
+// the observed values so the gate trips on regressions, not noise.
+func TestQuantConvergenceGate(t *testing.T) {
+	for _, name := range rl.Workloads() {
+		t.Run(name, func(t *testing.T) {
+			ref, _, _ := quantTrainRun(name, protocol.CompNone)
+			for _, tc := range []struct {
+				scheme           protocol.Compression
+				maxErr, maxDrift float64
+			}{
+				{protocol.CompFP16, 5e-3, 1e-2},
+				{protocol.CompInt32Block, 1e-2, 5e-2},
+				{protocol.CompTopK, 0.8, 0.5},
+			} {
+				params, relErr, _ := quantTrainRun(name, tc.scheme)
+				if relErr > tc.maxErr {
+					t.Errorf("%v: final-round aggregate error %.3e exceeds %.1e", tc.scheme, relErr, tc.maxErr)
+				}
+				var dN, rN float64
+				for i := range params {
+					d := float64(params[i] - ref[i])
+					dN += d * d
+					rN += float64(ref[i]) * float64(ref[i])
+				}
+				drift := dN
+				if rN > 0 {
+					drift = dN / rN
+				}
+				if drift > tc.maxDrift*tc.maxDrift { // compare squared norms
+					t.Errorf("%v: param drift %.3e exceeds %.1e", tc.scheme, drift, tc.maxDrift*tc.maxDrift)
+				}
+			}
+		})
+	}
+}
+
+// --- BENCH_quant.json --------------------------------------------------
+
+type quantCellJSON struct {
+	Scheme      string  `json:"scheme"`
+	Workers     int     `json:"workers"`
+	Iterations  int     `json:"iterations"`
+	TotalMs     float64 `json:"total_ms"`
+	MeanIterMs  float64 `json:"mean_iter_ms"`
+	AccessBytes uint64  `json:"access_bytes"`
+	Speedup     float64 `json:"speedup_vs_fp32"`
+	ByteRatio   float64 `json:"byte_ratio_vs_fp32"`
+}
+
+type quantAblJSON struct {
+	Workload    string  `json:"workload"`
+	Scheme      string  `json:"scheme"`
+	RelErr      float64 `json:"rel_err"`
+	UploadBytes uint64  `json:"upload_bytes"`
+	ParamDrift  float64 `json:"param_drift"`
+}
+
+type quantDoc struct {
+	ModelFloats int             `json:"model_floats"`
+	KAry        int             `json:"k_ary"`
+	HostsPer    int             `json:"hosts_per_edge"`
+	Cells       []quantCellJSON `json:"cells"`
+	Ablation    []quantAblJSON  `json:"ablation"`
+}
+
+func quantToDoc(d QuantData) quantDoc {
+	doc := quantDoc{ModelFloats: quantModelFloats, KAry: quantKAry, HostsPer: quantHostsPer}
+	for _, c := range d.Cells {
+		doc.Cells = append(doc.Cells, quantCellJSON{
+			Scheme: c.Scheme, Workers: c.Workers, Iterations: c.Iterations,
+			TotalMs: float64(c.Total) / 1e6, MeanIterMs: float64(c.MeanIter) / 1e6,
+			AccessBytes: c.AccessBytes, Speedup: c.Speedup, ByteRatio: c.ByteRatio,
+		})
+	}
+	for _, r := range d.Ablation {
+		doc.Ablation = append(doc.Ablation, quantAblJSON{
+			Workload: r.Workload, Scheme: r.Scheme, RelErr: r.RelErr,
+			UploadBytes: r.UploadBytes, ParamDrift: r.ParamDrift,
+		})
+	}
+	return doc
+}
+
+// TestWriteQuantJSON records the compression baseline to the file named
+// by BENCH_QUANT_JSON (skipped when unset, so a plain `go test ./...`
+// never writes files). CI uses:
+//
+//	BENCH_QUANT_JSON=BENCH_quant.json go test -run WriteQuantJSON ./internal/experiments
+func TestWriteQuantJSON(t *testing.T) {
+	out := os.Getenv("BENCH_QUANT_JSON")
+	if out == "" {
+		t.Skip("BENCH_QUANT_JSON not set")
+	}
+	data, err := json.MarshalIndent(quantToDoc(RunQuant()), "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(out, append(data, '\n'), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("wrote %s", out)
+}
+
+// TestQuantRegression is the CI compression gate: re-run the DES sweep
+// and hold the int32block cell to the acceptance floors — ≥1.5× round
+// speedup and ≥1.9× access-link byte cut over raw float32 — and every
+// cell to within 25% of the committed BENCH_quant.json baseline. The
+// sweep is virtual-time and fully deterministic, so drift only comes
+// from code changes. Gated on BENCH_QUANT_CHECK so the sweep runs once
+// in CI, not in every local `go test ./...`.
+func TestQuantRegression(t *testing.T) {
+	if os.Getenv("BENCH_QUANT_CHECK") == "" {
+		t.Skip("BENCH_QUANT_CHECK not set")
+	}
+	raw, err := os.ReadFile("../../BENCH_quant.json")
+	if err != nil {
+		t.Fatalf("missing committed baseline: %v", err)
+	}
+	var base quantDoc
+	if err := json.Unmarshal(raw, &base); err != nil {
+		t.Fatal(err)
+	}
+	baseBy := map[string]quantCellJSON{}
+	for _, c := range base.Cells {
+		baseBy[c.Scheme] = c
+	}
+
+	cur := quantToDoc(RunQuant())
+
+	var q16 *quantCellJSON
+	for i := range cur.Cells {
+		c := &cur.Cells[i]
+		if c.Scheme == protocol.CompInt32Block.String() {
+			q16 = c
+		}
+		b, ok := baseBy[c.Scheme]
+		if !ok {
+			t.Errorf("scheme %s missing from baseline", c.Scheme)
+			continue
+		}
+		if c.MeanIterMs > b.MeanIterMs*1.25 {
+			t.Errorf("%s: mean iter %.3f ms regressed over baseline %.3f ms",
+				c.Scheme, c.MeanIterMs, b.MeanIterMs)
+		}
+		if float64(c.AccessBytes) > float64(b.AccessBytes)*1.25 {
+			t.Errorf("%s: access bytes %d regressed over baseline %d",
+				c.Scheme, c.AccessBytes, b.AccessBytes)
+		}
+	}
+	if q16 == nil {
+		t.Fatal("int32block cell missing from sweep")
+	}
+	if q16.Speedup < 1.5 {
+		t.Errorf("int32block speedup %.2fx below the 1.5x acceptance floor", q16.Speedup)
+	}
+	if q16.ByteRatio < 1.9 {
+		t.Errorf("int32block byte ratio %.2fx below the 1.9x acceptance floor", q16.ByteRatio)
+	}
+}

@@ -35,6 +35,7 @@ func Specs(opts CurveOpts) []Spec {
 		{ID: "ablation-hierarchical", Title: "Hierarchical vs flat", Run: AblationHierarchical},
 		{ID: "ablation-mtu", Title: "Packet payload sweep", Run: AblationMTU},
 		{ID: "ablation-fp16", Title: "Half-precision wire format", Run: AblationFP16},
+		{ID: "quant", Title: "Quantized and sparse aggregation sweep", Run: Quant},
 	}
 }
 

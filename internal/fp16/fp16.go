@@ -5,129 +5,40 @@
 // exists to quantify that design choice: the fp16 ablation experiment
 // measures what halving the wire bytes would save in aggregation time
 // and what it would cost in gradient precision (see
-// experiments.AblationFP16).
+// experiments.AblationFP16), and the CompFP16 compression scheme uses
+// the same conversion on the live wire.
+//
+// The conversion and bulk pack/unpack loops live in tensor/kernels
+// (F16FromF32 and friends) so they share the backend dispatch table
+// with the quantization kernels; this package is the stable façade the
+// rest of the tree imports.
 package fp16
 
-import (
-	"encoding/binary"
-	"math"
-)
+import "iswitch/internal/tensor/kernels"
 
 // FromFloat32 converts a float32 to its nearest half-precision bit
 // pattern (round-to-nearest-even), handling subnormals, infinities and
 // NaN.
-func FromFloat32(f float32) uint16 {
-	bits := math.Float32bits(f)
-	sign := uint16(bits>>16) & 0x8000
-	exp := int32(bits>>23&0xff) - 127 + 15
-	mant := bits & 0x7fffff
-
-	switch {
-	case exp >= 0x1f: // overflow → inf; NaN preserved
-		if int32(bits>>23&0xff) == 0xff && mant != 0 {
-			return sign | 0x7e00 // quiet NaN
-		}
-		return sign | 0x7c00
-	case exp <= 0:
-		if exp < -10 {
-			return sign // underflow to zero
-		}
-		// Subnormal: shift mantissa (with implicit leading 1).
-		mant |= 0x800000
-		shift := uint32(14 - exp)
-		half := uint32(1) << (shift - 1)
-		rounded := (mant + half) >> shift
-		// Round-to-nearest-even on ties.
-		if mant&(half<<1-1) == half && rounded&1 == 1 {
-			rounded--
-		}
-		return sign | uint16(rounded)
-	default:
-		// Normal: round mantissa from 23 to 10 bits.
-		rounded := mant + 0xfff + (mant>>13)&1
-		if rounded&0x800000 != 0 {
-			rounded = 0
-			exp++
-			if exp >= 0x1f {
-				return sign | 0x7c00
-			}
-		}
-		return sign | uint16(exp)<<10 | uint16(rounded>>13)
-	}
-}
+func FromFloat32(f float32) uint16 { return kernels.F16FromF32(f) }
 
 // ToFloat32 expands a half-precision bit pattern to float32.
-func ToFloat32(h uint16) float32 {
-	sign := uint32(h&0x8000) << 16
-	exp := uint32(h >> 10 & 0x1f)
-	mant := uint32(h & 0x3ff)
-
-	switch {
-	case exp == 0x1f: // inf / NaN
-		return math.Float32frombits(sign | 0x7f800000 | mant<<13)
-	case exp == 0:
-		if mant == 0 {
-			return math.Float32frombits(sign)
-		}
-		// Subnormal: normalize.
-		e := uint32(127 - 15 + 1)
-		for mant&0x400 == 0 {
-			mant <<= 1
-			e--
-		}
-		mant &= 0x3ff
-		return math.Float32frombits(sign | e<<23 | mant<<13)
-	default:
-		return math.Float32frombits(sign | (exp-15+127)<<23 | mant<<13)
-	}
-}
+func ToFloat32(h uint16) float32 { return kernels.F16ToF32(h) }
 
 // AppendPack appends the packed half-precision encoding of src
 // (little-endian, 2 bytes per element) to dst and returns the extended
 // slice. With a pre-sized dst it allocates nothing, so hot paths can
 // reuse one buffer across rounds: buf = fp16.AppendPack(buf[:0], grads).
-// Four halves are assembled into one uint64 word per store.
 func AppendPack(dst []byte, src []float32) []byte {
-	need := 2 * len(src)
-	if cap(dst)-len(dst) < need {
-		grown := make([]byte, len(dst), len(dst)+need)
-		copy(grown, dst)
-		dst = grown
-	}
-	out := dst[len(dst) : len(dst)+need]
-	for len(src) >= 4 {
-		w := uint64(FromFloat32(src[0])) |
-			uint64(FromFloat32(src[1]))<<16 |
-			uint64(FromFloat32(src[2]))<<32 |
-			uint64(FromFloat32(src[3]))<<48
-		binary.LittleEndian.PutUint64(out, w)
-		src, out = src[4:], out[8:]
-	}
-	for i, f := range src {
-		binary.LittleEndian.PutUint16(out[2*i:], FromFloat32(f))
-	}
-	return dst[:len(dst)+need]
+	return kernels.F16AppendPack(dst, src)
 }
 
 // UnpackInto expands packed half-precision bytes into dst, which must
-// hold len(src)/2 elements. It allocates nothing; src is consumed four
-// halves (one uint64 load) at a time.
+// hold len(src)/2 elements. It allocates nothing.
 func UnpackInto(dst []float32, src []byte) {
-	n := len(src) / 2
-	if len(dst) != n {
+	if len(dst) != len(src)/2 {
 		panic("fp16: UnpackInto length mismatch")
 	}
-	for len(src) >= 8 {
-		w := binary.LittleEndian.Uint64(src)
-		dst[0] = ToFloat32(uint16(w))
-		dst[1] = ToFloat32(uint16(w >> 16))
-		dst[2] = ToFloat32(uint16(w >> 32))
-		dst[3] = ToFloat32(uint16(w >> 48))
-		dst, src = dst[4:], src[8:]
-	}
-	for i := range dst {
-		dst[i] = ToFloat32(binary.LittleEndian.Uint16(src[2*i:]))
-	}
+	kernels.F16UnpackInto(dst, src)
 }
 
 // Pack converts a float32 vector to packed half-precision bytes
@@ -145,18 +56,5 @@ func Unpack(src []byte) []float32 {
 }
 
 // QuantizeInPlace rounds every element of v through half precision —
-// what a worker would observe after an fp16 wire round trip. Four
-// elements per iteration; round-tripping is element-independent so the
-// results are unchanged.
-func QuantizeInPlace(v []float32) {
-	for len(v) >= 4 {
-		v[0] = ToFloat32(FromFloat32(v[0]))
-		v[1] = ToFloat32(FromFloat32(v[1]))
-		v[2] = ToFloat32(FromFloat32(v[2]))
-		v[3] = ToFloat32(FromFloat32(v[3]))
-		v = v[4:]
-	}
-	for i, f := range v {
-		v[i] = ToFloat32(FromFloat32(f))
-	}
-}
+// what a worker would observe after an fp16 wire round trip.
+func QuantizeInPlace(v []float32) { kernels.F16RoundInPlace(v) }

@@ -41,8 +41,8 @@ func (p *Packet) Release() {
 	if p == nil || !p.pooled {
 		return
 	}
-	dataBuf, valueBuf := p.dataBuf, p.valueBuf
-	*p = Packet{dataBuf: dataBuf, valueBuf: valueBuf}
+	dataBuf, valueBuf, qBuf, idxBuf := p.dataBuf, p.valueBuf, p.qBuf, p.idxBuf
+	*p = Packet{dataBuf: dataBuf, valueBuf: valueBuf, qBuf: qBuf, idxBuf: idxBuf}
 	packetPool.Put(p)
 }
 
@@ -66,6 +66,26 @@ func (p *Packet) SetValueCopy(value []byte) {
 	copy(p.Value, value)
 }
 
+// SetQDataCopy points p.QData at an owned copy of q, reusing p's
+// backing array when it is large enough.
+func (p *Packet) SetQDataCopy(q []int32) {
+	if cap(p.qBuf) < len(q) {
+		p.qBuf = make([]int32, len(q))
+	}
+	p.QData = p.qBuf[:len(q)]
+	copy(p.QData, q)
+}
+
+// SetIdxCopy points p.Idx at an owned copy of idx, reusing p's backing
+// array when it is large enough.
+func (p *Packet) SetIdxCopy(idx []uint16) {
+	if cap(p.idxBuf) < len(idx) {
+		p.idxBuf = make([]uint16, len(idx))
+	}
+	p.Idx = p.idxBuf[:len(idx)]
+	copy(p.Idx, idx)
+}
+
 // PooledClone returns a deep copy of p backed by the pool — same
 // semantics as Clone, but the copy is flyweight: whoever takes delivery
 // should Release it. The clone never aliases p's payload.
@@ -73,11 +93,18 @@ func (p *Packet) PooledClone() *Packet {
 	q := GetPacket()
 	q.Src, q.Dst, q.ToS, q.Job = p.Src, p.Dst, p.ToS, p.Job
 	q.Action, q.Seg = p.Action, p.Seg
+	q.Enc, q.Shift = p.Enc, p.Shift
 	if p.Value != nil {
 		q.SetValueCopy(p.Value)
 	}
 	if p.Data != nil {
 		q.SetDataCopy(p.Data)
+	}
+	if p.QData != nil {
+		q.SetQDataCopy(p.QData)
+	}
+	if p.Idx != nil {
+		q.SetIdxCopy(p.Idx)
 	}
 	return q
 }

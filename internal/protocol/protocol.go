@@ -151,12 +151,25 @@ type Packet struct {
 	Seg  uint64
 	Data []float32
 
+	// Compression fields (compress.go). Enc tags the data encoding
+	// (CompNone = raw float32 in Data). CompInt32Block packets carry
+	// quantized values in QData plus the emission-narrowing Shift;
+	// CompTopK packets carry sparse indices in Idx with their values in
+	// Data; CompFP16 packets keep rounded floats in Data but are charged
+	// 2 wire bytes per element.
+	Enc   Compression
+	Shift uint8
+	QData []int32
+	Idx   []uint16
+
 	// Pooling state (pool.go). pooled marks frames from GetPacket;
-	// dataBuf/valueBuf are owned backing arrays kept across Release so
-	// a recycled frame reuses its payload capacity.
+	// dataBuf/valueBuf/qBuf/idxBuf are owned backing arrays kept across
+	// Release so a recycled frame reuses its payload capacity.
 	pooled   bool
 	dataBuf  []float32
 	valueBuf []byte
+	qBuf     []int32
+	idxBuf   []uint16
 }
 
 // IsControl reports whether the packet is an iSwitch control packet.
@@ -170,14 +183,29 @@ func (p *Packet) IsISwitch() bool { return p.IsControl() || p.IsData() }
 
 // WireLen returns the packet's on-the-wire frame length in bytes,
 // including Ethernet, IP, and UDP headers. It is the quantity the
-// network simulator charges against link bandwidth.
+// network simulator charges against link bandwidth; for compressed
+// encodings it models the layout documented in compress.go even though
+// the in-memory payload stays wide.
 func (p *Packet) WireLen() int {
 	n := EthernetHeaderLen + IPv4HeaderLen + UDPHeaderLen
 	if p.IsControl() {
 		return n + 1 + len(p.Value)
 	}
 	if p.IsData() {
-		return n + SegFieldLen + 4*len(p.Data)
+		n += SegFieldLen
+		switch p.Enc {
+		case CompFP16:
+			return n + 2*len(p.Data)
+		case CompInt32Block:
+			return n + ShiftFieldLen + 2*len(p.QData)
+		case CompTopK:
+			// Always the sparse layout: dense top-k emissions travel as
+			// CompNone, so a CompTopK tag means a worker selection — and
+			// an empty selection is a legal (count-only) packet.
+			return n + CountFieldLen + SparseEntryLen*len(p.Idx)
+		default:
+			return n + 4*len(p.Data)
+		}
 	}
 	return n
 }
@@ -189,12 +217,18 @@ func (p *Packet) Clone() *Packet {
 	q := *p
 	// The clone is an independent unpooled packet: it must not inherit
 	// the original's pooled mark or alias its backing arrays.
-	q.pooled, q.dataBuf, q.valueBuf = false, nil, nil
+	q.pooled, q.dataBuf, q.valueBuf, q.qBuf, q.idxBuf = false, nil, nil, nil, nil
 	if p.Value != nil {
 		q.Value = append([]byte(nil), p.Value...)
 	}
 	if p.Data != nil {
 		q.Data = append([]float32(nil), p.Data...)
+	}
+	if p.QData != nil {
+		q.QData = append([]int32(nil), p.QData...)
+	}
+	if p.Idx != nil {
+		q.Idx = append([]uint16(nil), p.Idx...)
 	}
 	return &q
 }

@@ -109,6 +109,26 @@ func (a *Assembler) Add(p *Packet) error {
 	return nil
 }
 
+// AddFloats places an already-decoded payload at segment seg, the entry
+// point for compressed packets whose floats were reconstructed by a
+// codec rather than carried in Packet.Data. Same duplicate/range rules
+// as Add.
+func (a *Assembler) AddFloats(seg uint64, vals []float32) error {
+	if seg >= uint64(len(a.got)) {
+		return fmt.Errorf("protocol: segment %d out of range (have %d)", seg, len(a.got))
+	}
+	lo, hi := SegmentRangeWith(len(a.vec), seg, a.perPacket)
+	if len(vals) != hi-lo {
+		return fmt.Errorf("protocol: segment %d carries %d floats, want %d", seg, len(vals), hi-lo)
+	}
+	copy(a.vec[lo:hi], vals)
+	if !a.got[seg] {
+		a.got[seg] = true
+		a.remaining--
+	}
+	return nil
+}
+
 // Complete reports whether every segment has arrived.
 func (a *Assembler) Complete() bool { return a.remaining == 0 }
 

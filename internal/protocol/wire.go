@@ -120,6 +120,12 @@ func AppendPayload(dst []byte, p *Packet) ([]byte, error) {
 		dst = append(dst, byte(p.Action))
 		return append(dst, p.Value...), nil
 	case p.IsData():
+		if p.Enc != CompNone {
+			// Compressed encodings are simulator-only: the DES models
+			// their byte counts via WireLen but never serializes them,
+			// and the real-UDP transport negotiates CompNone.
+			return nil, fmt.Errorf("protocol: cannot marshal %v-encoded data packet", p.Enc)
+		}
 		if len(p.Data) > FloatsPerPacket {
 			return nil, fmt.Errorf("protocol: %d floats exceed packet capacity %d",
 				len(p.Data), FloatsPerPacket)

@@ -8,6 +8,7 @@ import (
 	"iswitch/internal/netsim"
 	"iswitch/internal/protocol"
 	"iswitch/internal/sim"
+	"iswitch/internal/tensor/kernels"
 )
 
 // ISwitch augments a netsim.Switch with the iSwitch control plane and
@@ -68,16 +69,17 @@ type ISwitch struct {
 	HelpServed uint64
 
 	// Stats
-	ControlIn       uint64
-	DataIn          uint64
-	Broadcasts      uint64
-	UpForwards      uint64
-	HelpRelayed     uint64 // Helps relayed to every other member (storm path)
-	HelpTargeted    uint64 // Helps relayed only to missing contributors
-	HelpUpForwards  uint64 // Helps escalated to the parent switch
-	Evicted         uint64 // workers removed by the liveness horizon
-	FailDrops       uint64 // iSwitch frames discarded by a failed switch
-	UnknownJobDrops uint64 // packets for unadmitted jobs discarded
+	ControlIn        uint64
+	DataIn           uint64
+	Broadcasts       uint64
+	UpForwards       uint64
+	HelpRelayed      uint64 // Helps relayed to every other member (storm path)
+	HelpTargeted     uint64 // Helps relayed only to missing contributors
+	HelpUpForwards   uint64 // Helps escalated to the parent switch
+	Evicted          uint64 // workers removed by the liveness horizon
+	FailDrops        uint64 // iSwitch frames discarded by a failed switch
+	UnknownJobDrops  uint64 // packets for unadmitted jobs discarded
+	EncMismatchDrops uint64 // contributions whose encoding defies the job's scheme
 }
 
 // jobCtx is one training job's slice of the switch: its accelerator
@@ -106,6 +108,14 @@ type jobCtx struct {
 	// aggregation path is dead and worker acks must be withheld so
 	// workers escalate to failover.
 	helpUpSince int
+
+	// scheme is the job's negotiated gradient compression, fixed at
+	// Join time (or pinned by the fabric builder on parent levels that
+	// never see a Join); every contribution is validated against it.
+	// modelFloats sizes the dense buffer that top-k sparse
+	// contributions scatter into.
+	scheme      protocol.Compression
+	modelFloats uint64
 }
 
 func newJobCtx(job protocol.JobID) *jobCtx {
@@ -293,6 +303,21 @@ func (is *ISwitch) LivenessHorizon() sim.Time { return is.horizon }
 // Shadow exposes the default job's shadow aggregation slots.
 func (is *ISwitch) Shadow() *accel.ShadowStore { return is.def.shadow }
 
+// SetCompression pins a job's negotiated compression scheme and model
+// length on this switch. The fabric builder calls it on every level:
+// parent switches never see a worker Join, yet must know how to
+// interpret and re-emit the partials their children forward. No-op if
+// the job is not admitted.
+func (is *ISwitch) SetCompression(job protocol.JobID, scheme protocol.Compression, modelFloats uint64) {
+	if ctx := is.ctx(job); ctx != nil {
+		ctx.scheme = scheme
+		ctx.modelFloats = modelFloats
+	}
+}
+
+// Compression returns the default job's negotiated scheme.
+func (is *ISwitch) Compression() protocol.Compression { return is.def.scheme }
+
 // tap is the data-plane intercept. It runs in kernel context after the
 // switch's forwarding-pipeline delay.
 func (is *ISwitch) tap(pkt *protocol.Packet, in *netsim.Port) bool {
@@ -342,7 +367,7 @@ func (is *ISwitch) handleControl(pkt *protocol.Packet) {
 	is.touch(ctx, pkt.Src)
 	switch pkt.Action {
 	case protocol.ActionJoin:
-		floats, err := protocol.ParseJoin(pkt.Value)
+		floats, scheme, err := protocol.ParseJoinScheme(pkt.Value)
 		if err != nil {
 			is.ack(pkt.Src, pkt.Job, false)
 			return
@@ -351,6 +376,15 @@ func (is *ISwitch) handleControl(pkt *protocol.Packet) {
 		// in place (Membership.Join), so the member count — and with it
 		// the automatic threshold H — must not move.
 		ctx.mem.Join(pkt.Src, MemberWorker, 0, floats)
+		// Only a scheme-carrying Join (9 bytes) renegotiates the job's
+		// compression: a legacy 8-byte Join must not reset a scheme the
+		// fabric builder already pinned.
+		if len(pkt.Value) == 9 {
+			ctx.scheme = scheme
+		}
+		if floats > 0 {
+			ctx.modelFloats = floats
+		}
 		is.refreshAutoH(ctx)
 		is.ack(pkt.Src, pkt.Job, true)
 	case protocol.ActionLeave:
@@ -421,13 +455,7 @@ func (is *ISwitch) handleHelp(ctx *jobCtx, pkt *protocol.Packet) {
 		is.ack(pkt.Src, pkt.Job, false)
 		return
 	}
-	if sum, ok := ctx.shadow.Get(seg); ok {
-		is.HelpServed++
-		// The response owns a pooled copy: the shadow slot's storage is
-		// reused on the next emission, possibly before delivery.
-		resp := &protocol.Packet{Src: is.addr, Dst: pkt.Src,
-			ToS: protocol.ToSData, Job: ctx.job, Seg: seg, Data: sum}
-		is.unicast(resp.PooledClone())
+	if is.serveFromShadow(ctx, seg, pkt.Src) {
 		return
 	}
 	if !ctx.acc.Dedup() {
@@ -469,6 +497,38 @@ func (is *ISwitch) handleHelp(ctx *jobCtx, pkt *protocol.Packet) {
 		is.unicast(relay)
 	}
 	is.maybeAckHelp(ctx, pkt.Src, false)
+}
+
+// serveFromShadow answers a Help from the segment's shadow slot, in the
+// job's emission representation: quantized jobs re-serve the narrowed
+// (q, shift) pair bit-identically, fp16 jobs re-serve the rounded floats
+// tagged with their half-width encoding, everything else the raw
+// aggregate. The response owns a pooled copy: the shadow slot's storage
+// is reused on the next emission, possibly before delivery.
+func (is *ISwitch) serveFromShadow(ctx *jobCtx, seg uint64, req protocol.Addr) bool {
+	if ctx.scheme == protocol.CompInt32Block {
+		q, shift, ok := ctx.shadow.GetQ(seg)
+		if !ok {
+			return false
+		}
+		is.HelpServed++
+		resp := &protocol.Packet{Src: is.addr, Dst: req, ToS: protocol.ToSData,
+			Job: ctx.job, Seg: seg, Enc: protocol.CompInt32Block, Shift: shift, QData: q}
+		is.unicast(resp.PooledClone())
+		return true
+	}
+	sum, ok := ctx.shadow.Get(seg)
+	if !ok {
+		return false
+	}
+	is.HelpServed++
+	resp := &protocol.Packet{Src: is.addr, Dst: req,
+		ToS: protocol.ToSData, Job: ctx.job, Seg: seg, Data: sum}
+	if ctx.scheme == protocol.CompFP16 {
+		resp.Enc = protocol.CompFP16
+	}
+	is.unicast(resp.PooledClone())
+	return true
 }
 
 // relayToMissing forwards a Help only to the members whose contribution
@@ -559,19 +619,56 @@ func (is *ISwitch) touch(ctx *jobCtx, src protocol.Addr) {
 // emitDrained emits every segment whose counter satisfies the (possibly
 // just lowered) threshold H — shared by Leave and liveness eviction.
 func (is *ISwitch) emitDrained(ctx *jobCtx) {
+	if ctx.scheme == protocol.CompInt32Block {
+		segs, sums, shifts := ctx.acc.DrainSatisfiedQ()
+		for i, seg := range segs {
+			is.emitQ(ctx, seg, sums[i], shifts[i])
+		}
+		return
+	}
 	segs, sums := ctx.acc.DrainSatisfied()
 	for i, seg := range segs {
-		out := &protocol.Packet{Src: is.addr, ToS: protocol.ToSData,
-			Job: ctx.job, Seg: seg, Data: sums[i]}
-		if is.hasParent {
-			out.Dst = is.parent
-			is.UpForwards++
-			is.uplink.Send(out) // the packet retains the buffer
-		} else {
-			is.broadcast(ctx, out) // broadcast copies per child: buffer is free
-			ctx.acc.Recycle(sums[i])
-		}
+		is.emitFloat(ctx, seg, sums[i])
 	}
+}
+
+// emitFloat sends one completed float-datapath aggregate toward the
+// parent (retaining the buffer in the packet) or broadcasts it to the
+// children and recycles the buffer. An fp16 job's emission is rounded
+// through half precision first — that is the representation the workers
+// will apply, and tagging the packet halves its modeled wire bytes.
+// Top-k aggregates emit dense (CompNone layout), matching the scheme's
+// wire contract.
+func (is *ISwitch) emitFloat(ctx *jobCtx, seg uint64, sum []float32) {
+	out := &protocol.Packet{Src: is.addr, ToS: protocol.ToSData,
+		Job: ctx.job, Seg: seg, Data: sum}
+	if ctx.scheme == protocol.CompFP16 {
+		kernels.F16RoundInPlace(sum)
+		out.Enc = protocol.CompFP16
+	}
+	if is.hasParent {
+		out.Dst = is.parent
+		is.UpForwards++
+		is.uplink.Send(out) // the packet retains the buffer
+		return
+	}
+	is.broadcast(ctx, out) // broadcast copies per child: buffer is free
+	ctx.acc.Recycle(sum)
+}
+
+// emitQ is emitFloat for the quantized integer datapath: the payload is
+// the narrowed int32 sum plus its re-widening shift.
+func (is *ISwitch) emitQ(ctx *jobCtx, seg uint64, q []int32, shift uint8) {
+	out := &protocol.Packet{Src: is.addr, ToS: protocol.ToSData, Job: ctx.job,
+		Seg: seg, Enc: protocol.CompInt32Block, Shift: shift, QData: q}
+	if is.hasParent {
+		out.Dst = is.parent
+		is.UpForwards++
+		is.uplink.Send(out) // the packet retains the buffer
+		return
+	}
+	is.broadcast(ctx, out)
+	ctx.acc.RecycleQ(q)
 }
 
 // refreshAutoH keeps H equal to the number of children while in
@@ -645,6 +742,15 @@ func (is *ISwitch) handleData(pkt *protocol.Packet, in *netsim.Port) {
 		return
 	}
 	is.touch(ctx, pkt.Src)
+	// Validate the contribution's encoding against the job's negotiated
+	// scheme before it can touch a segment buffer: a packet framed under
+	// the wrong scheme would corrupt the sum, so the switch trusts the
+	// Join-time contract, never the packet.
+	if !encOK(ctx.scheme, pkt) {
+		is.EncMismatchDrops++
+		pkt.Release()
+		return
+	}
 	// Otherwise it is an upstream contribution: run it through the
 	// job's accelerator (keyed by source for the optional dedup
 	// bitmap), charging the datapath latency before any output. With a
@@ -656,8 +762,30 @@ func (is *ISwitch) handleData(pkt *protocol.Packet, in *netsim.Port) {
 	if ctx.acc.Dedup() {
 		contributor = pkt.Src.String()
 	}
-	sum, done, lat := ctx.acc.IngestFrom(pkt.Seg, contributor, pkt.Data)
 	seg := pkt.Seg
+	var (
+		sum    []float32
+		qsum   []int32
+		oshift uint8
+		done   bool
+		lat    time.Duration
+	)
+	switch {
+	case ctx.scheme == protocol.CompInt32Block:
+		// Saturating int32 adders; child partials re-widened by their
+		// narrowing shift onto the base grid.
+		qsum, oshift, done, lat = ctx.acc.IngestQFrom(seg, contributor, pkt.QData, pkt.Shift)
+	case pkt.Enc == protocol.CompTopK:
+		// Sparse worker selection: scatter-add into the dense slot,
+		// sized by the segment's span of the model vector.
+		lo, hi := protocol.SegmentRange(int(ctx.modelFloats), protocol.SegIndex(seg))
+		sum, done, lat = ctx.acc.IngestSparseFrom(seg, contributor, pkt.Idx, pkt.Data, hi-lo)
+	case pkt.Enc == protocol.CompFP16:
+		// Float adders on half-width wire payloads.
+		sum, done, lat = ctx.acc.IngestFromBytes(seg, contributor, pkt.Data, 2*len(pkt.Data))
+	default:
+		sum, done, lat = ctx.acc.IngestFrom(seg, contributor, pkt.Data)
+	}
 	// The accelerator summed the payload into its own segment buffer;
 	// the contribution frame is spent.
 	pkt.Release()
@@ -668,20 +796,23 @@ func (is *ISwitch) handleData(pkt *protocol.Packet, in *netsim.Port) {
 		return
 	}
 	is.sw.Kernel().After(lat, func() {
-		out := &protocol.Packet{Src: is.addr, ToS: protocol.ToSData,
-			Job: ctx.job, Seg: seg, Data: sum}
-		if is.hasParent {
-			is.UpForwards++
-			out.Dst = is.parent
-			is.uplink.Send(out) // the packet retains the buffer
+		if qsum != nil {
+			is.emitQ(ctx, seg, qsum, oshift)
 			return
 		}
-		// broadcast clones the payload per child and the emission cache
-		// keeps its own copy, so the aggregate buffer can go back to the
-		// accelerator's pool.
-		is.broadcast(ctx, out)
-		ctx.acc.Recycle(sum)
+		is.emitFloat(ctx, seg, sum)
 	})
+}
+
+// encOK validates a contribution's encoding against the job's scheme.
+// Top-k jobs legitimately carry two layouts: sparse worker selections
+// (CompTopK; an empty selection is a legal count-only packet) and dense
+// partials forwarded by child switches (CompNone).
+func encOK(scheme protocol.Compression, pkt *protocol.Packet) bool {
+	if scheme == protocol.CompTopK {
+		return pkt.Enc == protocol.CompTopK || pkt.Enc == protocol.CompNone
+	}
+	return pkt.Enc == scheme
 }
 
 // broadcast replicates a data packet to every member of the job
@@ -691,7 +822,11 @@ func (is *ISwitch) handleData(pkt *protocol.Packet, in *netsim.Port) {
 // shadow slot on the way out, ready to re-serve lost copies.
 func (is *ISwitch) broadcast(ctx *jobCtx, pkt *protocol.Packet) {
 	is.Broadcasts++
-	ctx.shadow.Put(pkt.Seg, pkt.Data)
+	if pkt.QData != nil {
+		ctx.shadow.PutQ(pkt.Seg, pkt.QData, pkt.Shift)
+	} else {
+		ctx.shadow.Put(pkt.Seg, pkt.Data)
+	}
 	for _, m := range ctx.mem.Members() {
 		// Pooled flyweight copies: each receiver releases its own on
 		// delivery, so a W-member fan-out recycles W frames per segment
@@ -725,19 +860,19 @@ func (is *ISwitch) FlushAndBroadcast(seg uint64) bool {
 }
 
 func (is *ISwitch) flushAndBroadcast(ctx *jobCtx, seg uint64) bool {
+	if ctx.scheme == protocol.CompInt32Block {
+		q, shift, _, ok := ctx.acc.FlushQ(seg)
+		if !ok {
+			return false
+		}
+		is.emitQ(ctx, seg, q, shift)
+		return true
+	}
 	sum, _, ok := ctx.acc.Flush(seg)
 	if !ok {
 		return false
 	}
-	out := &protocol.Packet{Src: is.addr, ToS: protocol.ToSData,
-		Job: ctx.job, Seg: seg, Data: sum}
-	if is.hasParent {
-		out.Dst = is.parent
-		is.uplink.Send(out) // the packet retains the buffer
-		return true
-	}
-	is.broadcast(ctx, out)
-	ctx.acc.Recycle(sum)
+	is.emitFloat(ctx, seg, sum)
 	return true
 }
 

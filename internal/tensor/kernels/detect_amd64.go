@@ -54,6 +54,10 @@ func archInit() *funcs {
 		fill:        fillAVX2,
 		sgdMomentum: sgdMomentumAVX2,
 		adamStep:    adamStepAVX2,
+		maxAbsBits:  maxAbsBitsAVX2,
+		quantize:    quantizeAVX2,
+		dequantize:  dequantizeAVX2,
+		addSatI32:   addSatI32AVX2,
 	}
 	if fma {
 		f.dot = dotAVX2

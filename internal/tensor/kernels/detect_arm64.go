@@ -14,12 +14,13 @@ package kernels
 // contract is defined against.
 func archInit() *funcs {
 	return &funcs{
-		name:  "neon",
-		add:   addNEON,
-		sub:   subNEON,
-		axpy:  axpyNEON,
-		scale: scaleNEON,
-		fill:  fillNEON,
-		dot:   dotNEON,
+		name:       "neon",
+		add:        addNEON,
+		sub:        subNEON,
+		axpy:       axpyNEON,
+		scale:      scaleNEON,
+		fill:       fillNEON,
+		dot:        dotNEON,
+		maxAbsBits: maxAbsBitsNEON,
 	}
 }

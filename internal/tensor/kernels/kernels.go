@@ -60,6 +60,22 @@ type funcs struct {
 	// Fused optimizer steps: bit-identical to scalar.
 	sgdMomentum func(p, vel, g []float32, lr, mom float32)
 	adamStep    func(p, m, v, g []float32, b1, b2, ob1, ob2, b1c, b2c, lr, eps float32)
+
+	// Quantized-aggregation kernels (quant.go): bit-identical to scalar.
+	// maxAbsBits is an unsigned max over sign-cleared IEEE bit patterns
+	// (exact for every input including NaN), quantize/dequantize perform
+	// identical per-element multiply+convert sequences, and addSatI32 is
+	// a pure integer function — so all four stay bit-exact across
+	// backends by construction.
+	maxAbsBits func(v []float32) uint32
+	quantize   func(dst []int32, src []float32, scale float32)
+	dequantize func(dst []float32, src []int32, scale float32)
+	addSatI32  func(dst, src []int32)
+
+	// Half-precision wire conversion (f16.go): bit-identical to scalar.
+	f16Pack   func(dst []byte, src []float32)
+	f16Unpack func(dst []float32, src []byte)
+	f16Round  func(v []float32)
 }
 
 var scalarFuncs = funcs{
@@ -73,6 +89,13 @@ var scalarFuncs = funcs{
 	sumSquares:  sumSquaresScalar,
 	sgdMomentum: sgdMomentumScalar,
 	adamStep:    adamStepScalar,
+	maxAbsBits:  maxAbsBitsScalar,
+	quantize:    quantizeScalar,
+	dequantize:  dequantizeScalar,
+	addSatI32:   addSatI32Scalar,
+	f16Pack:     f16PackScalar,
+	f16Unpack:   f16UnpackScalar,
+	f16Round:    f16RoundScalar,
 }
 
 // simdFuncs is the architecture-specific table registered by
@@ -126,6 +149,27 @@ func backfill(f *funcs) {
 	}
 	if f.adamStep == nil {
 		f.adamStep = adamStepScalar
+	}
+	if f.maxAbsBits == nil {
+		f.maxAbsBits = maxAbsBitsScalar
+	}
+	if f.quantize == nil {
+		f.quantize = quantizeScalar
+	}
+	if f.dequantize == nil {
+		f.dequantize = dequantizeScalar
+	}
+	if f.addSatI32 == nil {
+		f.addSatI32 = addSatI32Scalar
+	}
+	if f.f16Pack == nil {
+		f.f16Pack = f16PackScalar
+	}
+	if f.f16Unpack == nil {
+		f.f16Unpack = f16UnpackScalar
+	}
+	if f.f16Round == nil {
+		f.f16Round = f16RoundScalar
 	}
 }
 

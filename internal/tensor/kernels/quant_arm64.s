@@ -1,0 +1,31 @@
+//go:build arm64 && !noasm
+
+#include "textflag.h"
+
+// func maxAbsBlocks8NEON(v *float32, n int, part *[8]uint32)
+//
+// part[j] = unsigned max over the j-th lane of bits(v[i]) &^ signbit.
+// Pure integer dataflow (VAND + VUMAX on the raw IEEE bit patterns):
+// unsigned bit-pattern order is exact magnitude order once the sign is
+// cleared, NaNs included, so the result matches the scalar oracle
+// bit-for-bit and is independent of the lane split (max is order-free).
+// n is a positive multiple of 8; the Go wrapper peels the tail and
+// reduces the 8 partial lanes.
+TEXT ·maxAbsBlocks8NEON(SB), NOSPLIT, $0-24
+	MOVD v+0(FP), R0
+	MOVD n+8(FP), R1
+	MOVD part+16(FP), R2
+	MOVD $0x7FFFFFFF, R3
+	VMOV R3, V30.S4
+	VEOR V16.B16, V16.B16, V16.B16
+	VEOR V17.B16, V17.B16, V17.B16
+maxabsloop:
+	VLD1.P 32(R0), [V0.S4, V1.S4]
+	VAND   V30.B16, V0.B16, V0.B16
+	VAND   V30.B16, V1.B16, V1.B16
+	VUMAX  V0.S4, V16.S4, V16.S4
+	VUMAX  V1.S4, V17.S4, V17.S4
+	SUBS   $8, R1, R1
+	BNE    maxabsloop
+	VST1   [V16.S4, V17.S4], (R2)
+	RET
