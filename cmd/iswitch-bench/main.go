@@ -91,6 +91,7 @@ func main() {
 		simcore = flag.Bool("simcore", false, "benchmark the event scheduler (calendar vs heap) and exit")
 		lossy   = flag.Bool("lossy", false, "run the reliability (loss/crash/failover) sweep and exit")
 		quant   = flag.Bool("quant", false, "run the quantized/sparse compression sweep and exit")
+		fair    = flag.Bool("fair", false, "run the adversarial-tenant fairness isolation cells and exit")
 		workers = flag.Int("parallel", runtime.GOMAXPROCS(0), "max concurrent simulation workers (<1: GOMAXPROCS)")
 	)
 	flag.Parse()
@@ -114,6 +115,11 @@ func main() {
 	if *quant {
 		// Also registered as -exp quant.
 		fmt.Println(experiments.Quant().String())
+		return
+	}
+	if *fair {
+		// Also registered as -exp fair.
+		fmt.Println(experiments.Fairness().String())
 		return
 	}
 	// Every results run records which gradient datapath produced it.

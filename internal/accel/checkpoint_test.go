@@ -1,0 +1,150 @@
+package accel
+
+import (
+	"math"
+	"reflect"
+	"testing"
+
+	"iswitch/internal/protocol"
+)
+
+func TestAccSnapshotRoundTrip(t *testing.T) {
+	a := New(DefaultConfig())
+	if err := a.SetThreshold(3); err != nil {
+		t.Fatal(err)
+	}
+	a.SetDedup(true)
+	// Two partial float segments with contributor bitmaps, awkward
+	// float values included (negative zero, subnormal, huge).
+	a.IngestFrom(0, "w0", []float32{1, float32(math.Copysign(0, -1)), 3})
+	a.IngestFrom(0, "w1", []float32{0.5, 1e-42, -7})
+	a.IngestFrom(7, "w2", []float32{1e30, -2, 0})
+
+	snap := a.Snapshot()
+	if len(snap.Segs) != 2 {
+		t.Fatalf("snapshot has %d segs, want 2", len(snap.Segs))
+	}
+
+	// Binary round trip is exact.
+	b, err := snap.MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back AccSnapshot
+	if err := back.UnmarshalBinary(b); err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(snap, &back) {
+		t.Fatalf("binary round trip diverged:\n got %+v\nwant %+v", &back, snap)
+	}
+
+	// Restore into a fresh accelerator reproduces the exact state:
+	// the same snapshot again, and identical completion behaviour.
+	fresh := New(DefaultConfig())
+	fresh.Restore(snap)
+	if !reflect.DeepEqual(fresh.Snapshot(), snap) {
+		t.Fatal("restored accelerator snapshots differently")
+	}
+	if got := fresh.CountOf(0); got != 2 {
+		t.Fatalf("restored seg 0 count = %d, want 2", got)
+	}
+	if got := fresh.SeenBy(0); !reflect.DeepEqual(got, []string{"w0", "w1"}) {
+		t.Fatalf("restored seg 0 contributors = %v", got)
+	}
+	// Dedup survives: w0 retransmitting is still ignored.
+	if _, done, _ := fresh.IngestFrom(0, "w0", []float32{9, 9, 9}); done {
+		t.Fatal("duplicate contribution completed the segment after restore")
+	}
+	sum, done, _ := fresh.IngestFrom(0, "w3", []float32{1, 1, 1})
+	if !done {
+		t.Fatal("third distinct contribution should complete seg 0")
+	}
+	want0 := []float32{1 + 0.5 + 1, float32(math.Copysign(0, -1)) + 1e-42 + 1, 3 + -7 + 1}
+	if !reflect.DeepEqual(sum, want0) {
+		t.Fatalf("restored sum = %v, want %v", sum, want0)
+	}
+}
+
+func TestAccSnapshotQuantRoundTrip(t *testing.T) {
+	a := New(DefaultConfig())
+	if err := a.SetThreshold(2); err != nil {
+		t.Fatal(err)
+	}
+	a.SetDedup(true)
+	a.IngestQFrom(protocol.TagSeg(3, 1), "w0", []int32{100, -200, 3000}, 2)
+
+	snap := a.Snapshot()
+	b, err := snap.MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back AccSnapshot
+	if err := back.UnmarshalBinary(b); err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(snap, &back) {
+		t.Fatal("quant binary round trip diverged")
+	}
+
+	fresh := New(DefaultConfig())
+	fresh.Restore(snap)
+	// Completing the segment on the restored accelerator matches
+	// completing it on the original.
+	sumA, shiftA, doneA, _ := a.IngestQFrom(protocol.TagSeg(3, 1), "w1", []int32{1, 2, 3}, 0)
+	sumB, shiftB, doneB, _ := fresh.IngestQFrom(protocol.TagSeg(3, 1), "w1", []int32{1, 2, 3}, 0)
+	if !doneA || !doneB {
+		t.Fatal("second contribution should complete the quant segment")
+	}
+	if shiftA != shiftB || !reflect.DeepEqual(sumA, sumB) {
+		t.Fatalf("restored quant sum diverged: %v<<%d vs %v<<%d", sumB, shiftB, sumA, shiftA)
+	}
+}
+
+func TestShadowSnapshotRoundTrip(t *testing.T) {
+	s := NewShadowStore()
+	s.Put(protocol.TagSeg(4, 0), []float32{1.5, float32(math.Copysign(0, -1)), -3})
+	s.PutQ(protocol.TagSeg(4, 1), []int32{7, -8, 9}, 3)
+
+	snap := s.Snapshot()
+	if len(snap.Slots) != 2 {
+		t.Fatalf("snapshot has %d slots, want 2", len(snap.Slots))
+	}
+	b, err := snap.MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back ShadowSnapshot
+	if err := back.UnmarshalBinary(b); err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(snap, &back) {
+		t.Fatal("shadow binary round trip diverged")
+	}
+
+	fresh := NewShadowStore()
+	fresh.Restore(snap)
+	if got, ok := fresh.Get(protocol.TagSeg(4, 0)); !ok || !reflect.DeepEqual(got, []float32{1.5, float32(math.Copysign(0, -1)), -3}) {
+		t.Fatalf("restored float slot = %v ok=%v", got, ok)
+	}
+	if q, shift, ok := fresh.GetQ(protocol.TagSeg(4, 1)); !ok || shift != 3 || !reflect.DeepEqual(q, []int32{7, -8, 9}) {
+		t.Fatalf("restored quant slot = %v<<%d ok=%v", q, shift, ok)
+	}
+	// Round-tag mismatch still misses after restore.
+	if _, ok := fresh.Get(protocol.TagSeg(5, 0)); ok {
+		t.Fatal("stale round served from restored shadow")
+	}
+}
+
+func TestSnapshotDecodeErrors(t *testing.T) {
+	var acc AccSnapshot
+	if err := acc.UnmarshalBinary(nil); err == nil {
+		t.Fatal("empty AccSnapshot decoded without error")
+	}
+	if err := acc.UnmarshalBinary([]byte{99}); err == nil {
+		t.Fatal("bad version decoded without error")
+	}
+	var sh ShadowSnapshot
+	if err := sh.UnmarshalBinary([]byte{shadowSnapVersion, 1, 0, 0, 0}); err == nil {
+		t.Fatal("truncated ShadowSnapshot decoded without error")
+	}
+}

@@ -254,11 +254,21 @@ func (ic *iswClient) Setup(p *sim.Proc) {
 			pkt = ic.host.Recv(p)
 		}
 		if pkt.IsControl() && pkt.Action == protocol.ActionAck {
-			if len(pkt.Value) != 1 || pkt.Value[0] != 1 {
-				panic(fmt.Sprintf("core: worker %v join rejected", ic.host.Addr))
-			}
+			admitted := len(pkt.Value) == 1 && pkt.Value[0] == 1
 			pkt.Release()
-			return
+			if admitted {
+				return
+			}
+			if to := ic.cluster.cfg.RecoveryTimeout; to > 0 {
+				// An explicit refusal with recovery armed means the job's
+				// switch context is gone right now (preempted or not yet
+				// restored after a failure). Back off and re-Join: the
+				// scheduler restores the context when SRAM frees up.
+				p.Sleep(to)
+				join()
+				continue
+			}
+			panic(fmt.Sprintf("core: worker %v join rejected", ic.host.Addr))
 		}
 		// Anything else (e.g. an early data broadcast from a previous
 		// tenant of this address) is dropped; recycle pooled frames.

@@ -36,6 +36,7 @@ func Specs(opts CurveOpts) []Spec {
 		{ID: "ablation-mtu", Title: "Packet payload sweep", Run: AblationMTU},
 		{ID: "ablation-fp16", Title: "Half-precision wire format", Run: AblationFP16},
 		{ID: "quant", Title: "Quantized and sparse aggregation sweep", Run: Quant},
+		{ID: "fair", Title: "Adversarial-tenant fairness isolation", Run: Fairness},
 	}
 }
 

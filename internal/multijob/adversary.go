@@ -1,0 +1,83 @@
+package multijob
+
+import (
+	"fmt"
+	"time"
+
+	"iswitch/internal/protocol"
+	"iswitch/internal/sim"
+)
+
+// The adversarial agent: a tenant that joins the fabric legitimately
+// and then tries to hurt its neighbors — an open-loop, line-rate flood
+// of tagged gradient traffic that completes aggregation rounds as fast
+// as the switches will take them, saturating shared uplinks with
+// partial-aggregate forwards and broadcast storms. SRAM it cannot
+// steal (admission reserved its context up front and rejects demands
+// above capacity), so bandwidth is its weapon; the isolation
+// experiment shows egress shaping caps it at its weight's share.
+
+// AdversaryPlan turns a JobSpec into an adversarial tenant.
+type AdversaryPlan struct {
+	// Duration bounds the flood, measured from the job's admission.
+	Duration time.Duration
+}
+
+// startAdversary spawns one open-loop flooder per host. Each worker
+// joins through the normal control plane, then blasts full-size data
+// packets round after round, paced only by its own NIC, draining (and
+// discarding) every broadcast the switch returns.
+func (s *scheduler) startAdversary(jr *jobRun) {
+	plan := jr.spec.Adversary
+	segs := uint64(protocol.SegmentCountWith(jr.spec.floats(), protocol.FloatsPerPacket))
+	if segs == 0 {
+		segs = 1
+	}
+	remaining := len(jr.hosts)
+	for i := range jr.hosts {
+		h, target := jr.hosts[i], jr.targets[i]
+		s.f.K.Spawn(fmt.Sprintf("adversary-%d-%d", jr.id, i), func(p *sim.Proc) {
+			// Join and wait for the ack like any honest worker.
+			join := protocol.NewControl(h.Addr, target, protocol.ActionJoin,
+				protocol.JoinValue(uint64(len(jr.hosts))))
+			join.Job = jr.id
+			h.Send(join)
+			for {
+				rx := h.Recv(p)
+				acked := rx.IsControl() && rx.Action == protocol.ActionAck
+				rx.Release()
+				if acked {
+					break
+				}
+			}
+
+			payload := make([]float32, protocol.FloatsPerPacket)
+			for j := range payload {
+				payload[j] = 1
+			}
+			nic := h.Port().Config()
+			deadline := p.Now() + plan.Duration
+			for round := uint64(1); p.Now() < deadline; round++ {
+				for seg := uint64(0); seg < segs && p.Now() < deadline; seg++ {
+					pkt := protocol.NewData(h.Addr, target, protocol.TagSeg(round, seg), payload)
+					pkt.Job = jr.id
+					wire := pkt.WireLen()
+					h.Send(pkt)
+					// Open loop: pace at the NIC's line rate, never wait
+					// for the aggregate. Drop whatever came back.
+					p.Sleep(nic.SerializationTime(wire))
+					for {
+						rx, ok := h.RX.TryRecv()
+						if !ok {
+							break
+						}
+						rx.Release()
+					}
+				}
+			}
+			if remaining--; remaining == 0 {
+				s.finish(jr)
+			}
+		})
+	}
+}

@@ -8,6 +8,7 @@ import (
 	"testing"
 	"time"
 
+	"iswitch/internal/netsim"
 	"iswitch/internal/perfmodel"
 	"iswitch/internal/sim"
 )
@@ -44,6 +45,56 @@ func runBenchSweep(tb testing.TB, j int) Summary {
 	return Summarize(res)
 }
 
+// benchAdversarialSummary runs the adversarial fairness scenario the
+// regression gate and the bench JSON both record: two racks of four on
+// oversubscribed uplinks, three weighted wire-bound tenants, and an
+// open-loop flood adversary sharing a rack with one of them, under
+// weighted-fair admission with egress policing armed.
+func benchAdversarialSummary(tb testing.TB) Summary {
+	tb.Helper()
+	wl := perfmodel.Workload{
+		Name:         "wire",
+		LocalCompute: 100 * time.Microsecond,
+		WeightUpdate: 20 * time.Microsecond,
+	}
+	k := sim.NewKernel()
+	uplink := netsim.TenGbE()
+	uplink.BitsPerSecond = 2.5e9
+	f := NewTreeFabric(k, 8, 4, netsim.TenGbE(), uplink,
+		FabricConfig{Admission: WeightedFair(0)})
+	specs := make([]JobSpec, 0, 4)
+	for _, name := range []string{"a", "b", "c"} {
+		specs = append(specs, JobSpec{
+			Name: name, Workload: wl, Workers: 2, Mode: ModeSync,
+			Iterations: 12, ModelFloats: 20000, Weight: 1,
+		})
+	}
+	specs = append(specs, JobSpec{
+		Name: "adv", Workload: wl, Workers: 2, ModelFloats: 20000, Weight: 1,
+		Adversary: &AdversaryPlan{Duration: 10 * time.Millisecond},
+	})
+	res, err := Run(f, specs)
+	if err != nil {
+		tb.Fatal(err)
+	}
+	return Summarize(res)
+}
+
+// TestAdversarialFairnessRegression is the always-on ratio gate for the
+// isolation headline: compliant tenants' Jain fairness under an active
+// adversary must stay at or above 0.9. It runs on every `go test`, not
+// just the env-gated JSON emission, so a scheduler or policer
+// regression fails CI directly.
+func TestAdversarialFairnessRegression(t *testing.T) {
+	sum := benchAdversarialSummary(t)
+	if sum.CompliantFairness < 0.9 {
+		t.Errorf("adversarial compliant Jain = %.3f, want >= 0.9", sum.CompliantFairness)
+	}
+	if sum.Ran != 4 {
+		t.Errorf("ran %d of 4 jobs", sum.Ran)
+	}
+}
+
 // BenchmarkMultiJobSweep measures the wall-clock cost of a full
 // J-tenant simulated sweep (scheduler + fabric + training processes).
 func BenchmarkMultiJobSweep(b *testing.B) {
@@ -68,10 +119,22 @@ type benchRow struct {
 	WallMs            float64 `json:"wall_ms"`
 }
 
+// benchAdvRow records the adversarial fairness scenario (see
+// benchAdversarialSummary): the compliant Jain figure is the one the
+// always-on regression test gates at >= 0.9.
+type benchAdvRow struct {
+	Jobs          int     `json:"jobs"`
+	CompliantJain float64 `json:"compliant_jain"`
+	Fairness      float64 `json:"fairness"`
+	MakespanMs    float64 `json:"makespan_ms"`
+	WallMs        float64 `json:"wall_ms"`
+}
+
 type benchDoc struct {
-	GOARCH string     `json:"goarch"`
-	NumCPU int        `json:"num_cpu"`
-	Rows   []benchRow `json:"sweeps"`
+	GOARCH      string      `json:"goarch"`
+	NumCPU      int         `json:"num_cpu"`
+	Rows        []benchRow  `json:"sweeps"`
+	Adversarial benchAdvRow `json:"adversarial"`
 }
 
 // TestWriteBenchJSON records the multi-tenant sweep trajectory to the
@@ -97,6 +160,15 @@ func TestWriteBenchJSON(t *testing.T) {
 			Fairness:          sum.Fairness,
 			WallMs:            float64(wall.Nanoseconds()) / 1e6,
 		})
+	}
+	advStart := time.Now()
+	advSum := benchAdversarialSummary(t)
+	doc.Adversarial = benchAdvRow{
+		Jobs:          advSum.Jobs,
+		CompliantJain: advSum.CompliantFairness,
+		Fairness:      advSum.Fairness,
+		MakespanMs:    float64(advSum.Makespan) / 1e6,
+		WallMs:        float64(time.Since(advStart).Nanoseconds()) / 1e6,
 	}
 	data, err := json.MarshalIndent(doc, "", "  ")
 	if err != nil {

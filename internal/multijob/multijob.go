@@ -8,8 +8,13 @@
 // membership table and threshold), data packets are demultiplexed by
 // the JobID carried in the IPv4 Identification field, concurrent jobs'
 // bursts contend on the accelerator's 256-bit bus, and an admission
-// controller queues jobs whose SRAM demand does not fit — strictly
-// FIFO, so a large job is never starved by small latecomers.
+// controller queues jobs whose SRAM demand does not fit. Admission
+// order is a pluggable Policy (FabricConfig.Admission): the default is
+// strict FIFO, so a large job is never starved by small latecomers;
+// WeightedFair backfills small jobs into the gaps with a bounded
+// bypass count, and PriorityPreempt checkpoints lower-priority
+// preemptible tenants out of the switches to admit urgent work (the
+// contract is DESIGN.md §10).
 //
 // A fabric carrying exactly one admitted job is bit- and clock-
 // identical to the single-tenant path (pinned by tests): the job tag
@@ -19,8 +24,10 @@ package multijob
 
 import (
 	"fmt"
+	"time"
 
 	"iswitch/internal/accel"
+	"iswitch/internal/core"
 	"iswitch/internal/netsim"
 	"iswitch/internal/perfmodel"
 	"iswitch/internal/protocol"
@@ -72,6 +79,40 @@ type JobSpec struct {
 	// tests inject seeded real agents); nil selects timing-only
 	// synthetic agents.
 	NewAgent func(worker int) rl.Agent
+
+	// SubmitAt delays the job's submission to the admission queue
+	// (virtual time; 0 submits at simulation start).
+	SubmitAt time.Duration
+	// Weight is the job's fair share under WeightedFair admission and
+	// egress shaping (<= 0 counts as 1). When any job in a multi-job
+	// run sets a positive weight, per-job token buckets are installed
+	// on every contended switch port so a job's share of an
+	// oversubscribed link is bounded by its weight fraction.
+	Weight float64
+	// Priority orders admission under PriorityPreempt (higher wins).
+	Priority int
+	// Preemptible consents to checkpoint/restore: the scheduler may
+	// serialize this job's switch contexts (partial aggregates, dedup
+	// bitmaps, membership) to make room for another tenant and restore
+	// them later, bit-identically. Requires ModeSync and a positive
+	// RecoveryTimeout — preempted workers ride the loss-recovery path
+	// (retransmission + switch dedup) across the gap.
+	Preemptible bool
+	// RecoveryTimeout arms worker-side loss recovery (core.ISWConfig);
+	// it also enables the switch dedup bitmap for this job, which
+	// checkpoint/restore and link-fault tolerance both require.
+	RecoveryTimeout time.Duration
+	// Elastic, when non-nil, flexes the job's worker count mid-run
+	// (ModeSync only). Workers must cover the largest phase.
+	Elastic *ElasticPlan
+	// Adversary, when non-nil, runs the job as an open-loop adversarial
+	// tenant (no training: a tagged data flood for Duration) used by
+	// the isolation experiments.
+	Adversary *AdversaryPlan
+	// Faults injects link faults (loss, down windows) on this job's
+	// worker NICs; Worker indices are job-local. Crash and switch
+	// faults are not supported here — use core.ClusterSpec for those.
+	Faults *netsim.FaultPlan
 }
 
 func (s JobSpec) name() string {
@@ -98,6 +139,8 @@ type FabricConfig struct {
 	Policy accel.Partition
 	// MaxJobs bounds the static partition's slot count (0 selects 8).
 	MaxJobs int
+	// Admission selects the queue policy (nil selects strict FIFO).
+	Admission Policy
 }
 
 // Fabric is a built multi-tenant topology: hosts, iSwitch-enabled
@@ -116,10 +159,12 @@ type Fabric struct {
 	// Switches lists every iSwitch in the fabric (deduped).
 	Switches []*switchnet.ISwitch
 
+	cfg  FabricConfig
 	next int // host-allocation cursor
 }
 
 func (f *Fabric) arm(cfg FabricConfig) {
+	f.cfg = cfg
 	for _, is := range f.Switches {
 		is.SetTenancy(accel.NewSRAMPool(cfg.SRAMBytes, cfg.Policy, cfg.MaxJobs),
 			accel.NewSharedBus())
@@ -194,6 +239,53 @@ func NewFatTreeFabric(k *sim.Kernel, kAry, hostsPerEdge int,
 	}
 	f.arm(cfg)
 	return f
+}
+
+// NewFabricFromSpec builds a multi-tenant fabric from the same
+// declarative core.ClusterSpec the single-job Build consumes: the
+// spec's topology shape and link tiers pick the constructor, cfg
+// supplies the tenancy model (SRAM partition, admission policy). The
+// spec's Mode and per-mode configs are ignored — every tenant names
+// its own workload in its JobSpec.
+func NewFabricFromSpec(k *sim.Kernel, spec core.ClusterSpec, cfg FabricConfig) (*Fabric, error) {
+	link := spec.Link
+	if link == (netsim.LinkConfig{}) {
+		link = netsim.TenGbE()
+	}
+	uplink := spec.Uplink
+	if uplink == (netsim.LinkConfig{}) {
+		uplink = link
+	}
+	coreLink := spec.CoreLink
+	if coreLink == (netsim.LinkConfig{}) {
+		coreLink = uplink
+	}
+	switch spec.Topology {
+	case core.TopoStar:
+		if spec.Workers <= 0 {
+			return nil, fmt.Errorf("multijob: star fabric needs Workers > 0")
+		}
+		return NewStarFabric(k, spec.Workers, link, cfg), nil
+	case core.TopoTree:
+		if spec.Workers <= 0 || spec.PerRack <= 0 {
+			return nil, fmt.Errorf("multijob: tree fabric needs Workers and PerRack > 0")
+		}
+		return NewTreeFabric(k, spec.Workers, spec.PerRack, link, uplink, cfg), nil
+	case core.TopoThreeTier:
+		if spec.AGGs <= 0 || spec.ToRsPerAGG <= 0 || spec.HostsPerToR <= 0 {
+			return nil, fmt.Errorf("multijob: three-tier fabric needs AGGs, ToRsPerAGG, HostsPerToR > 0")
+		}
+		return NewThreeTierFabric(k, spec.AGGs, spec.ToRsPerAGG, spec.HostsPerToR,
+			link, uplink, coreLink, cfg), nil
+	case core.TopoFatTree:
+		if spec.KAry <= 0 || spec.HostsPerEdge <= 0 {
+			return nil, fmt.Errorf("multijob: fat-tree fabric needs KAry and HostsPerEdge > 0")
+		}
+		return NewFatTreeFabric(k, spec.KAry, spec.HostsPerEdge,
+			link, uplink, coreLink, cfg), nil
+	default:
+		return nil, fmt.Errorf("multijob: unsupported fabric topology %v", spec.Topology)
+	}
 }
 
 // FreeHosts reports how many fabric hosts are still unassigned.
@@ -274,7 +366,18 @@ func (f *Fabric) evict(job protocol.JobID, chains [][]*switchnet.ISwitch) {
 func (f *Fabric) feasible(modelFloats int) bool {
 	demand := accel.ContextDemand(modelFloats, protocol.FloatsPerPacket)
 	for _, is := range f.Switches {
-		if pool := is.SRAMPool(); pool != nil && demand > pool.Capacity() {
+		pool := is.SRAMPool()
+		if pool == nil {
+			continue
+		}
+		limit := pool.Capacity()
+		if pool.Policy() == accel.PartitionStatic {
+			// Static partitioning caps every context at one slot; a
+			// demand above that can never be reserved, even on an
+			// otherwise empty switch.
+			limit = pool.Capacity() / int64(pool.MaxJobs())
+		}
+		if demand > limit {
 			return false
 		}
 	}

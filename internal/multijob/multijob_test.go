@@ -422,3 +422,49 @@ func TestFabricHostExhaustion(t *testing.T) {
 		t.Fatal("want host-exhaustion error")
 	}
 }
+
+// TestFabricFromSpec pins the declarative entry point: a fabric built
+// from a core.ClusterSpec runs a two-tenant mix clock-identically to
+// one built by the matching legacy constructor, and malformed specs
+// are rejected rather than panicking downstream.
+func TestFabricFromSpec(t *testing.T) {
+	wl := ppoWorkload(t)
+	specs := []JobSpec{
+		{Name: "j0", Workload: wl, Workers: 2, Mode: ModeSync, Iterations: 2, ModelFloats: 400},
+		{Name: "j1", Workload: wl, Workers: 2, Mode: ModeSync, Iterations: 2, ModelFloats: 300},
+	}
+	run := func(f *Fabric) Summary {
+		res, err := Run(f, specs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return Summarize(res)
+	}
+
+	k1 := sim.NewKernel()
+	want := run(NewTreeFabric(k1, 4, 2, testLink(), testLink(), FabricConfig{}))
+
+	k2 := sim.NewKernel()
+	f, err := NewFabricFromSpec(k2, core.ClusterSpec{
+		Topology: core.TopoTree, Workers: 4, PerRack: 2,
+		Link: testLink(),
+	}, FabricConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := run(f); got != want {
+		t.Fatalf("spec-built fabric diverged:\n got %+v\nwant %+v", got, want)
+	}
+
+	for _, bad := range []core.ClusterSpec{
+		{Topology: core.TopoStar},                 // missing Workers
+		{Topology: core.TopoTree, Workers: 4},     // missing PerRack
+		{Topology: core.TopoThreeTier, AGGs: 2},   // missing tiers
+		{Topology: core.TopoFatTree, KAry: 4},     // missing HostsPerEdge
+		{Topology: core.Topology(99), Workers: 2}, // unknown shape
+	} {
+		if _, err := NewFabricFromSpec(sim.NewKernel(), bad, FabricConfig{}); err == nil {
+			t.Errorf("spec %+v: want error", bad)
+		}
+	}
+}

@@ -24,6 +24,10 @@ type Summary struct {
 	// Fairness is Jain's index over per-job wire bytes (1 = all jobs
 	// moved equal traffic).
 	Fairness float64
+	// CompliantFairness is Jain's index over the achieved wire
+	// throughput of the non-adversary jobs (see JainOver) — the
+	// isolation metric the adversarial experiments gate on.
+	CompliantFairness float64
 }
 
 // Summarize condenses per-job results.
@@ -55,5 +59,6 @@ func Summarize(results []*JobResult) Summary {
 		s.AggThroughputBps = float64(gradBytes) * 8 / s.Makespan.Seconds()
 	}
 	s.Fairness = perfmodel.JainFairness(shares)
+	s.CompliantFairness = JainOver(results, func(r *JobResult) bool { return !r.Adversary })
 	return s
 }

@@ -78,6 +78,12 @@ type Port struct {
 	downWindows []downWindow
 	dropNth     map[uint64]struct{}
 
+	// shaper, when set, gates job-tagged frames through per-job token
+	// buckets before they may start serializing — how a tenant's weight
+	// bounds its share of this egress direction. Job 0 frames bypass the
+	// shaper entirely, so legacy single-tenant traffic is untouched.
+	shaper Shaper
+
 	// Trace, when set, observes this port's traffic: called with "tx"
 	// when serialization starts, "rx" on delivery to the peer, and
 	// "drop" when loss injection discards a frame.
@@ -87,6 +93,9 @@ type Port struct {
 	TxPackets, RxPackets uint64
 	TxBytes, RxBytes     uint64
 	Dropped              uint64
+	// Policed counts frames refused by the egress shaper — dropped
+	// before serialization, so they appear in no Tx counter.
+	Policed uint64
 
 	// txByJob attributes transmitted bytes to the training job tagged on
 	// each frame. Only nonzero job IDs are metered (job 0 is the
@@ -141,6 +150,25 @@ func (p *Port) DropNth(ns ...uint64) {
 	}
 }
 
+// Shaper is the egress rate-limiting hook (perfmodel.EgressShaper
+// implements it): Admit decides at virtual time now whether a frame of
+// n wire bytes from job may transmit. A refusal polices the frame — it
+// is dropped at egress before consuming any link time, exactly like a
+// hardware policer. Policing rather than delaying matters because the
+// port has a single FIFO: queuing an over-rate tenant's backlog would
+// head-of-line block every compliant tenant behind it.
+type Shaper interface {
+	Admit(now sim.Time, job uint16, n int) bool
+}
+
+// SetShaper installs (or clears, with nil) the egress shaper on this
+// transmit direction.
+func (p *Port) SetShaper(s Shaper) { p.shaper = s }
+
+// Config returns the link configuration this port serializes under —
+// what a shaper needs to convert a weight into an absolute rate.
+func (p *Port) Config() LinkConfig { return p.cfg }
+
 type downWindow struct{ from, until sim.Time }
 
 func (p *Port) isDown(at sim.Time) bool {
@@ -161,6 +189,17 @@ func (p *Port) Send(pkt *protocol.Packet) {
 	}
 	now := p.k.Now()
 	start := now
+	if p.shaper != nil && pkt.Job != protocol.DefaultJob &&
+		!p.shaper.Admit(now, uint16(pkt.Job), pkt.WireLen()) {
+		// Policed before any accounting: the frame never reaches the
+		// wire, so Tx counters keep reflecting actual link usage.
+		p.Policed++
+		if p.Trace != nil {
+			p.Trace(now, "police", pkt)
+		}
+		pkt.Release()
+		return
+	}
 	if p.busyUntil > start {
 		start = p.busyUntil
 	}

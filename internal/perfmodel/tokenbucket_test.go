@@ -1,0 +1,153 @@
+package perfmodel
+
+import (
+	"testing"
+	"time"
+)
+
+func TestTokenBucketBurstThenRate(t *testing.T) {
+	// 8 Mbit/s = 1 MB/s, 1000 B burst.
+	tb := NewTokenBucket(8e6, 1000)
+
+	// The burst passes untouched.
+	if rel := tb.ReleaseAt(0, 1000); rel != 0 {
+		t.Fatalf("burst frame delayed to %v", rel)
+	}
+	// The next 1000 B overdraw an empty bucket: 1000 B at 1 MB/s = 1 ms.
+	rel := tb.ReleaseAt(0, 1000)
+	if rel != time.Millisecond {
+		t.Fatalf("overdraft released at %v, want 1ms", rel)
+	}
+	// A third frame owes 2 ms total.
+	if rel := tb.ReleaseAt(0, 1000); rel != 2*time.Millisecond {
+		t.Fatalf("second overdraft released at %v, want 2ms", rel)
+	}
+	// After 10 ms the bucket has refilled to its 1000 B cap (not 10 kB):
+	// a 1000 B frame passes, the next one waits again.
+	if rel := tb.ReleaseAt(10*time.Millisecond, 1000); rel != 10*time.Millisecond {
+		t.Fatalf("post-refill frame delayed to %v", rel)
+	}
+	if rel := tb.ReleaseAt(10*time.Millisecond, 500); rel != 10*time.Millisecond+500*time.Microsecond {
+		t.Fatalf("capped-refill frame released at %v", rel)
+	}
+}
+
+func TestTokenBucketMonotonicReleases(t *testing.T) {
+	tb := NewTokenBucket(1e9, 1500)
+	var prev time.Duration
+	now := time.Duration(0)
+	for i := 0; i < 1000; i++ {
+		rel := tb.ReleaseAt(now, 1500)
+		if rel < prev {
+			t.Fatalf("release %d went backwards: %v < %v", i, rel, prev)
+		}
+		if rel < now {
+			t.Fatalf("release %d precedes its call time", i)
+		}
+		prev = rel
+		now += 3 * time.Microsecond
+	}
+}
+
+func TestTokenBucketSustainedRate(t *testing.T) {
+	// Long-run throughput must converge to the configured rate: push
+	// 1000 frames of 1500 B through a 100 Mbit/s bucket back-to-back.
+	tb := NewTokenBucket(100e6, 1500)
+	var last time.Duration
+	for i := 0; i < 1000; i++ {
+		last = tb.ReleaseAt(last, 1500)
+	}
+	// 999 frames beyond the burst * 1500 B * 8 bits / 100e6 = 119.88 ms.
+	want := time.Duration(float64(999*1500*8) / 100e6 * float64(time.Second))
+	tol := want / 100
+	if diff := last - want; diff < -tol || diff > tol {
+		t.Fatalf("sustained release drift: got %v, want ~%v", last, want)
+	}
+}
+
+func TestTokenBucketTakeAtPolices(t *testing.T) {
+	// 8 Mbit/s = 1 MB/s, 1000 B burst.
+	tb := NewTokenBucket(8e6, 1000)
+
+	// The burst is admitted; the next frame is refused, not delayed.
+	if !tb.TakeAt(0, 1000) {
+		t.Fatal("burst frame refused")
+	}
+	if tb.TakeAt(0, 1000) {
+		t.Fatal("over-rate frame admitted")
+	}
+	// A refusal charges nothing: after 0.5 ms the bucket holds 500 B,
+	// so a 500 B frame passes but a 501 B frame does not.
+	if !tb.TakeAt(500*time.Microsecond, 500) {
+		t.Fatal("refill not credited after refusal")
+	}
+	if tb.TakeAt(500*time.Microsecond, 1) {
+		t.Fatal("empty bucket admitted a frame")
+	}
+	// Refill caps at the burst: after a long idle only 1000 B fit.
+	if !tb.TakeAt(time.Second, 1000) {
+		t.Fatal("post-idle burst refused")
+	}
+	if tb.TakeAt(time.Second, 1) {
+		t.Fatal("refill exceeded the burst cap")
+	}
+}
+
+func TestEgressShaperAdmitPolices(t *testing.T) {
+	s := NewEgressShaper()
+	s.Limit(3, 8e6, 1000)
+
+	// Jobs without buckets are always admitted and never counted.
+	for _, job := range []uint16{0, 1, 7} {
+		if !s.Admit(0, job, 1_000_000) {
+			t.Fatalf("unbucketed job %d policed", job)
+		}
+	}
+	if s.Policed != 0 {
+		t.Fatalf("Policed = %d before any bucketed traffic", s.Policed)
+	}
+
+	// The bucketed job is refused once its burst is spent.
+	if !s.Admit(0, 3, 1000) {
+		t.Fatal("burst frame policed")
+	}
+	if s.Admit(0, 3, 1000) {
+		t.Fatal("over-rate frame admitted")
+	}
+	if s.Policed != 1 || s.PolicedByJob[3] != 1 {
+		t.Fatalf("policer stats = %d total / %v by job", s.Policed, s.PolicedByJob)
+	}
+}
+
+func TestEgressShaperOnlyShapesBucketedJobs(t *testing.T) {
+	s := NewEgressShaper()
+	s.Limit(3, 8e6, 1000)
+
+	// Jobs without buckets (job 0 included) are never delayed.
+	for _, job := range []uint16{0, 1, 7} {
+		if rel := s.Release(time.Millisecond, job, 1_000_000); rel != time.Millisecond {
+			t.Fatalf("unbucketed job %d delayed to %v", job, rel)
+		}
+	}
+	if s.Shaped != 0 {
+		t.Fatalf("Shaped = %d before any bucketed traffic", s.Shaped)
+	}
+
+	// The bucketed job pays once its burst is spent.
+	s.Release(0, 3, 1000)
+	rel := s.Release(0, 3, 1000)
+	if rel != time.Millisecond {
+		t.Fatalf("bucketed overdraft released at %v", rel)
+	}
+	if s.Shaped != 1 || s.Delay != time.Millisecond {
+		t.Fatalf("shaper stats = %d shaped / %v delay", s.Shaped, s.Delay)
+	}
+
+	if !s.Limited(3) || s.Limited(4) {
+		t.Fatal("Limited misreports bucket presence")
+	}
+	s.Forget(3)
+	if s.Limited(3) {
+		t.Fatal("Forget left the bucket installed")
+	}
+}

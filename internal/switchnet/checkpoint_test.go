@@ -1,0 +1,207 @@
+package switchnet
+
+import (
+	"reflect"
+	"testing"
+	"time"
+
+	"iswitch/internal/accel"
+	"iswitch/internal/protocol"
+	"iswitch/internal/sim"
+)
+
+// Checkpoint/restore accounting and exactness, driven through the
+// public control-plane API without a running simulation.
+func TestCheckpointRestoreAccounting(t *testing.T) {
+	k := sim.NewKernel()
+	pool := accel.NewSRAMPool(1<<20, accel.PartitionDemand, 0)
+	c := BuildStar(k, 2, testLink(), WithTenancy(pool, accel.NewSharedBus()))
+	is := c.IS
+
+	const floats = 1000
+	if err := is.AdmitJob(1, floats); err != nil {
+		t.Fatal(err)
+	}
+	is.SetDedupJob(1, true)
+	is.SetCompression(1, protocol.CompNone, floats)
+	mem := is.MembershipOf(1)
+	a0 := protocol.AddrFrom(10, 0, 0, 1, 7000)
+	a1 := protocol.AddrFrom(10, 0, 0, 2, 7000)
+	mem.Join(a0, MemberWorker, 0, floats)
+	mem.Join(a1, MemberWorker, 0, floats)
+	mem.Leave(a0) // leaves an ID gap: restored nextID must preserve it
+	acc := is.AcceleratorOf(1)
+	if err := acc.SetThreshold(2); err != nil {
+		t.Fatal(err)
+	}
+	acc.IngestFrom(protocol.TagSeg(3, 0), a1.String(), []float32{1, 2, 3})
+
+	cp, err := is.CheckpointJob(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cp.SRAMDemand != pool.Reserved(1) || cp.SRAMDemand == 0 {
+		t.Fatalf("checkpoint demand %d, pool reservation %d", cp.SRAMDemand, pool.Reserved(1))
+	}
+	if len(cp.Members) != 1 || cp.Members[0].ID != 1 || cp.NextID != 2 {
+		t.Fatalf("member snapshot wrong: %+v nextID=%d", cp.Members, cp.NextID)
+	}
+	if len(cp.Acc.Segs) != 1 || cp.Acc.Segs[0].Count != 1 {
+		t.Fatalf("accelerator snapshot wrong: %+v", cp.Acc)
+	}
+
+	// Binary round trip is exact.
+	b, err := cp.MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back JobCheckpoint
+	if err := back.UnmarshalBinary(b); err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(cp, &back) {
+		t.Fatalf("binary round trip diverged:\n got %+v\nwant %+v", &back, cp)
+	}
+
+	// Preempt frees the SRAM; restore re-reserves exactly it and the
+	// re-checkpointed state matches the original.
+	if _, err := is.PreemptJob(1); err != nil {
+		t.Fatal(err)
+	}
+	if pool.Reserved(1) != 0 || pool.Jobs() != 0 {
+		t.Fatalf("preempt left SRAM reserved: %d B, %d jobs", pool.Reserved(1), pool.Jobs())
+	}
+	if err := is.RestoreJob(&back); err != nil {
+		t.Fatal(err)
+	}
+	if pool.Reserved(1) != cp.SRAMDemand {
+		t.Fatalf("restore reserved %d B, want %d", pool.Reserved(1), cp.SRAMDemand)
+	}
+	again, err := is.CheckpointJob(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(again, cp) {
+		t.Fatalf("restored context re-checkpoints differently:\n got %+v\nwant %+v", again, cp)
+	}
+	// The ID allocator continues past the gap: a new member gets ID 2.
+	if id := is.MembershipOf(1).Join(a0, MemberWorker, 0, floats); id != 2 {
+		t.Fatalf("post-restore join got ID %d, want 2", id)
+	}
+
+	// Error paths.
+	if _, err := is.CheckpointJob(42); err == nil {
+		t.Fatal("checkpointing an unadmitted job must fail")
+	}
+	if _, err := is.CheckpointJob(protocol.DefaultJob); err == nil {
+		t.Fatal("checkpointing the default job must fail")
+	}
+	if err := is.RestoreJob(&back); err == nil {
+		t.Fatal("restoring over an admitted job must fail")
+	}
+}
+
+// Restore must fail cleanly (no context created) when the SRAM was
+// given to someone else in the meantime.
+func TestRestoreRefusedWhenSRAMTaken(t *testing.T) {
+	k := sim.NewKernel()
+	demand := accel.ContextDemand(1000, protocol.FloatsPerPacket)
+	pool := accel.NewSRAMPool(demand+demand/2, accel.PartitionDemand, 0)
+	c := BuildStar(k, 2, testLink(), WithTenancy(pool, nil))
+	is := c.IS
+
+	if err := is.AdmitJob(1, 1000); err != nil {
+		t.Fatal(err)
+	}
+	cp, err := is.PreemptJob(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := is.AdmitJob(2, 1000); err != nil {
+		t.Fatal(err)
+	}
+	if err := is.RestoreJob(cp); err == nil {
+		t.Fatal("restore should fail while job 2 holds the SRAM")
+	}
+	if is.AcceleratorOf(1) != nil {
+		t.Fatal("failed restore left a context behind")
+	}
+	is.EvictJob(2)
+	if err := is.RestoreJob(cp); err != nil {
+		t.Fatalf("restore after eviction: %v", err)
+	}
+}
+
+// A job preempted mid-round and restored resumes exactly: the partial
+// sum survives, the dedup bitmap still rejects the original
+// contributor's retransmission, and the completed aggregate equals the
+// never-preempted sum.
+func TestPreemptRestoreMidRound(t *testing.T) {
+	k := sim.NewKernel()
+	pool := accel.NewSRAMPool(0, accel.PartitionDemand, 0)
+	c := BuildStar(k, 2, testLink(), WithTenancy(pool, accel.NewSharedBus()))
+	is := c.IS
+	const job = protocol.JobID(5)
+	const floats = 4
+	if err := is.AdmitJob(job, floats); err != nil {
+		t.Fatal(err)
+	}
+	is.SetDedupJob(job, true)
+
+	seg := protocol.TagSeg(1, 0)
+	var got [2][]float32
+	for i, w := range c.Workers {
+		i, w := i, w
+		k.Spawn("worker", func(p *sim.Proc) {
+			joinJob(p, w, is.Addr(), job, floats, t)
+			if i == 0 {
+				p.Sleep(time.Millisecond)
+				pkt := protocol.NewData(w.Addr, is.Addr(), seg, []float32{1, 2, 3, 4})
+				pkt.Job = job
+				w.Send(pkt)
+				// Retransmit after the restore: dedup must ignore it.
+				p.Sleep(4 * time.Millisecond)
+				dup := protocol.NewData(w.Addr, is.Addr(), seg, []float32{1, 2, 3, 4})
+				dup.Job = job
+				w.Send(dup)
+			} else {
+				p.Sleep(6 * time.Millisecond)
+				pkt := protocol.NewData(w.Addr, is.Addr(), seg, []float32{10, 20, 30, 40})
+				pkt.Job = job
+				w.Send(pkt)
+			}
+			for got[i] == nil {
+				pkt := w.Recv(p)
+				if pkt.IsData() && pkt.Seg == seg {
+					got[i] = append([]float32(nil), pkt.Data...)
+				}
+				pkt.Release()
+			}
+		})
+	}
+
+	var cp *JobCheckpoint
+	k.After(2*time.Millisecond, func() {
+		var err error
+		if cp, err = is.PreemptJob(job); err != nil {
+			t.Errorf("preempt: %v", err)
+		}
+	})
+	k.After(3*time.Millisecond, func() {
+		if err := is.RestoreJob(cp); err != nil {
+			t.Errorf("restore: %v", err)
+		}
+	})
+	k.Run()
+	k.Shutdown()
+
+	want := []float32{11, 22, 33, 44}
+	for i := range got {
+		if !reflect.DeepEqual(got[i], want) {
+			t.Fatalf("worker %d broadcast = %v, want %v (dup not ignored or partial lost)", i, got[i], want)
+		}
+	}
+	if d := is.AcceleratorOf(job).Stats().DupDropped; d != 1 {
+		t.Fatalf("DupDropped = %d, want 1", d)
+	}
+}

@@ -6,6 +6,7 @@ import (
 
 	"iswitch/internal/accel"
 	"iswitch/internal/netsim"
+	"iswitch/internal/perfmodel"
 	"iswitch/internal/protocol"
 	"iswitch/internal/sim"
 	"iswitch/internal/tensor/kernels"
@@ -48,6 +49,10 @@ type ISwitch struct {
 	// models cross-job datapath contention (nil: none).
 	pool *accel.SRAMPool
 	bus  *accel.SharedBus
+
+	// shapers holds the per-port egress shapers installed by
+	// LimitJobEgressOn (nil until the first limit; see shaping.go).
+	shapers map[*netsim.Port]*perfmodel.EgressShaper
 
 	parent    protocol.Addr // zero => root
 	hasParent bool
@@ -485,13 +490,16 @@ func (is *ISwitch) handleHelp(ctx *jobCtx, pkt *protocol.Packet) {
 		return
 	}
 	// Root with no state, or a re-gather request from the parent: the
-	// requester is ahead of everyone, or the segment's state was lost
-	// with a lower level's emission. Ask all local members to resend.
+	// segment's every contribution was lost — including the requester's
+	// own (a dropped upload, or a context checkpointed while data was in
+	// flight). Ask ALL local members to resend, requester included: a
+	// worker requester re-serves its retained gradient, and a child
+	// switch requester recycled the segment's state when it emitted
+	// upward, so the Help must go back down to make it re-gather from
+	// its own subtree. Dedup filters any contribution that does arrive
+	// twice.
 	is.HelpRelayed++
 	for _, m := range ctx.mem.Members() {
-		if m.Addr == pkt.Src {
-			continue
-		}
 		relay := protocol.NewControl(is.addr, m.Addr, protocol.ActionHelp, pkt.Value)
 		relay.Job = ctx.job
 		is.unicast(relay)
@@ -720,6 +728,24 @@ func (is *ISwitch) RegisterChildSwitchJob(job protocol.JobID, addr protocol.Addr
 	}
 	ctx.mem.Join(addr, MemberSwitch, 0, 0)
 	is.refreshAutoH(ctx)
+}
+
+// UnregisterChildSwitchJob removes a lower-level switch from an
+// admitted job's membership — the inverse of RegisterChildSwitchJob,
+// used when an elastic job shrinks out of a subtree and the parent must
+// stop waiting for that child's partials. Segments the removal leaves
+// satisfied at the lowered H are emitted immediately. No-op if the job
+// is not admitted here.
+func (is *ISwitch) UnregisterChildSwitchJob(job protocol.JobID, addr protocol.Addr) {
+	ctx := is.ctx(job)
+	if ctx == nil {
+		return
+	}
+	if !ctx.mem.Leave(addr) {
+		return
+	}
+	is.refreshAutoH(ctx)
+	is.emitDrained(ctx)
 }
 
 func (is *ISwitch) handleData(pkt *protocol.Packet, in *netsim.Port) {
