@@ -17,6 +17,8 @@
 //	                              # mode plus crash and failover cells
 //	iswitch-bench -quant          # quantized/sparse aggregation sweep:
 //	                              # scheme × round time × wire bytes
+//	iswitch-bench -serve          # inference fleet: latency-vs-load to
+//	                              # saturation + training co-residency
 //
 // Experiments run on a bounded worker pool (-parallel); every
 // simulation cell is an isolated kernel with fixed seeds and results
@@ -92,6 +94,7 @@ func main() {
 		lossy   = flag.Bool("lossy", false, "run the reliability (loss/crash/failover) sweep and exit")
 		quant   = flag.Bool("quant", false, "run the quantized/sparse compression sweep and exit")
 		fair    = flag.Bool("fair", false, "run the adversarial-tenant fairness isolation cells and exit")
+		srv     = flag.Bool("serve", false, "run the inference-serving sweep and co-residency cells and exit")
 		workers = flag.Int("parallel", runtime.GOMAXPROCS(0), "max concurrent simulation workers (<1: GOMAXPROCS)")
 	)
 	flag.Parse()
@@ -120,6 +123,11 @@ func main() {
 	if *fair {
 		// Also registered as -exp fair.
 		fmt.Println(experiments.Fairness().String())
+		return
+	}
+	if *srv {
+		// Also registered as -exp serve.
+		fmt.Println(experiments.Serve().String())
 		return
 	}
 	// Every results run records which gradient datapath produced it.

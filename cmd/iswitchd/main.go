@@ -6,8 +6,12 @@
 // Usage:
 //
 //	iswitchd -listen 127.0.0.1:9990
+//	iswitchd -listen 127.0.0.1:9990 -workers 4
 //
-// Pair with cmd/iswitch-worker processes.
+// Pair with cmd/iswitch-worker processes. -workers adds reader
+// goroutines on the shared socket (each with its own reusable receive
+// buffer) so the socket queue stays short while a handler holds the
+// aggregation lock.
 package main
 
 import (
@@ -21,13 +25,17 @@ import (
 
 func main() {
 	listen := flag.String("listen", "127.0.0.1:9990", "UDP address to bind")
+	workers := flag.Int("workers", 1, "concurrent socket reader goroutines")
 	flag.Parse()
+	if *workers < 1 {
+		*workers = 1
+	}
 
 	sw, err := transport.ListenSwitch(*listen)
 	if err != nil {
 		log.Fatalf("iswitchd: %v", err)
 	}
-	log.Printf("iswitchd: aggregating on %s", sw.Addr())
+	log.Printf("iswitchd: aggregating on %s (%d readers)", sw.Addr(), *workers)
 
 	go func() {
 		ch := make(chan os.Signal, 1)
@@ -38,7 +46,7 @@ func main() {
 			sw.Members(), dataIn, broadcasts)
 		sw.Close()
 	}()
-	if err := sw.Serve(); err != nil {
+	if err := sw.ServeN(*workers); err != nil {
 		log.Fatalf("iswitchd: %v", err)
 	}
 }

@@ -37,6 +37,7 @@ func Specs(opts CurveOpts) []Spec {
 		{ID: "ablation-fp16", Title: "Half-precision wire format", Run: AblationFP16},
 		{ID: "quant", Title: "Quantized and sparse aggregation sweep", Run: Quant},
 		{ID: "fair", Title: "Adversarial-tenant fairness isolation", Run: Fairness},
+		{ID: "serve", Title: "Inference serving: saturation sweep + training co-residency", Run: Serve},
 	}
 }
 

@@ -1,0 +1,140 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"iswitch/internal/serve"
+)
+
+// Inference-serving experiment (beyond the paper): the trained-policy
+// fleet the ROADMAP's production story needs. Two sections:
+//
+//  1. Latency vs offered load on a star fleet, walked geometrically
+//     until saturation (p99 through the SLO or goodput collapse) — the
+//     run_until_saturation shape.
+//  2. Training co-residency on a multi-tenant tree: inference and a
+//     wire-bound gradient job share one oversubscribed ToR↔root link,
+//     FIFO vs WeightedFair + egress policing (serve.RunCoResidency).
+//
+// Both sections are deterministic (isolated kernels, fixed seeds).
+
+const (
+	serveSweepReplicas   = 3
+	serveSweepGenerators = 2
+	serveSweepStartRate  = 50_000
+	serveSweepGrowth     = 2.0
+	serveSweepMaxSteps   = 8
+	serveSweepSLO        = 400 * time.Microsecond
+	serveSweepFloor      = 0.85
+	serveSeed            = 1
+	// serveFairP99Cap is the isolation claim the CI gate enforces:
+	// under weighted-fair + policing, compliant inference p99 stays
+	// within this factor of the unimpeded cell while training runs
+	// (measured ~1.6x; FIFO shows ~4x).
+	serveFairP99Cap = 2.5
+	// serveFIFOP99Floor is the contention floor: the FIFO cell must
+	// show at least this much p99 inflation, or there is nothing to
+	// isolate.
+	serveFIFOP99Floor = 2.0
+)
+
+// ServeData bundles both sections for rendering and the JSON baseline.
+type ServeData struct {
+	Curve []serve.SweepPoint
+	CoRes serve.CoResResult
+}
+
+// RunServe produces the serving dataset (sweep cells in parallel with
+// the co-residency cells; all kernels isolated).
+func RunServe() ServeData {
+	parts := parMap(2, func(i int) ServeData {
+		if i == 0 {
+			return ServeData{Curve: RunServeSweep()}
+		}
+		return ServeData{CoRes: serve.RunCoResidency(serve.CoResConfig{Seed: serveSeed})}
+	})
+	return ServeData{Curve: parts[0].Curve, CoRes: parts[1].CoRes}
+}
+
+// RunServeSweep walks the star fleet to saturation.
+func RunServeSweep() []serve.SweepPoint {
+	base := serve.StarConfig{
+		Replicas:   serveSweepReplicas,
+		Generators: serveSweepGenerators,
+		Seed:       serveSeed,
+		Gen:        serve.GenConfig{Arrival: serve.ArrivalPoisson, Select: serve.SelectLeastOutstanding},
+	}
+	return serve.RunUntilSaturation(base, serve.SweepConfig{
+		Start: serveSweepStartRate, Growth: serveSweepGrowth,
+		MaxSteps: serveSweepMaxSteps, P99SLO: serveSweepSLO,
+		GoodputFloor: serveSweepFloor,
+	})
+}
+
+// Serve runs and renders the inference-serving experiment.
+func Serve() Result { return renderServe(RunServe()) }
+
+func renderServe(d ServeData) Result {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Inference fleet: %d replicas, %d open-loop Poisson generators\n",
+		serveSweepReplicas, serveSweepGenerators)
+	fmt.Fprintf(&b, "(least-outstanding selection), batched policy forward passes\n")
+	fmt.Fprintf(&b, "(adaptive window). Arrival rate x%.0f per step until p99 > %v\n",
+		serveSweepGrowth, serveSweepSLO)
+	fmt.Fprintf(&b, "or goodput < %.0f%% of offered.\n\n", 100*serveSweepFloor)
+	fmt.Fprintf(&b, "%10s %10s %9s %9s %9s %6s %6s %s\n",
+		"offered/s", "achieved/s", "p50(us)", "p99(us)", "max(us)", "occ", "batch", "")
+	for _, pt := range d.Curve {
+		note := ""
+		if pt.Saturated {
+			note = "<- saturated (" + pt.Reason + ")"
+		}
+		fmt.Fprintf(&b, "%10.0f %10.0f %9.1f %9.1f %9.1f %6.2f %6d %s\n",
+			pt.M.Offered, pt.M.Achieved,
+			us(pt.M.P50), us(pt.M.P99), us(pt.M.Max),
+			pt.M.Occupancy, pt.M.MaxBatch, note)
+	}
+
+	cfg := d.CoRes.Cfg
+	fmt.Fprintf(&b, "\nTraining co-residency: 3 racks of 4 on a %.1f Gb/s ToR-root link;\n",
+		cfg.UplinkBps/1e9)
+	fmt.Fprintf(&b, "a 6-worker sync job (%d KB wire-bound gradients) straddles the\n",
+		cfg.TrainFloats*4/1024)
+	fmt.Fprintf(&b, "replica rack while %0.0fk req/s of inference crosses the same link.\n\n",
+		cfg.Rate/1e3)
+	fmt.Fprintf(&b, "%-5s %9s %9s %9s %12s %9s %9s\n",
+		"cell", "p50(us)", "p99(us)", "max(us)", "train(ms)", "policedT", "policedS")
+	for _, c := range []serve.CoResCell{d.CoRes.Off, d.CoRes.FIFO, d.CoRes.Fair} {
+		train := "-"
+		if c.TrainRound > 0 {
+			train = fmt.Sprintf("%.3f", float64(c.TrainRound)/1e6)
+		}
+		fmt.Fprintf(&b, "%-5s %9.1f %9.1f %9.1f %12s %9d %9d\n",
+			c.Label, us(c.Serve.P50), us(c.Serve.P99), us(c.Serve.Max),
+			train, c.TrainPoliced, c.ServePoliced)
+	}
+	off, fifo, fair := d.CoRes.Off, d.CoRes.FIFO, d.CoRes.Fair
+	fmt.Fprintf(&b, "\nfifo: each training round parks a full gradient burst in the shared\n")
+	fmt.Fprintf(&b, "port FIFO and inference p99 inflates %.1fx over the unimpeded cell;\n",
+		ratio(fifo.Serve.P99, off.Serve.P99))
+	fmt.Fprintf(&b, "fair: egress policing caps the backlog at the token burst, holding\n")
+	fmt.Fprintf(&b, "p99 to %.1fx (gate: <= %.1fx, zero inference frames policed or lost).\n",
+		ratio(fair.Serve.P99, off.Serve.P99), serveFairP99Cap)
+	fmt.Fprintf(&b, "The refused training frames ride the Help/shadow recovery path:\n")
+	fmt.Fprintf(&b, "training still completes, paying %.1fx round inflation — the measured\n",
+		ratio(fair.TrainRound, fifo.TrainRound))
+	fmt.Fprintf(&b, "price of latency isolation.\n")
+	return Result{ID: "serve",
+		Title: "Inference serving: saturation sweep + training co-residency", Text: b.String()}
+}
+
+func us(d time.Duration) float64 { return float64(d) / 1e3 }
+
+func ratio(a, b time.Duration) float64 {
+	if b == 0 {
+		return 0
+	}
+	return float64(a) / float64(b)
+}

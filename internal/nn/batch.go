@@ -1,0 +1,87 @@
+package nn
+
+import (
+	"fmt"
+
+	"iswitch/internal/tensor"
+)
+
+// BatchForwarder runs inference-only forward passes over batches of
+// samples with zero steady-state allocation: all per-layer activation
+// planes are preallocated for the maximum batch size, and each row runs
+// through the same tensor/kernels MatVec dispatch as the single-sample
+// path. It shares the MLP's parameters by reference (a live view), so a
+// policy updated in place serves the new weights on the next batch, and
+// it never touches the MLP's own single-sample activation caches — a
+// replica can serve while the owning trainer keeps using Forward/
+// Backward on the same network.
+type BatchForwarder struct {
+	m   *MLP
+	max int
+	// acts[l] holds max rows of dims[l] activations, row-major.
+	// acts[0] is the staging area callers fill via In.
+	acts [][]float32
+}
+
+// NewBatchForwarder preallocates a forwarder for batches of up to
+// maxBatch samples through m.
+func NewBatchForwarder(m *MLP, maxBatch int) *BatchForwarder {
+	if maxBatch < 1 {
+		panic(fmt.Sprintf("nn: batch size %d", maxBatch))
+	}
+	b := &BatchForwarder{m: m, max: maxBatch, acts: make([][]float32, len(m.dims))}
+	for l, d := range m.dims {
+		b.acts[l] = make([]float32, maxBatch*d)
+	}
+	return b
+}
+
+// MaxBatch returns the preallocated batch capacity.
+func (b *BatchForwarder) MaxBatch() int { return b.max }
+
+// Model returns the served network (a live view).
+func (b *BatchForwarder) Model() *MLP { return b.m }
+
+// In returns the staging row for sample i: copy the observation into it
+// before calling Forward.
+func (b *BatchForwarder) In(i int) []float32 {
+	d := b.m.dims[0]
+	return b.acts[0][i*d : (i+1)*d]
+}
+
+// Out returns sample i's output row from the most recent Forward.
+func (b *BatchForwarder) Out(i int) []float32 {
+	d := b.m.OutDim()
+	last := b.acts[len(b.acts)-1]
+	return last[i*d : (i+1)*d]
+}
+
+// Forward runs the first n staged samples through the network and
+// returns the flat n×OutDim output plane (a live view into the
+// forwarder; valid until the next Forward). It allocates nothing.
+func (b *BatchForwarder) Forward(n int) []float32 {
+	if n < 1 || n > b.max {
+		panic(fmt.Sprintf("nn: batch of %d exceeds forwarder capacity %d", n, b.max))
+	}
+	m := b.m
+	for l := range m.ws {
+		din, dout := m.dims[l], m.dims[l+1]
+		act := m.hidden
+		if l == len(m.ws)-1 {
+			act = m.out
+		}
+		in, out := b.acts[l], b.acts[l+1]
+		for r := 0; r < n; r++ {
+			x := tensor.Vec(in[r*din : (r+1)*din])
+			z := tensor.Vec(out[r*dout : (r+1)*dout])
+			m.ws[l].MatVec(z, x)
+			z.Add(m.bs[l])
+			if act != ActNone {
+				for i := range z {
+					z[i] = act.apply(z[i])
+				}
+			}
+		}
+	}
+	return b.acts[len(b.acts)-1][:n*m.OutDim()]
+}

@@ -1,0 +1,116 @@
+package nn
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// TestBatchForwardMatchesSingle pins the batched path bit-identical to
+// the single-sample Forward: same MatVec dispatch, same activation
+// order, so every row must agree exactly.
+func TestBatchForwardMatchesSingle(t *testing.T) {
+	m := NewMLP([]int{6, 16, 16, 3}, ActTanh, ActNone, 1)
+	bf := NewBatchForwarder(m, 5)
+	rng := rand.New(rand.NewSource(2))
+	for trial := 0; trial < 20; trial++ {
+		n := 1 + rng.Intn(bf.MaxBatch())
+		inputs := make([][]float32, n)
+		for i := range inputs {
+			inputs[i] = make([]float32, m.InDim())
+			for j := range inputs[i] {
+				inputs[i][j] = float32(rng.NormFloat64())
+			}
+			copy(bf.In(i), inputs[i])
+		}
+		out := bf.Forward(n)
+		if len(out) != n*m.OutDim() {
+			t.Fatalf("output plane %d, want %d", len(out), n*m.OutDim())
+		}
+		for i := 0; i < n; i++ {
+			want := m.Forward(inputs[i])
+			row := bf.Out(i)
+			for j := range want {
+				if row[j] != want[j] {
+					t.Fatalf("trial %d sample %d[%d]: batched %v != single %v",
+						trial, i, j, row[j], want[j])
+				}
+			}
+		}
+	}
+}
+
+// TestBatchForwardLiveParams pins that the forwarder serves parameter
+// updates made after construction (live view, not a snapshot).
+func TestBatchForwardLiveParams(t *testing.T) {
+	m := NewMLP([]int{2, 4, 1}, ActReLU, ActNone, 3)
+	bf := NewBatchForwarder(m, 2)
+	copy(bf.In(0), []float32{1, -1})
+	before := append([]float32(nil), bf.Forward(1)...)
+	for i, p := range m.Params() {
+		m.Params()[i] = p * 2
+	}
+	copy(bf.In(0), []float32{1, -1})
+	after := bf.Forward(1)
+	same := true
+	for i := range before {
+		if before[i] != after[i] {
+			same = false
+		}
+	}
+	if same {
+		t.Fatal("forwarder ignored an in-place parameter update")
+	}
+}
+
+// TestBatchForwardZeroAlloc is the alloc-regression pin: the batched
+// forward pass must allocate nothing per request in steady state.
+func TestBatchForwardZeroAlloc(t *testing.T) {
+	m := NewMLP([]int{8, 32, 32, 4}, ActTanh, ActNone, 4)
+	bf := NewBatchForwarder(m, 8)
+	for i := 0; i < bf.MaxBatch(); i++ {
+		row := bf.In(i)
+		for j := range row {
+			row[j] = float32(i + j)
+		}
+	}
+	allocs := testing.AllocsPerRun(100, func() {
+		bf.Forward(bf.MaxBatch())
+	})
+	if allocs != 0 {
+		t.Fatalf("batched forward allocated %.3f times per batch, want 0", allocs)
+	}
+}
+
+func TestBatchForwardBounds(t *testing.T) {
+	m := NewMLP([]int{2, 2}, ActNone, ActNone, 5)
+	bf := NewBatchForwarder(m, 2)
+	for _, n := range []int{0, 3} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("Forward(%d) must panic", n)
+				}
+			}()
+			bf.Forward(n)
+		}()
+	}
+}
+
+// BenchmarkBatchForward measures the batched inference hot path (run
+// with -benchmem; the steady state is pinned at 0 allocs by
+// TestBatchForwardZeroAlloc).
+func BenchmarkBatchForward(b *testing.B) {
+	m := NewMLP([]int{16, 64, 64, 8}, ActTanh, ActNone, 6)
+	bf := NewBatchForwarder(m, 8)
+	for i := 0; i < bf.MaxBatch(); i++ {
+		row := bf.In(i)
+		for j := range row {
+			row[j] = float32(j) * 0.01
+		}
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		bf.Forward(bf.MaxBatch())
+	}
+}

@@ -1,0 +1,163 @@
+package perfmodel
+
+import (
+	"math"
+	"math/bits"
+	"time"
+)
+
+// LatencySketch is a fixed-memory streaming quantile estimator for
+// latency samples, in the HDR-histogram style: durations (in
+// nanoseconds) land in logarithmic bucket groups subdivided into 2^6
+// linear sub-buckets, so every bucket's width is at most 1/64 of its
+// lower bound and any reported quantile carries a bounded ~1.6%
+// relative error regardless of stream length or skew. Memory is
+// constant (~29 KiB) whether the sketch holds ten samples or ten
+// billion; sketches merge by bucket-wise addition, so per-generator
+// sketches combine into fleet-wide percentiles exactly.
+//
+// The zero value is not ready; use NewLatencySketch.
+type LatencySketch struct {
+	counts []uint64
+	n      uint64
+	sum    float64 // nanoseconds
+	min    int64
+	max    int64
+}
+
+const (
+	sketchSubBits = 6
+	sketchSubs    = 1 << sketchSubBits // linear sub-buckets per group
+	// Groups cover exponents sketchSubBits..62 (int64 nanoseconds ≈
+	// 292 years), plus the exact linear range [0, sketchSubs).
+	sketchGroups  = 63 - sketchSubBits
+	sketchBuckets = sketchSubs + sketchGroups*sketchSubs
+)
+
+// NewLatencySketch returns an empty sketch.
+func NewLatencySketch() *LatencySketch {
+	return &LatencySketch{counts: make([]uint64, sketchBuckets)}
+}
+
+// bucketOf maps a non-negative nanosecond value to its bucket index.
+// Values below sketchSubs are recorded exactly.
+func bucketOf(v int64) int {
+	if v < sketchSubs {
+		return int(v)
+	}
+	e := bits.Len64(uint64(v)) - 1 // 2^e <= v < 2^(e+1)
+	sub := int(v>>(uint(e)-sketchSubBits)) - sketchSubs
+	return (e-sketchSubBits+1)*sketchSubs + sub
+}
+
+// repOf returns a bucket's representative value (its midpoint; exact
+// for the linear range).
+func repOf(idx int) int64 {
+	g, sub := idx>>sketchSubBits, int64(idx&(sketchSubs-1))
+	if g == 0 {
+		return sub
+	}
+	shift := uint(g - 1)
+	lo := (sub + sketchSubs) << shift
+	return lo + (int64(1)<<shift)/2
+}
+
+// Add records one latency sample. Negative durations clamp to zero.
+func (s *LatencySketch) Add(d time.Duration) {
+	v := int64(d)
+	if v < 0 {
+		v = 0
+	}
+	s.counts[bucketOf(v)]++
+	if s.n == 0 || v < s.min {
+		s.min = v
+	}
+	if v > s.max {
+		s.max = v
+	}
+	s.n++
+	s.sum += float64(v)
+}
+
+// Count returns the number of recorded samples.
+func (s *LatencySketch) Count() uint64 { return s.n }
+
+// Min and Max return the exact extremes of the stream (0 when empty).
+func (s *LatencySketch) Min() time.Duration {
+	if s.n == 0 {
+		return 0
+	}
+	return time.Duration(s.min)
+}
+func (s *LatencySketch) Max() time.Duration {
+	if s.n == 0 {
+		return 0
+	}
+	return time.Duration(s.max)
+}
+
+// Mean returns the exact arithmetic mean (0 when empty).
+func (s *LatencySketch) Mean() time.Duration {
+	if s.n == 0 {
+		return 0
+	}
+	return time.Duration(s.sum / float64(s.n))
+}
+
+// Quantile returns the nearest-rank q-quantile (q in [0,1]): the
+// representative value of the bucket holding the ceil(q·n)-th smallest
+// sample, clamped to the stream's exact [min, max]. Empty sketches
+// return 0.
+func (s *LatencySketch) Quantile(q float64) time.Duration {
+	if s.n == 0 {
+		return 0
+	}
+	target := uint64(math.Ceil(q * float64(s.n)))
+	if target < 1 {
+		target = 1
+	}
+	if target > s.n {
+		target = s.n
+	}
+	var cum uint64
+	for idx, c := range s.counts {
+		cum += c
+		if cum >= target {
+			v := repOf(idx)
+			if v < s.min {
+				v = s.min
+			}
+			if v > s.max {
+				v = s.max
+			}
+			return time.Duration(v)
+		}
+	}
+	return time.Duration(s.max) // unreachable: counts sum to n
+}
+
+// Merge folds o's samples into s (bucket-wise; exact).
+func (s *LatencySketch) Merge(o *LatencySketch) {
+	if o == nil || o.n == 0 {
+		return
+	}
+	for i, c := range o.counts {
+		s.counts[i] += c
+	}
+	if s.n == 0 || o.min < s.min {
+		s.min = o.min
+	}
+	if o.max > s.max {
+		s.max = o.max
+	}
+	s.n += o.n
+	s.sum += o.sum
+}
+
+// Reset empties the sketch, keeping its memory.
+func (s *LatencySketch) Reset() {
+	for i := range s.counts {
+		s.counts[i] = 0
+	}
+	s.n, s.sum, s.min, s.max = 0, 0, 0, 0
+}

@@ -1,0 +1,181 @@
+package perfmodel
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+	"time"
+)
+
+// exactQuantile is the sort-based nearest-rank oracle the sketch is
+// differentially tested against.
+func exactQuantile(sorted []time.Duration, q float64) time.Duration {
+	if len(sorted) == 0 {
+		return 0
+	}
+	k := int(float64(len(sorted))*q + 0.9999999)
+	if k < 1 {
+		k = 1
+	}
+	if k > len(sorted) {
+		k = len(sorted)
+	}
+	return sorted[k-1]
+}
+
+// sketchTol is the asserted relative error bound: bucket width is at
+// most 1/64 of the value, the midpoint representative halves that, and
+// a little slack covers rank-boundary straddling.
+const sketchTol = 0.02
+
+func checkQuantiles(t *testing.T, s *LatencySketch, samples []time.Duration, label string) {
+	t.Helper()
+	sorted := append([]time.Duration(nil), samples...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+	for _, q := range []float64{0, 0.1, 0.25, 0.5, 0.9, 0.99, 0.999, 1} {
+		want := exactQuantile(sorted, q)
+		got := s.Quantile(q)
+		diff := float64(got - want)
+		if diff < 0 {
+			diff = -diff
+		}
+		// Absolute slack of 1ns covers the exact linear range.
+		if diff > 1 && diff > sketchTol*float64(want) {
+			t.Fatalf("%s: q=%.3f sketch %v vs oracle %v (rel err %.4f > %.2f)",
+				label, q, got, want, diff/float64(want), sketchTol)
+		}
+	}
+}
+
+// TestSketchDifferential runs randomized streams from several latency
+// shapes against the exact oracle.
+func TestSketchDifferential(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	shapes := []struct {
+		name string
+		draw func() time.Duration
+	}{
+		{"uniform-us", func() time.Duration {
+			return time.Duration(rng.Int63n(1_000_000))
+		}},
+		{"lognormal", func() time.Duration {
+			return time.Duration(1e3 * rng.ExpFloat64() * rng.ExpFloat64() * 50)
+		}},
+		{"bimodal", func() time.Duration {
+			if rng.Intn(10) == 0 {
+				return time.Duration(5_000_000 + rng.Int63n(1_000_000)) // slow tail
+			}
+			return time.Duration(20_000 + rng.Int63n(5_000))
+		}},
+		{"tiny", func() time.Duration {
+			return time.Duration(rng.Int63n(64)) // exact linear range
+		}},
+	}
+	for _, sh := range shapes {
+		for _, n := range []int{3, 100, 5000} {
+			s := NewLatencySketch()
+			samples := make([]time.Duration, n)
+			for i := range samples {
+				samples[i] = sh.draw()
+				s.Add(samples[i])
+			}
+			if s.Count() != uint64(n) {
+				t.Fatalf("%s: count %d, want %d", sh.name, s.Count(), n)
+			}
+			checkQuantiles(t, s, samples, sh.name)
+		}
+	}
+}
+
+// TestSketchMerge pins that merging per-generator sketches equals one
+// sketch fed the concatenated stream (bucket-wise identical counts).
+func TestSketchMerge(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	a, b, all := NewLatencySketch(), NewLatencySketch(), NewLatencySketch()
+	var samples []time.Duration
+	for i := 0; i < 2000; i++ {
+		d := time.Duration(rng.Int63n(10_000_000))
+		samples = append(samples, d)
+		if i%2 == 0 {
+			a.Add(d)
+		} else {
+			b.Add(d)
+		}
+		all.Add(d)
+	}
+	a.Merge(b)
+	if a.Count() != all.Count() || a.Min() != all.Min() || a.Max() != all.Max() {
+		t.Fatalf("merge stats diverge: count %d/%d min %v/%v max %v/%v",
+			a.Count(), all.Count(), a.Min(), all.Min(), a.Max(), all.Max())
+	}
+	for _, q := range []float64{0.5, 0.99, 1} {
+		if a.Quantile(q) != all.Quantile(q) {
+			t.Fatalf("q=%.2f merged %v != combined %v", q, a.Quantile(q), all.Quantile(q))
+		}
+	}
+	checkQuantiles(t, a, samples, "merged")
+	// Merging an empty or nil sketch is a no-op.
+	before := a.Quantile(0.5)
+	a.Merge(NewLatencySketch())
+	a.Merge(nil)
+	if a.Quantile(0.5) != before || a.Count() != all.Count() {
+		t.Fatal("merging an empty sketch changed the stream")
+	}
+}
+
+// TestSketchEdgeCases: empty, single-sample, zero/negative durations,
+// and Reset.
+func TestSketchEdgeCases(t *testing.T) {
+	s := NewLatencySketch()
+	if s.Count() != 0 || s.Quantile(0.5) != 0 || s.Mean() != 0 || s.Min() != 0 || s.Max() != 0 {
+		t.Fatal("empty sketch must report zeros")
+	}
+
+	s.Add(1234567 * time.Nanosecond)
+	for _, q := range []float64{0, 0.5, 1} {
+		got := s.Quantile(q)
+		// A single sample is clamped to the exact [min, max] = [v, v].
+		if got != 1234567 {
+			t.Fatalf("single sample q=%.1f = %v, want 1.234567ms", q, got)
+		}
+	}
+	if s.Mean() != 1234567 {
+		t.Fatalf("single-sample mean %v", s.Mean())
+	}
+
+	s.Reset()
+	if s.Count() != 0 || s.Quantile(0.99) != 0 {
+		t.Fatal("Reset did not empty the sketch")
+	}
+
+	s.Add(-5 * time.Second) // clamps to 0
+	s.Add(0)
+	if s.Min() != 0 || s.Max() != 0 || s.Quantile(1) != 0 {
+		t.Fatalf("negative/zero handling: min %v max %v", s.Min(), s.Max())
+	}
+}
+
+// TestSketchBucketGeometry pins the index/representative round trip:
+// every value's bucket representative stays within the error bound.
+func TestSketchBucketGeometry(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	for i := 0; i < 100000; i++ {
+		v := rng.Int63() >> uint(rng.Intn(40))
+		idx := bucketOf(v)
+		if idx < 0 || idx >= sketchBuckets {
+			t.Fatalf("value %d: bucket %d out of range", v, idx)
+		}
+		rep := repOf(idx)
+		diff := float64(rep - v)
+		if diff < 0 {
+			diff = -diff
+		}
+		if v < sketchSubs {
+			if rep != v {
+				t.Fatalf("linear range value %d got representative %d", v, rep)
+			}
+		} else if diff > float64(v)/(2*sketchSubs)+1 {
+			t.Fatalf("value %d: representative %d off by %.0f (> width/2)", v, rep, diff)
+		}
+	}
+}

@@ -191,6 +191,11 @@ func (p *Packet) WireLen() int {
 	if p.IsControl() {
 		return n + 1 + len(p.Value)
 	}
+	if p.IsServe() {
+		// Serve frames reuse the data layout with Seg carrying the
+		// request ID and a raw float32 payload (serve.go).
+		return n + SegFieldLen + 4*len(p.Data)
+	}
 	if p.IsData() {
 		n += SegFieldLen
 		switch p.Enc {

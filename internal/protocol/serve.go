@@ -1,0 +1,58 @@
+// Inference-serving wire format (internal/serve).
+//
+// A trained policy is served over the same Ethernet/IPv4/UDP framing as
+// the training protocol, claiming two further ToS values: a request
+// carries an observation vector, a response carries the policy's output
+// (action logits or values). The 8-byte Seg slot of the data layout is
+// reused as a request ID so a client can match responses to requests
+// over any replica-selection policy; the Job field tags the serving
+// tenant so multi-tenant switches meter and police inference traffic
+// exactly like a training job's gradients. Switches never aggregate
+// serve packets — IsISwitch stays false, so every fabric forwards them
+// as ordinary routed traffic.
+package protocol
+
+import "fmt"
+
+// Reserved ToS values tagging inference-serving traffic.
+const (
+	ToSServeReq  = 0x43
+	ToSServeResp = 0x44
+)
+
+// IsServeReq reports whether the packet is an inference request.
+func (p *Packet) IsServeReq() bool { return p.ToS == ToSServeReq }
+
+// IsServeResp reports whether the packet is an inference response.
+func (p *Packet) IsServeResp() bool { return p.ToS == ToSServeResp }
+
+// IsServe reports whether the packet belongs to the serving protocol.
+func (p *Packet) IsServe() bool { return p.IsServeReq() || p.IsServeResp() }
+
+// ReqID returns the request identifier of a serve packet (the reused
+// Seg field).
+func (p *Packet) ReqID() uint64 { return p.Seg }
+
+// NewServeRequest builds a pooled inference request: obs is copied into
+// the frame's owned payload, so the caller keeps ownership of its
+// slice. Whoever takes delivery should Release the frame.
+func NewServeRequest(src, dst Addr, job JobID, id uint64, obs []float32) *Packet {
+	return newServe(ToSServeReq, src, dst, job, id, obs)
+}
+
+// NewServeResponse builds a pooled inference response carrying the
+// policy output for request id (copy-in semantics, like NewServeRequest).
+func NewServeResponse(src, dst Addr, job JobID, id uint64, out []float32) *Packet {
+	return newServe(ToSServeResp, src, dst, job, id, out)
+}
+
+func newServe(tos uint8, src, dst Addr, job JobID, id uint64, data []float32) *Packet {
+	if len(data) > FloatsPerPacket {
+		panic(fmt.Sprintf("protocol: serve payload of %d floats exceeds packet capacity %d",
+			len(data), FloatsPerPacket))
+	}
+	p := GetPacket()
+	p.Src, p.Dst, p.ToS, p.Job, p.Seg = src, dst, tos, job, id
+	p.SetDataCopy(data)
+	return p
+}

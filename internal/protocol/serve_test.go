@@ -1,0 +1,47 @@
+package protocol
+
+import "testing"
+
+func TestServePacketRoundTrip(t *testing.T) {
+	src, dst := AddrFrom(10, 2, 0, 2, 9999), AddrFrom(10, 1, 0, 4, 9999)
+	obs := []float32{1, 2, 3, 4}
+	req := NewServeRequest(src, dst, JobID(7), 42, obs)
+	if !req.IsServeReq() || req.IsServeResp() || !req.IsServe() {
+		t.Fatalf("request ToS classification wrong: ToS=%#x", req.ToS)
+	}
+	if req.IsISwitch() {
+		t.Fatal("serve request must not be iSwitch traffic (switches would aggregate it)")
+	}
+	if req.ReqID() != 42 || req.Job != 7 {
+		t.Fatalf("id/job = %d/%d, want 42/7", req.ReqID(), req.Job)
+	}
+	// Copy-in semantics: mutating the caller's slice must not change
+	// the frame.
+	obs[0] = 99
+	if req.Data[0] != 1 {
+		t.Fatal("NewServeRequest aliased the caller's observation slice")
+	}
+	wantWire := EthernetHeaderLen + IPv4HeaderLen + UDPHeaderLen + SegFieldLen + 4*4
+	if got := req.WireLen(); got != wantWire {
+		t.Fatalf("request WireLen = %d, want %d", got, wantWire)
+	}
+	req.Release()
+
+	resp := NewServeResponse(dst, src, JobID(7), 42, []float32{0.5, -0.5})
+	if !resp.IsServeResp() || resp.IsServeReq() {
+		t.Fatalf("response ToS classification wrong: ToS=%#x", resp.ToS)
+	}
+	if got := resp.WireLen(); got != EthernetHeaderLen+IPv4HeaderLen+UDPHeaderLen+SegFieldLen+4*2 {
+		t.Fatalf("response WireLen = %d", got)
+	}
+	resp.Release()
+}
+
+func TestServePayloadCap(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("oversized serve payload must panic")
+		}
+	}()
+	NewServeRequest(Addr{}, Addr{}, 0, 0, make([]float32, FloatsPerPacket+1))
+}

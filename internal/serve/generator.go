@@ -1,0 +1,171 @@
+package serve
+
+import (
+	"fmt"
+	"math/rand"
+	"time"
+
+	"iswitch/internal/netsim"
+	"iswitch/internal/perfmodel"
+	"iswitch/internal/protocol"
+	"iswitch/internal/sim"
+)
+
+// GenConfig parameterizes one open-loop generator.
+type GenConfig struct {
+	// Rate is this generator's offered load in requests/second.
+	Rate float64
+	// Arrival selects Poisson or deterministic interarrivals.
+	Arrival Arrival
+	// Duration is the emission window; arrivals stop after it, but the
+	// simulation keeps draining in-flight requests.
+	Duration time.Duration
+	// Seed drives the interarrival and random-selection stream.
+	Seed int64
+	// Select is the replica-selection policy.
+	Select SelectPolicy
+	// Job tags requests for multi-tenant metering and policing.
+	Job protocol.JobID
+}
+
+// Generator emits observation requests at the configured open-loop rate
+// and matches responses by request ID, streaming latencies into a
+// fixed-memory sketch.
+type Generator struct {
+	Host     *netsim.Host
+	replicas []protocol.Addr
+	cfg      GenConfig
+	obs      []float32
+
+	rng         *rand.Rand
+	rr          int
+	nextID      uint64
+	outstanding []int
+	inflight    map[uint64]sent
+
+	// Lat holds this generator's response latencies.
+	Lat *perfmodel.LatencySketch
+	// Sent / Done count requests emitted and responses matched; Stray
+	// counts frames that matched no in-flight request.
+	Sent, Done, Stray uint64
+	// FirstSendAt / LastDoneAt bound the measured interval (virtual
+	// time), the denominator for achieved throughput.
+	FirstSendAt, LastDoneAt time.Duration
+
+	// RecordExact, when set before Start, keeps every latency sample in
+	// Exact — the tests' oracle; production sweeps leave it off and pay
+	// only the sketch's fixed memory.
+	RecordExact bool
+	Exact       []time.Duration
+}
+
+type sent struct {
+	at  sim.Time
+	rep int
+}
+
+// NewGenerator builds a generator on host driving the given replicas
+// with copies of the observation template obs.
+func NewGenerator(host *netsim.Host, replicas []protocol.Addr, obs []float32, cfg GenConfig) *Generator {
+	if len(replicas) == 0 {
+		panic("serve: generator needs at least one replica")
+	}
+	if cfg.Rate <= 0 {
+		panic("serve: generator rate must be positive")
+	}
+	return &Generator{
+		Host:        host,
+		replicas:    append([]protocol.Addr(nil), replicas...),
+		cfg:         cfg,
+		obs:         append([]float32(nil), obs...),
+		rng:         rand.New(rand.NewSource(cfg.Seed)),
+		outstanding: make([]int, len(replicas)),
+		inflight:    make(map[uint64]sent),
+		Lat:         perfmodel.NewLatencySketch(),
+	}
+}
+
+// Start spawns the sender and receiver procs.
+func (g *Generator) Start(k *sim.Kernel) {
+	k.Spawn(fmt.Sprintf("gen/%s/send", g.Host.Addr), g.send)
+	k.Spawn(fmt.Sprintf("gen/%s/recv", g.Host.Addr), g.recv)
+}
+
+func (g *Generator) interarrival() time.Duration {
+	sec := 1 / g.cfg.Rate
+	if g.cfg.Arrival == ArrivalPoisson {
+		sec = g.rng.ExpFloat64() / g.cfg.Rate
+	}
+	return time.Duration(sec * float64(time.Second))
+}
+
+func (g *Generator) pick() int {
+	switch g.cfg.Select {
+	case SelectRandom:
+		return g.rng.Intn(len(g.replicas))
+	case SelectLeastOutstanding:
+		best := 0
+		for i, o := range g.outstanding {
+			if o < g.outstanding[best] {
+				best = i
+			}
+		}
+		return best
+	default: // round-robin
+		i := g.rr
+		g.rr = (g.rr + 1) % len(g.replicas)
+		return i
+	}
+}
+
+func (g *Generator) send(p *sim.Proc) {
+	end := p.Now() + g.cfg.Duration
+	for {
+		p.Sleep(g.interarrival())
+		if p.Now() >= end {
+			return
+		}
+		rep := g.pick()
+		id := g.nextID
+		g.nextID++
+		if g.Sent == 0 {
+			g.FirstSendAt = p.Now()
+		}
+		g.inflight[id] = sent{at: p.Now(), rep: rep}
+		g.outstanding[rep]++
+		g.Host.Send(protocol.NewServeRequest(g.Host.Addr, g.replicas[rep],
+			g.cfg.Job, id, g.obs))
+		g.Sent++
+	}
+}
+
+func (g *Generator) recv(p *sim.Proc) {
+	for {
+		pkt := g.Host.Recv(p)
+		if !pkt.IsServeResp() {
+			g.Stray++
+			pkt.Release()
+			continue
+		}
+		id := pkt.ReqID()
+		pkt.Release()
+		rec, ok := g.inflight[id]
+		if !ok {
+			g.Stray++
+			continue
+		}
+		delete(g.inflight, id)
+		g.outstanding[rec.rep]--
+		lat := p.Now() - rec.at
+		g.Lat.Add(lat)
+		if g.RecordExact {
+			g.Exact = append(g.Exact, lat)
+		}
+		g.Done++
+		g.LastDoneAt = p.Now()
+	}
+}
+
+// Lost returns requests that never got a response (e.g. policed frames)
+// once the kernel has drained.
+func (g *Generator) Lost() uint64 { return g.Sent - g.Done }

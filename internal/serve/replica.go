@@ -1,0 +1,155 @@
+package serve
+
+import (
+	"fmt"
+	"time"
+
+	"iswitch/internal/netsim"
+	"iswitch/internal/nn"
+	"iswitch/internal/protocol"
+	"iswitch/internal/sim"
+)
+
+// ReplicaConfig parameterizes one policy replica server.
+type ReplicaConfig struct {
+	// MaxBatch closes a batch when this many requests are staged
+	// (default 8; bounded by the forward pass's preallocated planes).
+	MaxBatch int
+	// BatchWindow closes a batch this long after its first request
+	// arrived, however few requests are staged (default 20µs). The
+	// adaptive tradeoff: low load pays at most BatchWindow extra
+	// latency, high load fills MaxBatch before the window expires.
+	BatchWindow time.Duration
+	// ServiceBase + n×ServicePerItem is the modeled wall-clock cost of
+	// one batched forward pass of n samples (defaults 4µs + 2µs/item:
+	// per-batch launch overhead amortized across the batch). The
+	// replica also runs the real nn.BatchForwarder pass for the
+	// outputs; the model charges virtual time for it.
+	ServiceBase    time.Duration
+	ServicePerItem time.Duration
+	// Job tags responses for multi-tenant metering and policing.
+	Job protocol.JobID
+}
+
+func (c ReplicaConfig) withDefaults() ReplicaConfig {
+	if c.MaxBatch <= 0 {
+		c.MaxBatch = 8
+	}
+	if c.BatchWindow <= 0 {
+		c.BatchWindow = 20 * time.Microsecond
+	}
+	if c.ServiceBase <= 0 {
+		c.ServiceBase = 4 * time.Microsecond
+	}
+	if c.ServicePerItem <= 0 {
+		c.ServicePerItem = 2 * time.Microsecond
+	}
+	return c
+}
+
+// Replica is one policy server: a host on the fabric answering
+// ToSServeReq frames with the loaded policy's outputs.
+type Replica struct {
+	Host *netsim.Host
+	fw   *nn.BatchForwarder
+	cfg  ReplicaConfig
+
+	// Staged batch state (ids/srcs parallel the forwarder's rows).
+	ids  []uint64
+	srcs []protocol.Addr
+
+	// Stats, read after the kernel drains.
+	Served, Batches uint64
+	// Rejected counts frames that were not well-formed requests
+	// (wrong ToS or observation length).
+	Rejected uint64
+	// Busy accumulates modeled service time — Occupancy's numerator.
+	Busy time.Duration
+	// MaxBatchSeen is the largest batch the adaptive window closed.
+	MaxBatchSeen int
+}
+
+// NewReplica builds a replica serving policy through a preallocated
+// batched forwarder on host. The policy is typically loaded from a
+// training checkpoint (nn.MLP.Load); the replica serves it by live
+// view, so continued in-place training is immediately visible.
+func NewReplica(host *netsim.Host, policy *nn.MLP, cfg ReplicaConfig) *Replica {
+	cfg = cfg.withDefaults()
+	return &Replica{
+		Host: host,
+		fw:   nn.NewBatchForwarder(policy, cfg.MaxBatch),
+		cfg:  cfg,
+		ids:  make([]uint64, cfg.MaxBatch),
+		srcs: make([]protocol.Addr, cfg.MaxBatch),
+	}
+}
+
+// Policy returns the served network (a live view).
+func (r *Replica) Policy() *nn.MLP { return r.fw.Model() }
+
+// Occupancy returns the fraction of elapsed the replica spent in
+// forward passes.
+func (r *Replica) Occupancy(elapsed time.Duration) float64 {
+	if elapsed <= 0 {
+		return 0
+	}
+	return float64(r.Busy) / float64(elapsed)
+}
+
+// Start spawns the replica's serving proc. It parks forever once
+// traffic drains; Kernel.Shutdown reclaims it.
+func (r *Replica) Start(k *sim.Kernel) {
+	k.Spawn(fmt.Sprintf("replica/%s", r.Host.Addr), r.run)
+}
+
+// stage validates and stages one frame into batch slot n, returning the
+// new staged count. The frame is always released.
+func (r *Replica) stage(pkt *protocol.Packet, n int) int {
+	if !pkt.IsServeReq() || len(pkt.Data) != r.Policy().InDim() {
+		r.Rejected++
+		pkt.Release()
+		return n
+	}
+	copy(r.fw.In(n), pkt.Data)
+	r.ids[n] = pkt.ReqID()
+	r.srcs[n] = pkt.Src
+	pkt.Release()
+	return n + 1
+}
+
+func (r *Replica) run(p *sim.Proc) {
+	outDim := r.Policy().OutDim()
+	for {
+		// Block for the batch's first request, then fill until the
+		// window closes or the batch is full.
+		n := r.stage(r.Host.Recv(p), 0)
+		deadline := p.Now() + r.cfg.BatchWindow
+		for n < r.cfg.MaxBatch {
+			wait := deadline - p.Now()
+			if wait <= 0 {
+				break
+			}
+			pkt, ok := r.Host.RecvTimeout(p, wait)
+			if !ok {
+				break
+			}
+			n = r.stage(pkt, n)
+		}
+		if n == 0 {
+			continue
+		}
+		out := r.fw.Forward(n)
+		svc := r.cfg.ServiceBase + time.Duration(n)*r.cfg.ServicePerItem
+		p.Sleep(svc)
+		r.Busy += svc
+		r.Batches++
+		r.Served += uint64(n)
+		if n > r.MaxBatchSeen {
+			r.MaxBatchSeen = n
+		}
+		for i := 0; i < n; i++ {
+			r.Host.Send(protocol.NewServeResponse(r.Host.Addr, r.srcs[i],
+				r.cfg.Job, r.ids[i], out[i*outDim:(i+1)*outDim]))
+		}
+	}
+}

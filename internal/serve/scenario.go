@@ -1,0 +1,240 @@
+package serve
+
+import (
+	"bytes"
+	"fmt"
+	"time"
+
+	"iswitch/internal/netsim"
+	"iswitch/internal/nn"
+	"iswitch/internal/perfmodel"
+	"iswitch/internal/protocol"
+	"iswitch/internal/sim"
+)
+
+// StarConfig sizes one measured serving cell: a star fabric with the
+// replicas and generators as leaf hosts of one switch.
+type StarConfig struct {
+	Replicas   int
+	Generators int
+	// Dims is the served policy architecture (Dims[0] = observation
+	// size, last = output size).
+	Dims []int
+	// Seed drives policy init and the generators' arrival streams.
+	Seed int64
+	Link netsim.LinkConfig
+	Rep  ReplicaConfig
+	// Gen carries the arrival process; Gen.Rate is the AGGREGATE
+	// offered load, split evenly across the generators.
+	Gen GenConfig
+}
+
+func (c StarConfig) withDefaults() StarConfig {
+	if c.Replicas <= 0 {
+		c.Replicas = 2
+	}
+	if c.Generators <= 0 {
+		c.Generators = 2
+	}
+	if len(c.Dims) == 0 {
+		c.Dims = []int{16, 32, 32, 4}
+	}
+	if c.Link.BitsPerSecond == 0 {
+		c.Link = netsim.TenGbE()
+	}
+	if c.Gen.Duration <= 0 {
+		c.Gen.Duration = 5 * time.Millisecond
+	}
+	return c
+}
+
+// Metrics summarizes one serving run.
+type Metrics struct {
+	// Offered is the configured aggregate arrival rate (req/s);
+	// Achieved is responses over the measured window (first send to
+	// last response) — it tracks Offered until the fleet saturates.
+	Offered, Achieved float64
+	Sent, Done, Lost  uint64
+	// Latency percentiles from the merged generator sketches.
+	P50, P90, P99, Max time.Duration
+	Mean               time.Duration
+	// Occupancy is the mean replica busy fraction over the measured
+	// window; PerReplica is each replica's served count (the balance
+	// the selection policy achieved).
+	Occupancy  float64
+	PerReplica []uint64
+	// MaxBatch is the largest adaptive batch any replica closed.
+	MaxBatch int
+	// Sketch is the merged latency sketch (for further quantiles).
+	Sketch *perfmodel.LatencySketch
+}
+
+// checkpointRoundTrip moves a policy through its wire checkpoint format
+// — replicas genuinely load what a trainer saved.
+func checkpointRoundTrip(master *nn.MLP, dims []int) *nn.MLP {
+	var buf bytes.Buffer
+	if err := master.Save(&buf); err != nil {
+		panic(fmt.Sprintf("serve: checkpoint save: %v", err))
+	}
+	m := nn.NewMLP(dims, nn.ActTanh, nn.ActNone, 0)
+	if err := m.Load(&buf); err != nil {
+		panic(fmt.Sprintf("serve: checkpoint load: %v", err))
+	}
+	return m
+}
+
+// deployFleet stands replicas and generators up on the given hosts:
+// each replica loads the master policy via a checkpoint round trip,
+// each generator gets a derived seed and an even share of the
+// aggregate rate. Callers then drive the kernel.
+func deployFleet(k *sim.Kernel, repHosts, genHosts []*netsim.Host,
+	dims []int, seed int64, repCfg ReplicaConfig, genCfg GenConfig) ([]*Replica, []*Generator) {
+	master := nn.NewMLP(dims, nn.ActTanh, nn.ActNone, seed)
+	repAddrs := make([]protocol.Addr, len(repHosts))
+	replicas := make([]*Replica, len(repHosts))
+	for i, h := range repHosts {
+		replicas[i] = NewReplica(h, checkpointRoundTrip(master, dims), repCfg)
+		repAddrs[i] = h.Addr
+		replicas[i].Start(k)
+	}
+	obs := make([]float32, dims[0])
+	for i := range obs {
+		obs[i] = float32(i%5) * 0.2
+	}
+	perGen := genCfg
+	perGen.Rate = genCfg.Rate / float64(len(genHosts))
+	gens := make([]*Generator, len(genHosts))
+	for i, h := range genHosts {
+		gc := perGen
+		gc.Seed = genCfg.Seed + int64(i)*7919
+		gens[i] = NewGenerator(h, repAddrs, obs, gc)
+		gens[i].Start(k)
+	}
+	return replicas, gens
+}
+
+// collect merges per-generator and per-replica stats into Metrics.
+func collect(offered float64, replicas []*Replica, gens []*Generator) Metrics {
+	m := Metrics{Offered: offered, Sketch: perfmodel.NewLatencySketch()}
+	var first, last time.Duration
+	for i, g := range gens {
+		m.Sketch.Merge(g.Lat)
+		m.Sent += g.Sent
+		m.Done += g.Done
+		if i == 0 || g.FirstSendAt < first {
+			first = g.FirstSendAt
+		}
+		if g.LastDoneAt > last {
+			last = g.LastDoneAt
+		}
+	}
+	m.Lost = m.Sent - m.Done
+	window := last - first
+	if window > 0 {
+		m.Achieved = float64(m.Done) / window.Seconds()
+	}
+	m.P50 = m.Sketch.Quantile(0.50)
+	m.P90 = m.Sketch.Quantile(0.90)
+	m.P99 = m.Sketch.Quantile(0.99)
+	m.Max = m.Sketch.Max()
+	m.Mean = m.Sketch.Mean()
+	for _, r := range replicas {
+		m.PerReplica = append(m.PerReplica, r.Served)
+		if window > 0 {
+			m.Occupancy += r.Occupancy(window)
+		}
+		if r.MaxBatchSeen > m.MaxBatch {
+			m.MaxBatch = r.MaxBatchSeen
+		}
+	}
+	if len(replicas) > 0 {
+		m.Occupancy /= float64(len(replicas))
+	}
+	return m
+}
+
+// RunStar builds a fresh kernel and star fabric, runs one serving cell
+// to completion (arrivals stop at Gen.Duration; the kernel drains every
+// in-flight request), and returns its metrics. Deterministic for a
+// given config.
+func RunStar(cfg StarConfig) Metrics {
+	cfg = cfg.withDefaults()
+	k := sim.NewKernel()
+	star := netsim.BuildStar(k, cfg.Replicas+cfg.Generators, cfg.Link)
+	replicas, gens := deployFleet(k,
+		star.Hosts[:cfg.Replicas], star.Hosts[cfg.Replicas:],
+		cfg.Dims, cfg.Seed, cfg.Rep, cfg.Gen)
+	k.Run()
+	k.Shutdown()
+	return collect(cfg.Gen.Rate, replicas, gens)
+}
+
+// SweepConfig drives RunUntilSaturation.
+type SweepConfig struct {
+	// Start is the first aggregate rate (req/s); each step multiplies
+	// by Growth (default 50k × 2).
+	Start, Growth float64
+	// MaxSteps bounds the walk (default 8).
+	MaxSteps int
+	// P99SLO declares saturation when p99 exceeds it (default 400µs).
+	P99SLO time.Duration
+	// GoodputFloor declares saturation when achieved throughput falls
+	// below this fraction of offered (default 0.85).
+	GoodputFloor float64
+}
+
+func (c SweepConfig) withDefaults() SweepConfig {
+	if c.Start <= 0 {
+		c.Start = 50_000
+	}
+	if c.Growth <= 1 {
+		c.Growth = 2
+	}
+	if c.MaxSteps <= 0 {
+		c.MaxSteps = 8
+	}
+	if c.P99SLO <= 0 {
+		c.P99SLO = 400 * time.Microsecond
+	}
+	if c.GoodputFloor <= 0 {
+		c.GoodputFloor = 0.85
+	}
+	return c
+}
+
+// SweepPoint is one measured rate on the latency-vs-load curve.
+type SweepPoint struct {
+	Rate float64
+	M    Metrics
+	// Saturated marks the point that tripped the sweep's stop rule;
+	// Reason is "p99" or "goodput".
+	Saturated bool
+	Reason    string
+}
+
+// RunUntilSaturation walks the aggregate arrival rate geometrically,
+// running one isolated cell per step, until p99 blows through the SLO
+// or goodput collapses below the floor (schedsim's run_until_saturation
+// shape). The saturated point is included in the returned curve.
+func RunUntilSaturation(base StarConfig, sw SweepConfig) []SweepPoint {
+	sw = sw.withDefaults()
+	var curve []SweepPoint
+	rate := sw.Start
+	for step := 0; step < sw.MaxSteps; step++ {
+		cfg := base
+		cfg.Gen.Rate = rate
+		m := RunStar(cfg)
+		pt := SweepPoint{Rate: rate, M: m}
+		if m.P99 > sw.P99SLO {
+			pt.Saturated, pt.Reason = true, "p99"
+		} else if m.Achieved < sw.GoodputFloor*m.Offered {
+			pt.Saturated, pt.Reason = true, "goodput"
+		}
+		curve = append(curve, pt)
+		if pt.Saturated {
+			break
+		}
+		rate *= sw.Growth
+	}
+	return curve
+}

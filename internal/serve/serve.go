@@ -1,0 +1,81 @@
+// Package serve is the inference-fleet subsystem: trained nn policies
+// replicated across serving hosts behind the simulated switch fabric,
+// answering observation packets with batched forward passes while
+// open-loop generators drive them with Poisson (or deterministic)
+// arrivals — the production half of the RL story the training fabric
+// feeds.
+//
+// The pieces:
+//
+//   - Replica (replica.go): a DES proc that loads a trained MLP
+//     checkpoint and serves it through an nn.BatchForwarder. Batching
+//     is adaptive: the first queued request opens a batch window, and
+//     the batch closes at the earlier of the window expiring or
+//     MaxBatch requests staged — low load pays at most the window in
+//     added latency, high load amortizes the per-batch cost over full
+//     batches.
+//   - Generator (generator.go): an open-loop client. Arrivals are
+//     seeded and independent of service progress (requests keep coming
+//     when the fleet falls behind — the saturation signal), spread over
+//     the replica set by a selection policy (round-robin / random /
+//     least-outstanding). Latencies stream into a
+//     perfmodel.LatencySketch; generators merge into fleet percentiles.
+//   - RunStar / RunUntilSaturation (scenario.go): one measured cell on
+//     a star fabric, and the arrival-rate sweep that walks offered load
+//     by a growth factor until p99 blows through the SLO or goodput
+//     collapses.
+//   - RunCoResidency (coresidency.go): the headline experiment —
+//     inference tenants and a gradient-training job sharing one
+//     multi-tenant switch fabric, FIFO vs weighted-fair + egress
+//     policing.
+//
+// Serve traffic rides protocol.ToSServeReq/Resp frames (request ID in
+// the Seg slot, observation/output floats in Data) tagged with a serve
+// JobID, so switches forward it as ordinary routed traffic while the
+// multi-tenant machinery meters and polices it like any tenant.
+package serve
+
+import "fmt"
+
+// SelectPolicy chooses which replica a generator sends each request to.
+type SelectPolicy int
+
+const (
+	// SelectRoundRobin cycles the replica list.
+	SelectRoundRobin SelectPolicy = iota
+	// SelectRandom picks uniformly (seeded).
+	SelectRandom
+	// SelectLeastOutstanding picks the replica with the fewest
+	// unanswered requests from this generator (ties to the lowest
+	// index), the classic load-aware client-side balancer.
+	SelectLeastOutstanding
+)
+
+func (s SelectPolicy) String() string {
+	switch s {
+	case SelectRoundRobin:
+		return "round-robin"
+	case SelectRandom:
+		return "random"
+	case SelectLeastOutstanding:
+		return "least-outstanding"
+	}
+	return fmt.Sprintf("SelectPolicy(%d)", int(s))
+}
+
+// Arrival selects the generator's interarrival process.
+type Arrival int
+
+const (
+	// ArrivalPoisson draws exponential interarrivals (open-loop M/·).
+	ArrivalPoisson Arrival = iota
+	// ArrivalDeterministic spaces requests exactly 1/rate apart.
+	ArrivalDeterministic
+)
+
+func (a Arrival) String() string {
+	if a == ArrivalDeterministic {
+		return "deterministic"
+	}
+	return "poisson"
+}

@@ -72,6 +72,11 @@ type Switch struct {
 	DataIn, Broadcasts, ControlIn uint64
 }
 
+// switchRecvBuf asks the kernel for a deep socket receive queue: a full
+// fan-in of gradient bursts arrives back-to-back, and the default buffer
+// (often 208 KiB) drops the tail of even one 4 MB model's worth.
+const switchRecvBuf = 4 << 20
+
 // ListenSwitch starts an aggregator on addr (e.g. "127.0.0.1:0").
 func ListenSwitch(addr string) (*Switch, error) {
 	ua, err := net.ResolveUDPAddr("udp", addr)
@@ -82,6 +87,9 @@ func ListenSwitch(addr string) (*Switch, error) {
 	if err != nil {
 		return nil, err
 	}
+	// Best-effort: the OS clamps to its rmem limit; the clamped value
+	// still beats the default.
+	_ = conn.SetReadBuffer(switchRecvBuf)
 	cfg := accel.DefaultConfig()
 	acc := accel.New(cfg)
 	// UDP workers retransmit on loss; dedup keeps that idempotent.
@@ -102,15 +110,40 @@ func (s *Switch) Close() error { return s.conn.Close() }
 
 // Serve processes datagrams until the socket closes. Run it on its own
 // goroutine; it returns nil after Close.
-func (s *Switch) Serve() error {
-	buf := make([]byte, maxDatagram)
+func (s *Switch) Serve() error { return s.ServeN(1) }
+
+// ServeN drains the socket with workers reader goroutines sharing the
+// bound socket (ReadFromUDP is safe for concurrent use; the kernel hands
+// each datagram to exactly one reader). Extra readers keep the socket
+// queue short while a handler holds the switch mutex for an aggregation.
+// Blocks until the socket closes, then returns nil.
+func (s *Switch) ServeN(workers int) error {
+	if workers <= 1 {
+		s.serveLoop(make([]byte, maxDatagram))
+		return nil
+	}
+	var wg sync.WaitGroup
+	for i := 0; i < workers; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			// One reusable receive buffer per reader: the handlers copy
+			// what they keep, so reads never allocate.
+			s.serveLoop(make([]byte, maxDatagram))
+		}()
+	}
+	wg.Wait()
+	return nil
+}
+
+func (s *Switch) serveLoop(buf []byte) {
 	for {
 		n, peer, err := s.conn.ReadFromUDP(buf)
 		if err != nil {
 			if ne, ok := err.(net.Error); ok && ne.Timeout() {
 				continue
 			}
-			return nil // closed
+			return // closed
 		}
 		// Decode copies Value/Data out of the datagram, so buf can be
 		// reused for the next read without a defensive copy.

@@ -219,3 +219,64 @@ func TestRealTrainingOverUDP(t *testing.T) {
 		}
 	}
 }
+
+// TestAggregateMultiReader runs the same multi-round aggregation through
+// ServeN's concurrent socket readers: results must stay exact and the
+// switch must terminate cleanly on Close.
+func TestAggregateMultiReader(t *testing.T) {
+	sw, err := ListenSwitch("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	served := make(chan error, 1)
+	go func() { served <- sw.ServeN(4) }()
+	t.Cleanup(func() { sw.Close(); <-served })
+
+	const workers = 3
+	const n = protocol.FloatsPerPacket + 9
+	grads := make([][]float32, workers)
+	want := make([]float32, n)
+	for w := range grads {
+		grads[w] = make([]float32, n)
+		for i := range grads[w] {
+			grads[w][i] = float32((w+1)*(i%7) + 1)
+			want[i] += grads[w][i]
+		}
+	}
+	clients := make([]*Client, workers)
+	for i := range clients {
+		c, err := Dial(sw.Addr(), n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer c.Close()
+		if err := c.Join(); err != nil {
+			t.Fatal(err)
+		}
+		clients[i] = c
+	}
+	for round := 0; round < 3; round++ {
+		var wg sync.WaitGroup
+		results := make([][]float32, workers)
+		errs := make([]error, workers)
+		for i := range clients {
+			wg.Add(1)
+			go func(i int) {
+				defer wg.Done()
+				results[i], errs[i] = clients[i].Aggregate(grads[i])
+			}(i)
+		}
+		wg.Wait()
+		for i := range clients {
+			if errs[i] != nil {
+				t.Fatalf("round %d worker %d: %v", round, i, errs[i])
+			}
+			for j := range want {
+				if results[i][j] != want[j] {
+					t.Fatalf("round %d worker %d elem %d: %v want %v",
+						round, i, j, results[i][j], want[j])
+				}
+			}
+		}
+	}
+}
